@@ -1,0 +1,35 @@
+"""Table 2 — dataset statistics (|V|, |E|, average degree, clustering, ED).
+
+Profiles every scaled-down dataset stand-in.  The absolute sizes are much
+smaller than the paper's, but the qualitative ordering the evaluation relies
+on must hold: the social stand-ins have clustering around 0.2, dblp is the
+most clustered, slashdot/amazon the least, and average degrees follow the
+originals.
+"""
+
+from repro.analysis import format_table, table2_rows
+from repro.generators import available_datasets
+from repro.graph import profile
+
+
+def bench_table2_dataset_profiles(benchmark, datasets, report):
+    names = available_datasets()
+
+    def build_profiles():
+        return [
+            profile(datasets.graph(name), name=name, rng=1)
+            for name in names
+        ]
+
+    profiles = benchmark.pedantic(build_profiles, rounds=1, iterations=1)
+    table = format_table(
+        ["dataset", "|V|", "|E|", "AD", "CC", "ED"], table2_rows(profiles)
+    )
+    report("table2_datasets", table)
+
+    by_name = {p.name: p for p in profiles}
+    # Qualitative checks mirroring Table 2's structure.
+    assert by_name["dblp"].clustering_coefficient > by_name["amazon"].clustering_coefficient
+    assert by_name["slashdot"].clustering_coefficient < 0.1
+    assert by_name["synthetic-1k"].clustering_coefficient > 0.1
+    assert by_name["amazon"].average_degree < by_name["facebook"].average_degree

@@ -1,0 +1,64 @@
+"""Table 3 — average (max) speedup over Brandes on small graphs.
+
+The paper compares its average and maximum per-edge speedup against the
+numbers reported by Kas et al., QUBE and Green et al. on small graphs.  The
+reproduction measures the MO configuration on the small end of the dataset
+suite; the related-work columns are quoted from the paper for context (those
+systems are not reimplemented — the comparison the paper makes is against
+*reported* numbers, not reruns).
+"""
+
+from repro.analysis import Variant, format_table, measure_stream_speedups
+from repro.generators import addition_stream
+
+from .conftest import stream_length
+
+SMALL_DATASETS = ["wikielections", "synthetic-1k", "slashdot"]
+
+#: Speedups reported by the related work (Table 3 of the paper), for context.
+REPORTED = {
+    "wikielections": {"kas": 3, "qube": "-", "green": "-"},
+    "synthetic-1k": {"kas": "-", "qube": "-", "green": "-"},
+    "slashdot": {"kas": "-", "qube": "-", "green": "out of memory"},
+}
+
+
+def bench_table3_related_speedup(benchmark, datasets, report):
+    def run():
+        rows = []
+        for name in SMALL_DATASETS:
+            graph = datasets.graph(name)
+            updates = addition_stream(graph, stream_length(), rng=11)
+            series = measure_stream_speedups(
+                graph,
+                updates,
+                Variant.MO,
+                label=name,
+                baseline_seconds=datasets.brandes_seconds(name),
+            )
+            stats = series.summary()
+            quoted = REPORTED[name]
+            rows.append(
+                [
+                    name,
+                    graph.num_vertices,
+                    f"{stats.mean:.0f} ({stats.maximum:.0f})",
+                    quoted["kas"],
+                    quoted["qube"],
+                    quoted["green"],
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["dataset", "|V|", "MO avg (max)", "Kas et al. (reported)",
+         "QUBE (reported)", "Green et al. (reported)"],
+        rows,
+    )
+    report("table3_related_speedup", table)
+
+    # The framework must beat from-scratch recomputation on average.
+    for row in rows:
+        average = float(row[2].split(" ")[0])
+        assert average > 1.0

@@ -1,0 +1,57 @@
+"""Table 5 — fraction of missed online updates and average delay vs. mappers.
+
+Same replay machinery as Figure 8, reported in the paper's tabular form:
+for each dataset and mapper count, the percentage of edges whose betweenness
+refresh did not finish before the next arrival and the average delay of
+those late refreshes.  Expected shape: both columns shrink (weakly) as the
+number of mappers grows.
+"""
+
+from repro.analysis import format_table
+from repro.generators import load_dataset
+from repro.parallel import simulate_online_updates
+
+from .conftest import scaled_size, stream_length
+
+CONFIGURATIONS = [
+    ("slashdot", [1, 10]),
+    ("facebook", [1, 10, 50, 100]),
+]
+
+TIME_SCALE = 0.002
+
+
+def bench_table5_online_missed(benchmark, report):
+    def run():
+        rows = []
+        for name, mapper_counts in CONFIGURATIONS:
+            evolving = load_dataset(
+                name, num_vertices=scaled_size(name), rng=7, as_evolving=True
+            )
+            replay_length = max(stream_length(), 10)
+            prefix = evolving.num_edges - replay_length
+            base = evolving.base_graph(prefix)
+            future = evolving.future_updates(prefix)
+            for mappers in mapper_counts:
+                result = simulate_online_updates(
+                    base, future, num_mappers=mappers, time_scale=TIME_SCALE
+                )
+                rows.append(
+                    [
+                        name,
+                        mappers,
+                        f"{100 * result.missed_fraction:.3f}",
+                        f"{result.average_delay:.3f}",
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(["dataset", "mappers", "% missed", "avg delay (s)"], rows)
+    report("table5_online_missed", table)
+
+    # Shape: within each dataset the missed fraction is non-increasing in the
+    # number of mappers.
+    for name, _ in CONFIGURATIONS:
+        fractions = [float(row[2]) for row in rows if row[0] == name]
+        assert all(a >= b - 1e-9 for a, b in zip(fractions, fractions[1:]))

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Online monitoring of an evolving social network.
+
+Scenario from the paper's introduction and conclusions: a social graph keeps
+receiving new edges, and we want to know — online — who the emerging
+"leaders" (highest-betweenness vertices) and the strongest "weak ties"
+(highest-betweenness edges) are, and how many machines would be needed to
+keep the scores fresh at the observed arrival rate.
+
+The script
+
+1. generates a synthetic social graph (the Table 2 stand-in) and assigns
+   synthetic arrival timestamps to its edges,
+2. bootstraps the framework on the first 90% of the edge history,
+3. replays the remaining arrivals through a :class:`TopKMonitor`,
+4. reports the top-k churn and, using the paper's capacity model
+   (tU = tS * n/p + tM), the number of mappers required to process updates
+   faster than they arrive.
+
+Run with:  python examples/evolving_social_network.py
+"""
+
+from __future__ import annotations
+
+from repro.applications import TopKMonitor
+from repro.generators import synthetic_social_graph
+from repro.generators.streams import EvolvingGraph
+from repro.parallel import OnlineCapacityModel, simulate_online_updates
+
+NUM_VERTICES = 150
+REPLAY_EDGES = 15
+TOP_K = 5
+
+
+def main() -> None:
+    graph = synthetic_social_graph(NUM_VERTICES, rng=42)
+    evolving = EvolvingGraph.from_graph(graph, rng=42, mean_interarrival=60.0)
+    prefix = evolving.num_edges - REPLAY_EDGES
+    base = evolving.base_graph(prefix)
+    arrivals = evolving.future_updates(prefix)
+    print(
+        f"social graph: {graph.num_vertices} vertices, {graph.num_edges} edges; "
+        f"replaying the last {len(arrivals)} arrivals"
+    )
+
+    # --- leader monitoring -------------------------------------------------
+    monitor = TopKMonitor(base, k=TOP_K)
+    print("\ninitial leaders:", [v for v, _ in monitor.top_vertices()])
+    for update in arrivals:
+        snapshot = monitor.process(update)
+    print("final leaders:  ", [v for v, _ in snapshot.top_vertices])
+    churn = monitor.ranking_churn()
+    print(
+        f"top-{TOP_K} churn per arrival: total {sum(churn)} entries/exits over "
+        f"{len(churn)} arrivals"
+    )
+
+    # --- online capacity ---------------------------------------------------
+    replay = simulate_online_updates(base, arrivals, num_mappers=1)
+    average_processing = sum(r.processing_time for r in replay.records) / len(
+        replay.records
+    )
+    interarrivals = [
+        r.interarrival_time for r in replay.records if r.interarrival_time != float("inf")
+    ]
+    average_interarrival = sum(interarrivals) / len(interarrivals)
+    print(
+        f"\nsingle machine: average update time {average_processing:.3f}s, "
+        f"average inter-arrival {average_interarrival:.3f}s, "
+        f"missed {100 * replay.missed_fraction:.1f}% of deadlines"
+    )
+
+    time_per_source = average_processing / base.num_vertices
+    model = OnlineCapacityModel(
+        time_per_source=time_per_source,
+        num_sources=base.num_vertices,
+        merge_time=0.001,
+    )
+    for faster in (10, 500, 5000):
+        target = average_interarrival / faster
+        try:
+            workers = model.required_workers(target)
+            print(
+                f"arrivals {faster:>3}x faster (every {target:.3f}s): "
+                f"need {workers} mapper(s) to stay online"
+            )
+        except Exception as exc:  # serial part exceeds the deadline
+            print(f"arrivals {faster:>3}x faster: cannot stay online ({exc})")
+
+
+if __name__ == "__main__":
+    main()

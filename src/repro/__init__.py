@@ -1,0 +1,52 @@
+"""repro — Scalable online betweenness centrality in evolving graphs.
+
+A from-scratch Python reproduction of Kourtellis, De Francisci Morales and
+Bonchi, *Scalable Online Betweenness Centrality in Evolving Graphs*
+(ICDE 2016).  The library maintains exact vertex and edge betweenness
+centrality of an evolving, unweighted graph under a stream of edge
+additions and removals, with in-memory or out-of-core storage of the
+per-source data and an embarrassingly-parallel execution model.
+
+Quickstart
+----------
+>>> from repro import Graph, IncrementalBetweenness
+>>> g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+>>> ibc = IncrementalBetweenness(g)
+>>> _ = ibc.add_edge(0, 4)          # close the path into a cycle
+>>> _ = ibc.remove_edge(2, 3)       # and break it somewhere else
+>>> scores = ibc.vertex_betweenness()
+"""
+
+from repro.algorithms import (
+    RecomputeBetweenness,
+    approximate_betweenness,
+    brandes_betweenness,
+    edge_betweenness,
+    vertex_betweenness,
+)
+from repro.core import (
+    EdgeUpdate,
+    IncrementalBetweenness,
+    UpdateKind,
+    UpdateResult,
+)
+from repro.graph import Graph
+from repro.storage import DiskBDStore, InMemoryBDStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "IncrementalBetweenness",
+    "EdgeUpdate",
+    "UpdateKind",
+    "UpdateResult",
+    "RecomputeBetweenness",
+    "brandes_betweenness",
+    "vertex_betweenness",
+    "edge_betweenness",
+    "approximate_betweenness",
+    "InMemoryBDStore",
+    "DiskBDStore",
+    "__version__",
+]

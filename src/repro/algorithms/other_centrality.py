@@ -1,0 +1,53 @@
+"""Cheaper centrality measures used as (poor) proxies for betweenness.
+
+Section 1 of the paper argues that, unlike PageRank (for which degree is a
+reasonable stand-in), betweenness centrality has no cheap proxy that
+correlates well with it [5], which is why an incremental exact algorithm is
+worth having.  This module provides the two obvious candidate proxies —
+degree and closeness centrality — so that claim can be checked empirically
+with :mod:`repro.analysis.correlation`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.graph.graph import Graph
+from repro.graph.traversal import bfs_distances
+from repro.types import Vertex
+
+
+def degree_centrality(graph: Graph, normalized: bool = True) -> Dict[Vertex, float]:
+    """Degree centrality of every vertex.
+
+    With ``normalized=True`` degrees are divided by ``n - 1`` (the maximum
+    possible degree), the usual convention.
+    """
+    n = graph.num_vertices
+    scale = 1.0 / (n - 1) if normalized and n > 1 else 1.0
+    return {vertex: graph.degree(vertex) * scale for vertex in graph.vertices()}
+
+
+def closeness_centrality(graph: Graph, normalized: bool = True) -> Dict[Vertex, float]:
+    """Closeness centrality of every vertex (Wasserman-Faust variant).
+
+    For a vertex ``v`` that reaches ``r - 1`` other vertices with total
+    distance ``D``, the closeness is ``(r - 1) / D``; with
+    ``normalized=True`` it is additionally scaled by ``(r - 1) / (n - 1)``
+    so that scores remain comparable across components of different sizes.
+    Isolated vertices get 0.
+    """
+    n = graph.num_vertices
+    scores: Dict[Vertex, float] = {}
+    for vertex in graph.vertices():
+        distances = bfs_distances(graph, vertex)
+        reachable = len(distances) - 1
+        total = sum(distances.values())
+        if reachable <= 0 or total <= 0:
+            scores[vertex] = 0.0
+            continue
+        closeness = reachable / total
+        if normalized and n > 1:
+            closeness *= reachable / (n - 1)
+        scores[vertex] = closeness
+    return scores

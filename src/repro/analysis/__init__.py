@@ -1,0 +1,51 @@
+"""Measurement harness and reporting helpers for the evaluation (Section 6).
+
+This package turns raw runs of the framework into the artefacts the paper
+reports: per-edge speedups over Brandes (Figures 5-6, Tables 3-4), dataset
+profiles (Table 2), online-capacity summaries (Table 5) and formatted ASCII
+tables used by the benchmark harness.
+"""
+
+from repro.analysis.speedup import (
+    SpeedupSeries,
+    Variant,
+    build_framework,
+    measure_brandes_seconds,
+    measure_stream_speedups,
+)
+from repro.analysis.tables import (
+    format_table,
+    related_work_table,
+    speedup_summary_rows,
+    table2_rows,
+)
+from repro.analysis.correlation import (
+    RankingComparison,
+    compare_rankings,
+    kendall_tau,
+    mean_absolute_error,
+    spearman_correlation,
+    top_k_overlap,
+)
+from repro.analysis.reporting import ExperimentReport, compare_payload_keys, load_report
+
+__all__ = [
+    "Variant",
+    "SpeedupSeries",
+    "build_framework",
+    "measure_brandes_seconds",
+    "measure_stream_speedups",
+    "format_table",
+    "related_work_table",
+    "table2_rows",
+    "speedup_summary_rows",
+    "RankingComparison",
+    "compare_rankings",
+    "kendall_tau",
+    "mean_absolute_error",
+    "spearman_correlation",
+    "top_k_overlap",
+    "ExperimentReport",
+    "load_report",
+    "compare_payload_keys",
+]

@@ -1,0 +1,145 @@
+"""Rank-correlation utilities for comparing centrality score vectors.
+
+The paper's introduction motivates the incremental approach by arguing that
+(1) sampling-based approximations lose accuracy as graphs grow and (2) no
+cheaper measure (e.g. degree) is a good proxy for betweenness [5].  These
+helpers quantify both statements within this repository: they compare two
+score assignments by Spearman's rho, Kendall's tau and top-k overlap —
+exactly the metrics commonly used to evaluate approximate betweenness.
+
+All functions accept plain ``{key: score}`` dictionaries so they work for
+vertex scores, edge scores, or any other ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+Scores = Dict[Hashable, float]
+
+
+def _common_keys(a: Scores, b: Scores) -> List[Hashable]:
+    keys = sorted(set(a) & set(b), key=repr)
+    if len(keys) < 2:
+        raise ConfigurationError(
+            "need at least two common keys to compute a rank correlation"
+        )
+    return keys
+
+
+def _ranks(values: Sequence[float]) -> List[float]:
+    """Fractional ranks (ties get the average of their positions)."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        average_rank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = average_rank
+        i = j + 1
+    return ranks
+
+
+def spearman_correlation(a: Scores, b: Scores) -> float:
+    """Spearman's rho between two score assignments (on their common keys)."""
+    keys = _common_keys(a, b)
+    ranks_a = _ranks([a[k] for k in keys])
+    ranks_b = _ranks([b[k] for k in keys])
+    n = len(keys)
+    mean_a = sum(ranks_a) / n
+    mean_b = sum(ranks_b) / n
+    cov = sum((x - mean_a) * (y - mean_b) for x, y in zip(ranks_a, ranks_b))
+    var_a = sum((x - mean_a) ** 2 for x in ranks_a)
+    var_b = sum((y - mean_b) ** 2 for y in ranks_b)
+    if var_a == 0 or var_b == 0:
+        # A constant ranking carries no ordering information; by convention
+        # report zero correlation rather than dividing by zero.
+        return 0.0
+    return cov / (var_a * var_b) ** 0.5
+
+
+def kendall_tau(a: Scores, b: Scores) -> float:
+    """Kendall's tau-b between two score assignments (tie-corrected)."""
+    keys = _common_keys(a, b)
+    xs = [a[k] for k in keys]
+    ys = [b[k] for k in keys]
+    n = len(keys)
+    concordant = discordant = 0
+    ties_x = ties_y = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            dx = xs[i] - xs[j]
+            dy = ys[i] - ys[j]
+            if dx == 0 and dy == 0:
+                continue
+            if dx == 0:
+                ties_x += 1
+            elif dy == 0:
+                ties_y += 1
+            elif (dx > 0) == (dy > 0):
+                concordant += 1
+            else:
+                discordant += 1
+    denominator = (
+        (concordant + discordant + ties_x) * (concordant + discordant + ties_y)
+    ) ** 0.5
+    if denominator == 0:
+        return 0.0
+    return (concordant - discordant) / denominator
+
+
+def top_k_overlap(a: Scores, b: Scores, k: int) -> float:
+    """Jaccard overlap of the top-k keys of the two score assignments."""
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    top_a = {key for key, _ in sorted(a.items(), key=lambda kv: (-kv[1], repr(kv[0])))[:k]}
+    top_b = {key for key, _ in sorted(b.items(), key=lambda kv: (-kv[1], repr(kv[0])))[:k]}
+    union = top_a | top_b
+    if not union:
+        return 1.0
+    return len(top_a & top_b) / len(union)
+
+
+def mean_absolute_error(a: Scores, b: Scores) -> float:
+    """Mean absolute difference over the union of keys (missing = 0)."""
+    keys = set(a) | set(b)
+    if not keys:
+        return 0.0
+    return sum(abs(a.get(k, 0.0) - b.get(k, 0.0)) for k in keys) / len(keys)
+
+
+@dataclass(frozen=True)
+class RankingComparison:
+    """Bundle of agreement metrics between two score assignments."""
+
+    spearman: float
+    kendall: float
+    top_k: int
+    top_k_overlap: float
+    mean_absolute_error: float
+
+    def as_row(self) -> Tuple[float, float, float, float]:
+        """Return (spearman, kendall, top-k overlap, MAE)."""
+        return (
+            round(self.spearman, 4),
+            round(self.kendall, 4),
+            round(self.top_k_overlap, 4),
+            round(self.mean_absolute_error, 4),
+        )
+
+
+def compare_rankings(a: Scores, b: Scores, k: int = 10) -> RankingComparison:
+    """Compute all agreement metrics between two score assignments."""
+    return RankingComparison(
+        spearman=spearman_correlation(a, b),
+        kendall=kendall_tau(a, b),
+        top_k=k,
+        top_k_overlap=top_k_overlap(a, b, k),
+        mean_absolute_error=mean_absolute_error(a, b),
+    )

@@ -1,0 +1,112 @@
+"""Persist experiment results as JSON reports.
+
+The benchmark harness prints human-readable tables; this module provides the
+machine-readable counterpart so results can be archived, diffed between runs
+and plotted externally.  A report is a plain dictionary with a small header
+(experiment id, parameters, library version) and an arbitrary JSON-friendly
+payload (rows, series, summaries).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import asdict, dataclass, field, is_dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro import __version__
+from repro.exceptions import ConfigurationError
+
+PathLike = Union[str, Path]
+
+
+def _jsonable(value: Any) -> Any:
+    """Convert dataclasses / tuples / sets into JSON-serialisable values."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {key: _jsonable(item) for key, item in asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+@dataclass
+class ExperimentReport:
+    """A named, parameterised experiment result ready to be serialised."""
+
+    experiment: str
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    payload: Dict[str, Any] = field(default_factory=dict)
+    library_version: str = __version__
+    python_version: str = field(default_factory=platform.python_version)
+
+    def add(self, key: str, value: Any) -> None:
+        """Attach one payload entry (converted to JSON-friendly form)."""
+        self.payload[key] = _jsonable(value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The full report as a plain dictionary."""
+        return {
+            "experiment": self.experiment,
+            "parameters": _jsonable(self.parameters),
+            "library_version": self.library_version,
+            "python_version": self.python_version,
+            "payload": _jsonable(self.payload),
+        }
+
+    def save(self, path: PathLike) -> Path:
+        """Write the report as pretty-printed JSON and return the path."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return target
+
+
+def load_report(path: PathLike) -> ExperimentReport:
+    """Read a report previously written by :meth:`ExperimentReport.save`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        raw = json.load(handle)
+    for key in ("experiment", "payload", "parameters"):
+        if key not in raw:
+            raise ConfigurationError(f"malformed report {path!r}: missing {key!r}")
+    report = ExperimentReport(
+        experiment=raw["experiment"],
+        parameters=raw.get("parameters", {}),
+        payload=raw.get("payload", {}),
+        library_version=raw.get("library_version", "unknown"),
+        python_version=raw.get("python_version", "unknown"),
+    )
+    return report
+
+
+def compare_payload_keys(
+    before: ExperimentReport, after: ExperimentReport
+) -> Dict[str, str]:
+    """Classify payload keys as added / removed / changed / unchanged.
+
+    Useful for spotting regressions between two archived runs of the same
+    experiment.
+    """
+    if before.experiment != after.experiment:
+        raise ConfigurationError(
+            "cannot compare reports of different experiments: "
+            f"{before.experiment!r} vs {after.experiment!r}"
+        )
+    verdicts: Dict[str, str] = {}
+    keys = set(before.payload) | set(after.payload)
+    for key in keys:
+        if key not in before.payload:
+            verdicts[key] = "added"
+        elif key not in after.payload:
+            verdicts[key] = "removed"
+        elif before.payload[key] != after.payload[key]:
+            verdicts[key] = "changed"
+        else:
+            verdicts[key] = "unchanged"
+    return verdicts

@@ -1,0 +1,147 @@
+"""Per-edge speedup measurement over the Brandes baseline.
+
+Every speedup in the paper's evaluation is defined the same way: the time
+Brandes' algorithm needs to recompute betweenness from scratch on the
+updated graph, divided by the time the incremental framework needs to repair
+its state for the same update.  This module measures both sides and packages
+the per-edge speedups so that the benchmark harness can print CDFs
+(Figures 5-6) and min/median/max summaries (Tables 3-4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.algorithms.brandes import brandes_betweenness
+from repro.core.framework import IncrementalBetweenness
+from repro.core.result import UpdateResult
+from repro.core.updates import EdgeUpdate
+from repro.exceptions import ConfigurationError
+from repro.graph.graph import Graph
+from repro.storage.disk import DiskBDStore
+from repro.utils.stats import SummaryStats, empirical_cdf, summarize
+from repro.utils.timing import Timer, timed
+
+
+class Variant(enum.Enum):
+    """The three framework configurations compared in Figure 5.
+
+    * ``MP`` — in memory, maintaining predecessor lists (original Brandes
+      data structures);
+    * ``MO`` — in memory, no predecessor lists (the paper's memory
+      optimisation);
+    * ``DO`` — on disk (out of core), no predecessor lists.
+    """
+
+    MP = "MP"
+    MO = "MO"
+    DO = "DO"
+
+
+def build_framework(
+    graph: Graph,
+    variant: Variant = Variant.MO,
+    disk_path: Optional[Path] = None,
+) -> IncrementalBetweenness:
+    """Instantiate the framework in one of the paper's three configurations."""
+    if variant is Variant.MP:
+        return IncrementalBetweenness(graph, maintain_predecessors=True)
+    if variant is Variant.MO:
+        return IncrementalBetweenness(graph)
+    if variant is Variant.DO:
+        store = DiskBDStore(graph.vertex_list(), path=disk_path)
+        return IncrementalBetweenness(graph, store=store)
+    raise ConfigurationError(f"unknown variant {variant!r}")
+
+
+def measure_brandes_seconds(
+    graph: Graph, repeats: int = 1, keep_predecessors: bool = False
+) -> float:
+    """Average wall-clock seconds of a full Brandes run on ``graph``."""
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    timer = Timer()
+    for _ in range(repeats):
+        with timer.measure():
+            brandes_betweenness(graph, keep_predecessors=keep_predecessors)
+    return timer.mean
+
+
+@dataclass
+class SpeedupSeries:
+    """Per-edge speedups of one (dataset, variant, update-kind) combination."""
+
+    label: str
+    variant: Variant
+    baseline_seconds: float
+    update_seconds: List[float] = field(default_factory=list)
+    speedups: List[float] = field(default_factory=list)
+    results: List[UpdateResult] = field(default_factory=list)
+
+    def cdf(self) -> List[Tuple[float, float]]:
+        """Empirical CDF of the speedups (the curves of Figures 5-6)."""
+        return empirical_cdf(self.speedups)
+
+    def summary(self) -> SummaryStats:
+        """Min / median / mean / max speedup (the rows of Table 4)."""
+        return summarize(self.speedups)
+
+    @property
+    def average_skip_fraction(self) -> float:
+        """Mean fraction of sources skipped per update (ablation metric)."""
+        if not self.results:
+            return 0.0
+        return sum(result.skip_fraction for result in self.results) / len(self.results)
+
+
+def measure_stream_speedups(
+    graph: Graph,
+    updates: Sequence[EdgeUpdate],
+    variant: Variant = Variant.MO,
+    label: str = "graph",
+    baseline_seconds: Optional[float] = None,
+    baseline_repeats: int = 1,
+    disk_path: Optional[Path] = None,
+) -> SpeedupSeries:
+    """Apply ``updates`` with the chosen variant and record per-edge speedups.
+
+    Parameters
+    ----------
+    graph:
+        The starting graph (the updates are applied on top of it).
+    updates:
+        The update stream (additions, removals or a mix).
+    variant:
+        Which of the MP / MO / DO configurations to run.
+    label:
+        Dataset label carried into the resulting series (used by reports).
+    baseline_seconds:
+        Pre-measured Brandes baseline time.  When omitted it is measured on
+        the *initial* graph; the paper likewise uses the cost of a from-
+        scratch recomputation as the denominator for every edge in the
+        stream (its variation across single-edge updates is negligible).
+    baseline_repeats:
+        Number of Brandes runs to average when measuring the baseline here.
+    disk_path:
+        Optional location of the DO variant's backing file.
+    """
+    if baseline_seconds is None:
+        baseline_seconds = measure_brandes_seconds(graph, repeats=baseline_repeats)
+    framework = build_framework(graph, variant, disk_path=disk_path)
+    series = SpeedupSeries(
+        label=label, variant=variant, baseline_seconds=baseline_seconds
+    )
+    try:
+        for update in updates:
+            result, elapsed = timed(framework.apply, update)
+            series.results.append(result)
+            series.update_seconds.append(elapsed)
+            series.speedups.append(
+                baseline_seconds / elapsed if elapsed > 0 else float("inf")
+            )
+    finally:
+        framework.store.close()
+    return series

@@ -1,0 +1,26 @@
+"""Applications built on top of the incremental framework.
+
+The paper's headline use case (Section 6.3) is Girvan–Newman community
+detection: the algorithm repeatedly removes the edge with the highest edge
+betweenness, which is exactly the operation the incremental framework makes
+cheap.  A second application, top-k centrality monitoring over an edge
+stream, illustrates the "online detection of emerging leaders" direction
+mentioned in the conclusions.
+"""
+
+from repro.applications.girvan_newman import (
+    CommunityHierarchy,
+    GirvanNewmanResult,
+    girvan_newman,
+    modularity,
+)
+from repro.applications.top_k import TopKMonitor, TopKSnapshot
+
+__all__ = [
+    "girvan_newman",
+    "GirvanNewmanResult",
+    "CommunityHierarchy",
+    "modularity",
+    "TopKMonitor",
+    "TopKSnapshot",
+]

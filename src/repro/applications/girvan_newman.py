@@ -1,0 +1,155 @@
+"""Girvan–Newman community detection with incremental edge betweenness.
+
+The Girvan–Newman method (Section 6.3 of the paper) iteratively removes the
+edge with the highest edge betweenness; the connected components that emerge
+form a hierarchy of communities.  Its classic implementation recomputes all
+edge betweenness from scratch after each removal, which is what made it
+impractical on large graphs.  With the incremental framework, each removal
+only repairs the affected part of the per-source data, yielding the
+order-of-magnitude speedups of Figure 9.
+
+Two execution modes share the same driver:
+
+* ``use_incremental=True`` — maintain edge betweenness with
+  :class:`~repro.core.framework.IncrementalBetweenness` (the paper's
+  method);
+* ``use_incremental=False`` — recompute with Brandes after every removal
+  (the baseline the speedup is measured against).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.algorithms.brandes import brandes_betweenness
+from repro.core.framework import IncrementalBetweenness
+from repro.exceptions import ConfigurationError
+from repro.graph.components import connected_components
+from repro.graph.graph import Graph
+from repro.types import Edge, Vertex
+
+
+def modularity(graph: Graph, communities: Sequence[Set[Vertex]]) -> float:
+    """Newman modularity Q of a partition of ``graph``.
+
+    ``Q = sum_c [ m_c / m - (d_c / 2m)^2 ]`` where ``m_c`` is the number of
+    intra-community edges and ``d_c`` the total degree of community ``c``.
+    """
+    m = graph.num_edges
+    if m == 0:
+        return 0.0
+    membership: Dict[Vertex, int] = {}
+    for label, community in enumerate(communities):
+        for vertex in community:
+            membership[vertex] = label
+    intra = [0] * len(communities)
+    degree = [0] * len(communities)
+    for vertex in graph.vertices():
+        label = membership[vertex]
+        degree[label] += graph.degree(vertex)
+    for u, v in graph.edges():
+        if membership[u] == membership[v]:
+            intra[membership[u]] += 1
+    q = 0.0
+    for label in range(len(communities)):
+        q += intra[label] / m - (degree[label] / (2.0 * m)) ** 2
+    return q
+
+
+@dataclass
+class CommunityHierarchy:
+    """Sequence of partitions produced by successive edge removals.
+
+    ``levels[i]`` is the partition (list of vertex sets) after the ``i``-th
+    split, i.e. each time an edge removal increased the number of connected
+    components.
+    """
+
+    levels: List[List[Set[Vertex]]] = field(default_factory=list)
+
+    def best_partition(self, graph: Graph) -> Tuple[List[Set[Vertex]], float]:
+        """Partition with the highest modularity on ``graph`` and its Q."""
+        if not self.levels:
+            return [set(graph.vertices())], modularity(
+                graph, [set(graph.vertices())]
+            )
+        best = max(self.levels, key=lambda partition: modularity(graph, partition))
+        return best, modularity(graph, best)
+
+
+@dataclass
+class GirvanNewmanResult:
+    """Outcome of a (possibly truncated) Girvan–Newman run."""
+
+    removed_edges: List[Edge] = field(default_factory=list)
+    hierarchy: CommunityHierarchy = field(default_factory=CommunityHierarchy)
+    edges_processed: int = 0
+    used_incremental: bool = True
+
+    @property
+    def num_levels(self) -> int:
+        """Number of splits discovered."""
+        return len(self.hierarchy.levels)
+
+
+def girvan_newman(
+    graph: Graph,
+    max_removals: Optional[int] = None,
+    use_incremental: bool = True,
+    target_communities: Optional[int] = None,
+) -> GirvanNewmanResult:
+    """Run (a prefix of) the Girvan–Newman algorithm.
+
+    Parameters
+    ----------
+    graph:
+        Input undirected graph (left unmodified; the driver works on a copy).
+    max_removals:
+        Stop after removing this many edges (``None`` = remove all edges,
+        producing the full dendrogram).
+    use_incremental:
+        Maintain edge betweenness incrementally (the paper's method) or
+        recompute from scratch after each removal (baseline).
+    target_communities:
+        Optionally stop as soon as the graph splits into at least this many
+        connected components.
+    """
+    if max_removals is not None and max_removals < 0:
+        raise ConfigurationError("max_removals must be non-negative")
+    working = graph.copy()
+    result = GirvanNewmanResult(used_incremental=use_incremental)
+
+    incremental: Optional[IncrementalBetweenness] = None
+    if use_incremental:
+        incremental = IncrementalBetweenness(working)
+
+    num_components = len(connected_components(working))
+    total_edges = working.num_edges
+    limit = total_edges if max_removals is None else min(max_removals, total_edges)
+
+    for _ in range(limit):
+        if working.num_edges == 0:
+            break
+        if use_incremental:
+            edge_scores = incremental.edge_betweenness()
+        else:
+            edge_scores = brandes_betweenness(working).edge_scores
+        # Highest-betweenness edge; ties broken deterministically by key so
+        # the incremental and recompute drivers remove identical sequences.
+        target = max(edge_scores.items(), key=lambda item: (item[1], repr(item[0])))[0]
+        u, v = target
+
+        working.remove_edge(u, v)
+        if use_incremental:
+            incremental.remove_edge(u, v)
+        result.removed_edges.append(target)
+        result.edges_processed += 1
+
+        components = connected_components(working)
+        if len(components) > num_components:
+            num_components = len(components)
+            result.hierarchy.levels.append([set(c) for c in components])
+        if target_communities is not None and num_components >= target_communities:
+            break
+    return result

@@ -1,0 +1,106 @@
+"""Top-k betweenness monitoring over an edge stream.
+
+The paper's conclusion points at "online detection and prediction of
+emerging leaders and communities in social networks" as the application
+unlocked by keeping betweenness up to date.  :class:`TopKMonitor` implements
+the leader-detection half: it consumes an update stream, keeps the k most
+central vertices (and optionally edges) after every update, and records how
+the ranking churns over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.framework import IncrementalBetweenness
+from repro.core.updates import EdgeUpdate
+from repro.exceptions import ConfigurationError
+from repro.graph.graph import Graph
+from repro.types import Edge, Vertex
+
+
+@dataclass(frozen=True)
+class TopKSnapshot:
+    """Ranking state after one update."""
+
+    update: EdgeUpdate
+    top_vertices: Tuple[Tuple[Vertex, float], ...]
+    top_edges: Tuple[Tuple[Edge, float], ...]
+
+    def vertex_ranking(self) -> Tuple[Vertex, ...]:
+        """Just the vertices, in rank order."""
+        return tuple(vertex for vertex, _ in self.top_vertices)
+
+
+@dataclass
+class TopKMonitor:
+    """Maintain the k most central vertices/edges while a graph evolves.
+
+    Parameters
+    ----------
+    graph:
+        Initial graph.
+    k:
+        Size of the maintained ranking.
+    track_edges:
+        Also keep the top-k edges by edge betweenness.
+    """
+
+    graph: Graph
+    k: int = 10
+    track_edges: bool = True
+    _framework: IncrementalBetweenness = field(init=False, repr=False)
+    snapshots: List[TopKSnapshot] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {self.k}")
+        self._framework = IncrementalBetweenness(self.graph)
+
+    # ------------------------------------------------------------------ #
+    # Stream consumption
+    # ------------------------------------------------------------------ #
+    def process(self, update: EdgeUpdate) -> TopKSnapshot:
+        """Apply one update and snapshot the new ranking."""
+        self._framework.apply(update)
+        snapshot = TopKSnapshot(
+            update=update,
+            top_vertices=self.top_vertices(),
+            top_edges=self.top_edges() if self.track_edges else (),
+        )
+        self.snapshots.append(snapshot)
+        return snapshot
+
+    def process_stream(self, updates: Sequence[EdgeUpdate]) -> List[TopKSnapshot]:
+        """Apply a whole stream, returning one snapshot per update."""
+        return [self.process(update) for update in updates]
+
+    # ------------------------------------------------------------------ #
+    # Rankings
+    # ------------------------------------------------------------------ #
+    def top_vertices(self, k: Optional[int] = None) -> Tuple[Tuple[Vertex, float], ...]:
+        """Current top-k vertices as ``(vertex, score)`` pairs."""
+        limit = self.k if k is None else k
+        scores = self._framework.vertex_betweenness()
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], repr(item[0])))
+        return tuple(ranked[:limit])
+
+    def top_edges(self, k: Optional[int] = None) -> Tuple[Tuple[Edge, float], ...]:
+        """Current top-k edges as ``(edge, score)`` pairs."""
+        limit = self.k if k is None else k
+        scores = self._framework.edge_betweenness()
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], repr(item[0])))
+        return tuple(ranked[:limit])
+
+    # ------------------------------------------------------------------ #
+    # Churn statistics
+    # ------------------------------------------------------------------ #
+    def ranking_churn(self) -> List[int]:
+        """Number of vertices entering/leaving the top-k between snapshots."""
+        churn: List[int] = []
+        for previous, current in zip(self.snapshots, self.snapshots[1:]):
+            before = set(previous.vertex_ranking())
+            after = set(current.vertex_ranking())
+            churn.append(len(before.symmetric_difference(after)))
+        return churn

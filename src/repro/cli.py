@@ -1,0 +1,242 @@
+"""Command-line interface for the reproduction experiments.
+
+The CLI wraps the experiment harness so the paper's measurements can be
+explored without writing Python::
+
+    repro datasets                               # list dataset stand-ins
+    repro profile --dataset facebook             # Table 2 row
+    repro speedup --dataset synthetic-10k --edges 20 --kind add --variant MO
+    repro online --dataset facebook --mappers 1,10,50
+    repro communities --dataset synthetic-1k --removals 25
+    repro proxies --dataset wikielections        # degree/closeness vs betweenness
+
+(``repro`` is installed as a console script; ``python -m repro.cli`` works
+identically.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.algorithms import brandes_betweenness
+from repro.algorithms.other_centrality import closeness_centrality, degree_centrality
+from repro.analysis import (
+    Variant,
+    format_table,
+    measure_stream_speedups,
+    related_work_table,
+)
+from repro.analysis.correlation import compare_rankings
+from repro.applications import girvan_newman, modularity
+from repro.generators import (
+    addition_stream,
+    available_datasets,
+    load_dataset,
+    removal_stream,
+)
+from repro.graph import profile
+from repro.parallel import simulate_online_updates
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scalable online betweenness centrality - experiment CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("datasets", help="list available dataset stand-ins")
+    subparsers.add_parser("related-work", help="print the Table 1 comparison")
+
+    profile_parser = subparsers.add_parser(
+        "profile", help="structural statistics of a dataset (Table 2 row)"
+    )
+    _add_dataset_arguments(profile_parser)
+
+    speedup_parser = subparsers.add_parser(
+        "speedup", help="per-edge speedup of the incremental framework over Brandes"
+    )
+    _add_dataset_arguments(speedup_parser)
+    speedup_parser.add_argument("--edges", type=int, default=10, help="stream length")
+    speedup_parser.add_argument(
+        "--kind", choices=["add", "remove"], default="add", help="update kind"
+    )
+    speedup_parser.add_argument(
+        "--variant",
+        choices=[variant.value for variant in Variant],
+        default=Variant.MO.value,
+        help="framework configuration (MP, MO or DO)",
+    )
+
+    online_parser = subparsers.add_parser(
+        "online", help="online replay: missed deadlines vs number of mappers"
+    )
+    _add_dataset_arguments(online_parser)
+    online_parser.add_argument("--edges", type=int, default=10, help="replayed arrivals")
+    online_parser.add_argument(
+        "--mappers", default="1,10", help="comma-separated mapper counts"
+    )
+    online_parser.add_argument(
+        "--time-scale", type=float, default=0.002,
+        help="compression factor applied to inter-arrival times",
+    )
+
+    communities_parser = subparsers.add_parser(
+        "communities", help="Girvan-Newman community detection"
+    )
+    _add_dataset_arguments(communities_parser)
+    communities_parser.add_argument(
+        "--removals", type=int, default=20, help="number of edge removals"
+    )
+
+    proxies_parser = subparsers.add_parser(
+        "proxies", help="how well degree/closeness approximate betweenness"
+    )
+    _add_dataset_arguments(proxies_parser)
+    proxies_parser.add_argument("--top-k", type=int, default=10)
+    return parser
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", default="synthetic-1k", choices=sorted(available_datasets())
+    )
+    parser.add_argument(
+        "--vertices", type=int, default=None,
+        help="override the stand-in vertex count",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="random seed")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    command = args.command
+
+    if command == "datasets":
+        print(_run_datasets())
+    elif command == "related-work":
+        print(related_work_table())
+    elif command == "profile":
+        print(_run_profile(args))
+    elif command == "speedup":
+        print(_run_speedup(args))
+    elif command == "online":
+        print(_run_online(args))
+    elif command == "communities":
+        print(_run_communities(args))
+    elif command == "proxies":
+        print(_run_proxies(args))
+    else:  # pragma: no cover - argparse enforces the choices
+        parser.error(f"unknown command {command!r}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Sub-command implementations (each returns the text to print)
+# --------------------------------------------------------------------------- #
+def _load(args) -> "Graph":
+    return load_dataset(args.dataset, num_vertices=args.vertices, rng=args.seed)
+
+
+def _run_datasets() -> str:
+    rows = [[name] for name in available_datasets()]
+    return format_table(["dataset"], rows)
+
+
+def _run_profile(args) -> str:
+    graph = _load(args)
+    row = profile(graph, name=args.dataset, rng=args.seed).as_row()
+    return format_table(["dataset", "|V|", "|E|", "AD", "CC", "ED"], [row])
+
+
+def _run_speedup(args) -> str:
+    graph = _load(args)
+    if args.kind == "add":
+        updates = addition_stream(graph, args.edges, rng=args.seed)
+    else:
+        updates = removal_stream(graph, args.edges, rng=args.seed)
+    series = measure_stream_speedups(
+        graph, updates, Variant(args.variant), label=args.dataset
+    )
+    stats = series.summary()
+    header = ["dataset", "kind", "variant", "edges", "min", "median", "max",
+              "avg skip fraction"]
+    row = [
+        args.dataset,
+        args.kind,
+        args.variant,
+        len(series.speedups),
+        round(stats.minimum, 1),
+        round(stats.median, 1),
+        round(stats.maximum, 1),
+        round(series.average_skip_fraction, 3),
+    ]
+    per_edge = ", ".join(f"{value:.1f}" for value in series.speedups)
+    return format_table(header, [row]) + f"\nper-edge speedups: {per_edge}"
+
+
+def _run_online(args) -> str:
+    evolving = load_dataset(
+        args.dataset, num_vertices=args.vertices, rng=args.seed, as_evolving=True
+    )
+    prefix = max(0, evolving.num_edges - args.edges)
+    base = evolving.base_graph(prefix)
+    future = evolving.future_updates(prefix)
+    mapper_counts = [int(token) for token in args.mappers.split(",") if token]
+    rows = []
+    for mappers in mapper_counts:
+        result = simulate_online_updates(
+            base, future, num_mappers=mappers, time_scale=args.time_scale
+        )
+        rows.append(
+            [
+                args.dataset,
+                mappers,
+                result.num_updates,
+                f"{100 * result.missed_fraction:.1f}%",
+                f"{result.average_delay:.4f}",
+            ]
+        )
+    return format_table(
+        ["dataset", "mappers", "edges", "missed", "avg delay (s)"], rows
+    )
+
+
+def _run_communities(args) -> str:
+    graph = _load(args)
+    result = girvan_newman(graph, max_removals=args.removals, use_incremental=True)
+    partition, q = result.hierarchy.best_partition(graph)
+    lines = [
+        f"dataset: {args.dataset} ({graph.num_vertices} vertices, {graph.num_edges} edges)",
+        f"edges removed: {result.edges_processed}",
+        f"splits discovered: {result.num_levels}",
+        f"best partition: {len(partition)} communities, modularity Q = {q:.3f}",
+    ]
+    for index, community in enumerate(sorted(partition, key=len, reverse=True)[:5]):
+        lines.append(f"  community {index}: {len(community)} vertices")
+    return "\n".join(lines)
+
+
+def _run_proxies(args) -> str:
+    graph = _load(args)
+    exact = brandes_betweenness(graph).vertex_scores
+    rows = []
+    for name, proxy in (
+        ("degree", degree_centrality(graph)),
+        ("closeness", closeness_centrality(graph)),
+    ):
+        comparison = compare_rankings(exact, proxy, k=args.top_k)
+        spearman, kendall, overlap, mae = comparison.as_row()
+        rows.append([name, spearman, kendall, overlap])
+    return format_table(
+        ["proxy", "spearman", "kendall tau", f"top-{args.top_k} overlap"], rows
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

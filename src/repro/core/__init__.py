@@ -1,0 +1,29 @@
+"""Core contribution of the paper: incremental vertex & edge betweenness.
+
+The public entry point is :class:`IncrementalBetweenness`; the remaining
+modules implement the per-source machinery (classification of an update,
+search-phase repairs for additions and removals, and the shared dependency
+accumulation) and are exposed for tests, experiments and advanced users.
+"""
+
+from repro.core.classification import SourceClassification, UpdateCase, classify
+from repro.core.framework import IncrementalBetweenness
+from repro.core.repair import RepairPlan
+from repro.core.result import SourceUpdateStats, UpdateResult
+from repro.core.source_update import update_source
+from repro.core.updates import EdgeUpdate, UpdateKind, additions, removals
+
+__all__ = [
+    "IncrementalBetweenness",
+    "EdgeUpdate",
+    "UpdateKind",
+    "additions",
+    "removals",
+    "UpdateResult",
+    "SourceUpdateStats",
+    "UpdateCase",
+    "SourceClassification",
+    "classify",
+    "RepairPlan",
+    "update_source",
+]

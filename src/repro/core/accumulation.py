@@ -1,0 +1,225 @@
+"""Shared dependency-accumulation phase of the incremental framework.
+
+Every per-source repair (addition or removal, with or without structural
+changes) ends with the same kind of backtracking pass, which the paper
+spreads over Algorithms 2-10: walk the affected region of the shortest-path
+DAG from the deepest level towards the source and, for every traversed edge,
+
+* add the *new* dependency ``sigma'[v]/sigma'[w] * (1 + delta'[w])`` carried
+  by the edge in the new DAG, and
+* subtract the *old* dependency ``sigma[v]/sigma[w] * (1 + delta[w])`` it
+  carried in the old DAG,
+
+updating the edge betweenness with both terms and folding the net change of
+each vertex's dependency into its betweenness score.  Vertices whose
+shortest-path data changed (the "affected" set of the
+:class:`~repro.core.repair.RepairPlan`) rebuild their dependency from
+scratch; vertices on the fringe (ancestors of the affected region) only
+receive corrections.
+
+This module implements that pass once, generically, instead of once per
+case; the specialised search phases guarantee the two invariants it relies
+on:
+
+1. the affected set is downward-closed in the new DAG (every new-DAG child
+   of an affected vertex is affected), so a from-scratch dependency is fed by
+   all of its children;
+2. every affected vertex is enqueued in the level queues at its new distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.algorithms.brandes import SourceData
+from repro.core.repair import RepairPlan
+from repro.graph.graph import Graph
+from repro.types import Edge, EdgeScores, Vertex, VertexScores
+
+
+@dataclass
+class AccumulationResult:
+    """Output of the dependency-accumulation phase for one source.
+
+    ``new_delta`` holds the updated dependency of every vertex whose
+    dependency changed (affected vertices and the fringe above them);
+    ``vertices_touched`` counts them, which the experiment harness uses as a
+    proxy for the amount of work done per source.
+    """
+
+    new_delta: Dict[Vertex, float] = field(default_factory=dict)
+    vertices_touched: int = 0
+
+
+def accumulate_dependencies(
+    graph: Graph,
+    source: Vertex,
+    data: SourceData,
+    plan: RepairPlan,
+    vertex_scores: VertexScores,
+    edge_scores: EdgeScores,
+    edge_key: Callable[[Vertex, Vertex], Edge],
+    excluded_old_edge: Optional[Tuple[Vertex, Vertex]] = None,
+) -> AccumulationResult:
+    """Run the dependency accumulation for one source and fold in the scores.
+
+    Parameters
+    ----------
+    graph:
+        The graph *after* the update.
+    source:
+        The source whose betweenness data is being repaired.
+    data:
+        The old ``BD[source]`` (distances, sigmas, dependencies before the
+        update).
+    plan:
+        Output of the search phase: affected vertices, their new distances /
+        shortest-path counts, level queues, disconnections and, for removals,
+        the dependency formerly carried by the removed edge.
+    vertex_scores, edge_scores:
+        Global score dictionaries, mutated in place with the per-source
+        corrections.
+    edge_key:
+        Canonicalisation function for edge-score keys.
+    excluded_old_edge:
+        For additions, the newly added edge: although its endpoints satisfied
+        the old parent/child distance relation when ``dd == 1``, the edge did
+        not exist before the update, so it must not receive an old-dependency
+        subtraction.
+    """
+    old_distance = data.distance
+    old_sigma = data.sigma
+    old_delta = data.delta
+    new_distance = plan.new_distance
+    new_sigma = plan.new_sigma
+    affected = plan.affected
+    disconnected: FrozenSet[Vertex] = frozenset(plan.disconnected)
+
+    def dist_new(vertex: Vertex) -> Optional[int]:
+        if vertex in disconnected:
+            return None
+        found = new_distance.get(vertex)
+        if found is not None:
+            return found
+        return old_distance.get(vertex)
+
+    def sig_new(vertex: Vertex) -> int:
+        found = new_sigma.get(vertex)
+        if found is not None:
+            return found
+        return old_sigma.get(vertex, 0)
+
+    excluded: FrozenSet[Vertex] = frozenset(excluded_old_edge or ())
+
+    # Level queues: start from the plan's affected vertices; fringe vertices
+    # are appended as they are touched.  Affected vertices rebuild their
+    # dependency from scratch, fringe vertices start from their old value.
+    buckets: Dict[int, List[Vertex]] = {
+        level: list(vertices) for level, vertices in plan.level_queues.items()
+    }
+    new_delta: Dict[Vertex, float] = {vertex: 0.0 for vertex in affected}
+
+    def touch(vertex: Vertex) -> None:
+        """Start tracking a fringe vertex (ancestor of the affected region)."""
+        if vertex in new_delta:
+            return
+        new_delta[vertex] = old_delta.get(vertex, 0.0)
+        level = dist_new(vertex)
+        if level is not None:
+            buckets.setdefault(level, []).append(vertex)
+
+    # Removal seeding: the removed edge (high, low) no longer exists, so the
+    # dependency it carried must be subtracted from ``high`` explicitly and
+    # propagated upwards from there (Alg. 2 lines 11-13, Alg. 7 line 16).
+    if plan.removed_edge_dependency is not None and plan.high is not None:
+        touch(plan.high)
+        new_delta[plan.high] -= plan.removed_edge_dependency
+
+    processed: Set[Vertex] = set()
+    max_level = max(buckets) if buckets else 0
+    for level in range(max_level, 0, -1):
+        queue = buckets.get(level)
+        if not queue:
+            continue
+        index = 0
+        while index < len(queue):
+            vertex = queue[index]
+            index += 1
+            if vertex in processed:
+                continue
+            processed.add(vertex)
+
+            w_dist_new = dist_new(vertex)
+            w_dist_old = old_distance.get(vertex)
+            w_sigma_new = sig_new(vertex)
+            w_sigma_old = old_sigma.get(vertex)
+            w_delta_new = new_delta[vertex]
+            w_delta_old = old_delta.get(vertex, 0.0)
+            is_excluded_child = vertex in excluded
+
+            for neighbor in graph.in_neighbors(vertex):
+                n_dist_new = dist_new(neighbor)
+                n_dist_old = old_distance.get(neighbor)
+
+                # New shortest-path DAG edge (neighbor -> vertex).
+                if (
+                    w_dist_new is not None
+                    and n_dist_new is not None
+                    and n_dist_new + 1 == w_dist_new
+                ):
+                    contribution = (
+                        sig_new(neighbor) / w_sigma_new * (1.0 + w_delta_new)
+                    )
+                    touch(neighbor)
+                    new_delta[neighbor] += contribution
+                    key = edge_key(neighbor, vertex)
+                    edge_scores[key] = edge_scores.get(key, 0.0) + contribution
+
+                # Old shortest-path DAG edge (neighbor -> vertex): subtract the
+                # dependency it used to carry (skipping the newly added edge,
+                # which did not exist before the update).
+                if (
+                    w_dist_old is not None
+                    and n_dist_old is not None
+                    and n_dist_old + 1 == w_dist_old
+                    and not (is_excluded_child and neighbor in excluded)
+                ):
+                    old_contribution = (
+                        old_sigma[neighbor] / w_sigma_old * (1.0 + w_delta_old)
+                    )
+                    key = edge_key(neighbor, vertex)
+                    edge_scores[key] = edge_scores.get(key, 0.0) - old_contribution
+                    if neighbor not in affected:
+                        touch(neighbor)
+                        new_delta[neighbor] -= old_contribution
+
+            if vertex != source:
+                vertex_scores[vertex] = (
+                    vertex_scores.get(vertex, 0.0) + w_delta_new - w_delta_old
+                )
+
+    # Disconnected vertices (removal only): their dependency disappears
+    # entirely, as does the dependency carried by every old DAG edge between
+    # them (Algorithm 10).  Edges towards the still-reachable part cannot
+    # exist: a reachable neighbor would make the vertex reachable.
+    for vertex in plan.disconnected:
+        w_dist_old = old_distance.get(vertex)
+        w_sigma_old = old_sigma.get(vertex)
+        w_delta_old = old_delta.get(vertex, 0.0)
+        if vertex != source:
+            vertex_scores[vertex] = vertex_scores.get(vertex, 0.0) - w_delta_old
+        if w_dist_old is None:
+            continue
+        for neighbor in graph.in_neighbors(vertex):
+            n_dist_old = old_distance.get(neighbor)
+            if n_dist_old is not None and n_dist_old + 1 == w_dist_old:
+                old_contribution = (
+                    old_sigma[neighbor] / w_sigma_old * (1.0 + w_delta_old)
+                )
+                key = edge_key(neighbor, vertex)
+                edge_scores[key] = edge_scores.get(key, 0.0) - old_contribution
+
+    return AccumulationResult(
+        new_delta=new_delta, vertices_touched=len(new_delta)
+    )

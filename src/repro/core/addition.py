@@ -1,0 +1,142 @@
+"""Search-phase repair for edge additions (Algorithms 2 and 4 of the paper).
+
+Both routines operate per source ``s`` on the stored betweenness data
+``BD[s]`` and return a :class:`~repro.core.repair.RepairPlan` describing the
+vertices whose distance / shortest-path count changed, which the shared
+dependency-accumulation phase then turns into betweenness corrections.
+
+The graph passed in must already contain the newly added edge.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Set
+
+from repro.algorithms.brandes import SourceData
+from repro.core.repair import RepairPlan
+from repro.graph.graph import Graph
+from repro.types import Vertex
+
+
+def repair_addition_same_level(
+    graph: Graph, data: SourceData, high: Vertex, low: Vertex
+) -> RepairPlan:
+    """Repair after adding ``(high, low)`` when ``d[low] == d[high] + 1``.
+
+    No distances change (Algorithm 2): the new edge only creates additional
+    shortest paths through ``high`` into the sub-DAG rooted at ``low``.  The
+    traversal visits exactly that sub-DAG, updating sigma along the way.
+    """
+    plan = RepairPlan(high=high, low=low)
+    distance = data.distance
+    sigma = data.sigma
+
+    plan.new_sigma[low] = sigma[low] + sigma[high]
+    plan.affected.add(low)
+    plan.enqueue(low, distance[low])
+
+    queue: deque[Vertex] = deque([low])
+    while queue:
+        vertex = queue.popleft()
+        vertex_level = distance[vertex]
+        delta_sigma = plan.new_sigma[vertex] - sigma[vertex]
+        for neighbor in graph.out_neighbors(vertex):
+            if distance.get(neighbor) != vertex_level + 1:
+                continue
+            if neighbor not in plan.affected:
+                plan.new_sigma[neighbor] = sigma[neighbor]
+                plan.affected.add(neighbor)
+                plan.enqueue(neighbor, vertex_level + 1)
+                queue.append(neighbor)
+            plan.new_sigma[neighbor] += delta_sigma
+    return plan
+
+
+def repair_addition_structural(
+    graph: Graph, data: SourceData, high: Vertex, low: Vertex
+) -> RepairPlan:
+    """Repair after adding ``(high, low)`` when ``uL`` rises one or more levels.
+
+    This is Algorithm 4 of the paper: distances in the sub-DAG reachable from
+    ``low`` may shrink, new shortest paths appear and old ones disappear.
+    The repair is a level-ordered (bucketed) traversal rooted at ``low``:
+
+    * ``low`` is pulled up to ``d[high] + 1``;
+    * every vertex whose distance shrinks is settled in increasing order of
+      its *new* distance, so its predecessors are final when its sigma is
+      recomputed by scanning in-neighbors;
+    * every vertex that keeps its distance but is adjacent (one level below)
+      to a settled vertex is also re-processed, because its sigma changes.
+
+    The previously-disconnected case (``low`` unreachable before the update)
+    needs no special handling: unreachable vertices simply have no stored
+    distance and are settled as the traversal reaches them.
+    """
+    plan = RepairPlan(high=high, low=low)
+    old_distance = data.distance
+    old_sigma = data.sigma
+
+    new_distance = plan.new_distance
+    new_sigma = plan.new_sigma
+
+    def current_distance(vertex: Vertex) -> int:
+        found = new_distance.get(vertex)
+        if found is not None:
+            return found
+        return old_distance.get(vertex)
+
+    start_level = old_distance[high] + 1
+    new_distance[low] = start_level
+
+    buckets: Dict[int, List[Vertex]] = {start_level: [low]}
+    scheduled: Set[Vertex] = {low}
+    level = start_level
+    max_level = start_level
+    while level <= max_level:
+        queue = buckets.get(level, [])
+        index = 0
+        while index < len(queue):
+            vertex = queue[index]
+            index += 1
+            if vertex in plan.affected:
+                continue
+            if current_distance(vertex) != level:
+                # Stale bucket entry: the vertex was settled at a smaller
+                # distance by an earlier level.
+                continue
+            plan.affected.add(vertex)
+            plan.enqueue(vertex, level)
+
+            # Recompute sigma from scratch by scanning predecessors at the
+            # new level - 1 (they are already final: smaller levels have been
+            # fully processed).
+            total = 0
+            for neighbor in graph.in_neighbors(vertex):
+                neighbor_distance = current_distance(neighbor)
+                if neighbor_distance is not None and neighbor_distance + 1 == level:
+                    total += new_sigma.get(neighbor, old_sigma.get(neighbor, 0))
+            new_sigma[vertex] = total
+
+            # Relax out-neighbors: either their distance shrinks, or they sit
+            # exactly one level below and their sigma changes.
+            for neighbor in graph.out_neighbors(vertex):
+                neighbor_distance = current_distance(neighbor)
+                if neighbor_distance is None or neighbor_distance > level + 1:
+                    new_distance[neighbor] = level + 1
+                    buckets.setdefault(level + 1, []).append(neighbor)
+                    scheduled.add(neighbor)
+                    max_level = max(max_level, level + 1)
+                elif neighbor_distance == level + 1 and neighbor not in plan.affected:
+                    if neighbor not in scheduled:
+                        buckets.setdefault(level + 1, []).append(neighbor)
+                        scheduled.add(neighbor)
+                        max_level = max(max_level, level + 1)
+        level += 1
+
+    # Distances that did not actually change must not be reported as changed
+    # (keeps the accumulation's old/new DAG tests exact).
+    for vertex in list(new_distance):
+        if old_distance.get(vertex) == new_distance[vertex]:
+            del new_distance[vertex]
+    return plan

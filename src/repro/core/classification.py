@@ -1,0 +1,122 @@
+"""Per-source classification of an edge update.
+
+For a given source ``s``, the work required by an update to edge ``(u1, u2)``
+depends on the difference ``dd = d(s, uL) - d(s, uH)`` between the distances
+of the two endpoints (Section 3.1 of the paper), where ``uH`` is the endpoint
+closer to the source and ``uL`` the farther one:
+
+* ``dd == 0`` (or both endpoints unreachable): the edge lies on no shortest
+  path from ``s`` (Proposition 3.1), so the source is skipped entirely;
+* addition with ``dd == 1``: no structural change, only path counts and
+  dependencies must be repaired (Algorithm 2);
+* addition with ``dd > 1`` (including a previously unreachable ``uL``):
+  structural change — distances shrink in the sub-DAG under ``uL``
+  (Algorithm 4);
+* removal with ``dd == 1`` where ``uL`` keeps another predecessor: no
+  structural change (Algorithm 2, deletion flavour);
+* removal where ``uL`` loses its last predecessor: structural change repaired
+  through pivots (Algorithms 6-9), possibly disconnecting a component
+  (Algorithm 10).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.algorithms.brandes import SourceData
+from repro.core.updates import EdgeUpdate
+from repro.graph.graph import Graph
+from repro.types import Vertex
+
+
+class UpdateCase(enum.Enum):
+    """The per-source update cases of Section 3.1."""
+
+    SKIP = "skip"
+    ADD_NO_STRUCTURE = "add_no_structure"
+    ADD_STRUCTURAL = "add_structural"
+    REMOVE_NO_STRUCTURE = "remove_no_structure"
+    REMOVE_STRUCTURAL = "remove_structural"
+
+
+@dataclass(frozen=True)
+class SourceClassification:
+    """Outcome of classifying one update for one source.
+
+    ``high`` (``uH``) is the endpoint closer to the source and ``low``
+    (``uL``) the farther one; both are ``None`` for skipped sources where the
+    distinction is irrelevant.  ``distance_difference`` is ``dd``; ``None``
+    encodes "``uL`` unreachable" (infinite difference).
+    """
+
+    case: UpdateCase
+    high: Optional[Vertex] = None
+    low: Optional[Vertex] = None
+    distance_difference: Optional[int] = None
+
+
+def classify(
+    graph: Graph, data: SourceData, update: EdgeUpdate
+) -> SourceClassification:
+    """Classify ``update`` for the source whose betweenness data is ``data``.
+
+    ``graph`` must already reflect the update (edge added or removed), since
+    the removal case needs to inspect the *remaining* predecessors of ``uL``.
+    """
+    u, v = update.endpoints
+    du = data.distance.get(u)
+    dv = data.distance.get(v)
+
+    # Both endpoints unreachable: the update can neither create nor destroy
+    # any shortest path from this source.
+    if du is None and dv is None:
+        return SourceClassification(UpdateCase.SKIP)
+
+    # Order the endpoints: uH is closer to the source (unreachable counts as
+    # infinitely far).
+    if dv is None or (du is not None and du <= dv):
+        high, low, d_high, d_low = u, v, du, dv
+    else:
+        high, low, d_high, d_low = v, u, dv, du
+
+    if update.is_addition:
+        if d_low is None:
+            # uL previously unreachable: structural change, distances appear.
+            return SourceClassification(
+                UpdateCase.ADD_STRUCTURAL, high, low, None
+            )
+        dd = d_low - d_high
+        if dd == 0:
+            return SourceClassification(UpdateCase.SKIP, high, low, 0)
+        if dd == 1:
+            return SourceClassification(UpdateCase.ADD_NO_STRUCTURE, high, low, 1)
+        return SourceClassification(UpdateCase.ADD_STRUCTURAL, high, low, dd)
+
+    # Removal: the two endpoints were adjacent, so if one is reachable the
+    # other is too and their distances differ by at most one.
+    if d_low is None or d_high is None:
+        return SourceClassification(UpdateCase.SKIP)
+    dd = d_low - d_high
+    if dd == 0:
+        # Proposition 3.1: no shortest path used the removed edge.
+        return SourceClassification(UpdateCase.SKIP, high, low, 0)
+    if _has_other_predecessor(graph, data, low):
+        return SourceClassification(UpdateCase.REMOVE_NO_STRUCTURE, high, low, dd)
+    return SourceClassification(UpdateCase.REMOVE_STRUCTURAL, high, low, dd)
+
+
+def _has_other_predecessor(graph: Graph, data: SourceData, low: Vertex) -> bool:
+    """Does ``low`` still have a shortest-path predecessor after the removal?
+
+    Predecessors are identified by distance level (the paper's
+    predecessor-free convention): any remaining neighbor one level closer to
+    the source.  The removed edge is already absent from ``graph``, so the
+    scan naturally excludes it.
+    """
+    target_level = data.distance[low] - 1
+    for neighbor in graph.in_neighbors(low):
+        if data.distance.get(neighbor) == target_level:
+            return True
+    return False

@@ -1,0 +1,265 @@
+"""Public facade of the incremental betweenness framework (Figure 1).
+
+:class:`IncrementalBetweenness` glues the pieces together:
+
+* **Step 1** — run the modified Brandes algorithm once on the initial graph,
+  keeping vertex and edge betweenness and storing the per-source data
+  ``BD[s]`` in a pluggable :class:`~repro.storage.base.BDStore` (in memory or
+  out of core);
+* **Step 2** — for every edge addition or removal in the update stream,
+  sweep over the sources: peek at the two endpoint distances to skip sources
+  the update cannot affect (Proposition 3.1), repair the others with the
+  per-source incremental algorithms, and fold the corrections into the
+  global vertex/edge betweenness scores.
+
+A framework instance can also be restricted to a subset of sources, in which
+case it maintains *partial* betweenness scores — exactly what one mapper of
+the parallel embodiment (Section 5.4) owns; the reducer then sums partial
+scores across instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.algorithms.brandes import brandes_betweenness
+from repro.core.result import UpdateResult
+from repro.core.source_update import update_source
+from repro.core.updates import EdgeUpdate, UpdateKind
+from repro.exceptions import DirectedGraphUnsupportedError, UpdateError
+from repro.graph.graph import Graph
+from repro.storage.base import BDStore
+from repro.storage.memory import InMemoryBDStore
+from repro.types import Edge, EdgeScores, Vertex, VertexScores, canonical_edge
+from repro.utils.timing import Timer
+
+
+class IncrementalBetweenness:
+    """Maintain vertex and edge betweenness under edge additions and removals.
+
+    Parameters
+    ----------
+    graph:
+        The initial graph.  The framework keeps its own copy; callers apply
+        subsequent changes through :meth:`add_edge` / :meth:`remove_edge` /
+        :meth:`apply` so that the internal data structures stay consistent.
+    store:
+        Backend holding the per-source data.  Defaults to an in-memory store
+        (the "MO" configuration); pass a
+        :class:`~repro.storage.disk.DiskBDStore` for the out-of-core "DO"
+        configuration.
+    sources:
+        Optional subset of sources this instance is responsible for.  When
+        given, the maintained scores are partial (summing the scores of a
+        set of instances whose source sets partition the vertex set yields
+        the exact scores).  New vertices arriving in the stream are adopted
+        as new sources only by unrestricted instances; restricted instances
+        adopt them through :meth:`add_source`, letting the parallel driver
+        decide the owner.
+    maintain_predecessors:
+        Also keep per-source predecessor lists up to date, reproducing the
+        memory and maintenance cost of the paper's "MP" configuration.  The
+        incremental repairs never need the lists (that is the point of the
+        memory optimisation of Section 3), so this switch exists purely for
+        the MP-vs-MO comparison of Figure 5 and for ablation experiments.
+
+    Examples
+    --------
+    >>> from repro.graph import Graph
+    >>> g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+    >>> ibc = IncrementalBetweenness(g)
+    >>> ibc.add_edge(0, 3)
+    UpdateResult(...)
+    >>> round(ibc.vertex_score(1), 6)
+    2.0
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        store: Optional[BDStore] = None,
+        sources: Optional[Sequence[Vertex]] = None,
+        maintain_predecessors: bool = False,
+    ) -> None:
+        if graph.directed:
+            raise DirectedGraphUnsupportedError(
+                "the incremental framework supports undirected graphs; "
+                "use repro.algorithms.brandes_betweenness for directed graphs"
+            )
+        self._graph = graph.copy()
+        self._store: BDStore = store if store is not None else InMemoryBDStore()
+        self._restricted = sources is not None
+        self._maintain_predecessors = maintain_predecessors
+        self._predecessors: Dict[Vertex, Dict[Vertex, set]] = {}
+        source_list = list(sources) if sources is not None else self._graph.vertex_list()
+
+        self._vertex_scores: VertexScores = {v: 0.0 for v in self._graph.vertices()}
+        self._edge_scores: EdgeScores = {
+            self._edge_key(u, v): 0.0 for u, v in self._graph.edges()
+        }
+        self._initialize(source_list)
+
+    # ------------------------------------------------------------------ #
+    # Step 1: offline bootstrap
+    # ------------------------------------------------------------------ #
+    def _initialize(self, sources: Sequence[Vertex]) -> None:
+        result = brandes_betweenness(
+            self._graph,
+            sources=sources,
+            keep_predecessors=False,
+            collect_source_data=True,
+        )
+        self._vertex_scores = result.vertex_scores
+        self._edge_scores = result.edge_scores
+        for source, data in result.source_data.items():
+            self._store.put(data)
+            if self._maintain_predecessors:
+                self._predecessors[source] = self._build_predecessors(data)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> Graph:
+        """The framework's current view of the graph (do not mutate directly)."""
+        return self._graph
+
+    @property
+    def store(self) -> BDStore:
+        """The backing betweenness-data store."""
+        return self._store
+
+    @property
+    def num_sources(self) -> int:
+        """Number of sources this instance maintains."""
+        return len(self._store)
+
+    def vertex_betweenness(self) -> VertexScores:
+        """Copy of the current vertex betweenness scores."""
+        return dict(self._vertex_scores)
+
+    def edge_betweenness(self) -> EdgeScores:
+        """Copy of the current edge betweenness scores."""
+        return dict(self._edge_scores)
+
+    def vertex_score(self, vertex: Vertex) -> float:
+        """Current betweenness of ``vertex``."""
+        return self._vertex_scores[vertex]
+
+    def edge_score(self, u: Vertex, v: Vertex) -> float:
+        """Current betweenness of the edge ``(u, v)``."""
+        return self._edge_scores[self._edge_key(u, v)]
+
+    # ------------------------------------------------------------------ #
+    # Step 2: online updates
+    # ------------------------------------------------------------------ #
+    def add_edge(self, u: Vertex, v: Vertex) -> UpdateResult:
+        """Add the edge ``(u, v)`` and update all betweenness scores."""
+        return self.apply(EdgeUpdate.addition(u, v))
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> UpdateResult:
+        """Remove the edge ``(u, v)`` and update all betweenness scores."""
+        return self.apply(EdgeUpdate.removal(u, v))
+
+    def apply(self, update: EdgeUpdate) -> UpdateResult:
+        """Apply a single edge update (Step 2 of the framework)."""
+        timer = Timer()
+        with timer.measure():
+            result = self._apply(update)
+        result.elapsed_seconds = timer.total
+        return result
+
+    def process_stream(self, updates: Iterable[EdgeUpdate]) -> List[UpdateResult]:
+        """Apply a whole update stream, returning one result per update."""
+        return [self.apply(update) for update in updates]
+
+    def add_source(self, vertex: Vertex) -> None:
+        """Adopt ``vertex`` as a source maintained by this (partial) instance."""
+        if not self._graph.has_vertex(vertex):
+            self._graph.add_vertex(vertex)
+        self._vertex_scores.setdefault(vertex, 0.0)
+        if vertex not in self._store:
+            self._store.add_source(vertex)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _edge_key(self, u: Vertex, v: Vertex) -> Edge:
+        return canonical_edge(u, v)
+
+    def _build_predecessors(self, data) -> Dict[Vertex, set]:
+        """Predecessor lists of one source, derived from its distances."""
+        lists: Dict[Vertex, set] = {}
+        for vertex, level in data.distance.items():
+            lists[vertex] = {
+                neighbor
+                for neighbor in self._graph.in_neighbors(vertex)
+                if data.distance.get(neighbor) == level - 1
+            }
+        return lists
+
+    def _apply(self, update: EdgeUpdate) -> UpdateResult:
+        u, v = update.endpoints
+        if update.kind is UpdateKind.ADDITION:
+            self._apply_graph_addition(u, v)
+        elif update.kind is UpdateKind.REMOVAL:
+            self._apply_graph_removal(u, v)
+        else:  # pragma: no cover - defensive, enum is closed
+            raise UpdateError(f"unknown update kind {update.kind!r}")
+
+        result = UpdateResult(update=update)
+        for source in self._store.sources():
+            if self._can_skip(source, u, v):
+                data = None
+            else:
+                data = self._store.get(source)
+            if data is None:
+                from repro.core.classification import UpdateCase
+                from repro.core.result import SourceUpdateStats
+
+                result.record(SourceUpdateStats(case=UpdateCase.SKIP))
+                continue
+            stats = update_source(
+                self._graph,
+                data,
+                update,
+                self._vertex_scores,
+                self._edge_scores,
+                self._edge_key,
+                predecessors=(
+                    self._predecessors.setdefault(source, {})
+                    if self._maintain_predecessors
+                    else None
+                ),
+            )
+            result.record(stats)
+            self._store.put(data)
+
+        if update.kind is UpdateKind.REMOVAL:
+            self._edge_scores.pop(self._edge_key(u, v), None)
+        return result
+
+    def _can_skip(self, source: Vertex, u: Vertex, v: Vertex) -> bool:
+        """Cheap pre-check of Proposition 3.1 using only two stored distances."""
+        du, dv = self._store.endpoint_distances(source, u, v)
+        if du is None and dv is None:
+            return True
+        return du is not None and dv is not None and du == dv
+
+    def _apply_graph_addition(self, u: Vertex, v: Vertex) -> None:
+        if u == v:
+            raise UpdateError("self loops are not supported")
+        if self._graph.has_edge(u, v):
+            raise UpdateError(f"edge ({u!r}, {v!r}) is already in the graph")
+        new_vertices = [w for w in (u, v) if not self._graph.has_vertex(w)]
+        self._graph.add_edge(u, v)
+        self._edge_scores[self._edge_key(u, v)] = 0.0
+        for vertex in new_vertices:
+            self._vertex_scores.setdefault(vertex, 0.0)
+            if not self._restricted:
+                self._store.add_source(vertex)
+
+    def _apply_graph_removal(self, u: Vertex, v: Vertex) -> None:
+        if not self._graph.has_edge(u, v):
+            raise UpdateError(f"edge ({u!r}, {v!r}) is not in the graph")
+        self._graph.remove_edge(u, v)

@@ -1,0 +1,257 @@
+"""Search-phase repair for edge removals (Algorithms 2, 6-10 of the paper).
+
+Removal is the harder direction: when ``uL`` loses its last shortest-path
+predecessor, part of the sub-DAG below it drops one or more levels, and the
+new distances cannot be discovered from ``uL`` alone — they must be seeded
+from *pivots*, vertices that keep their distance but have neighbors that do
+not (Definition 3.2).  When no pivot exists the sub-DAG becomes disconnected
+from the source (Algorithm 10).
+
+All routines operate per source on the stored ``BD[s]`` and return a
+:class:`~repro.core.repair.RepairPlan`.  The graph passed in must already
+have the edge removed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set
+
+from repro.algorithms.brandes import SourceData
+from repro.core.repair import RepairPlan
+from repro.graph.graph import Graph
+from repro.types import Vertex
+
+
+def _removed_edge_dependency(data: SourceData, high: Vertex, low: Vertex) -> float:
+    """Old dependency carried by the removed shortest-path edge ``(high, low)``.
+
+    This is the term ``sigma[uH]/sigma[uL] * (1 + delta[uL])`` that
+    Algorithms 2, 7, 9 and 10 subtract from ``delta[uH]`` before backtracking,
+    because the edge no longer exists and would otherwise never be visited.
+    """
+    return data.sigma[high] / data.sigma[low] * (1.0 + data.delta.get(low, 0.0))
+
+
+def repair_removal_same_level(
+    graph: Graph, data: SourceData, high: Vertex, low: Vertex
+) -> RepairPlan:
+    """Repair after removing ``(high, low)`` when ``low`` keeps its level.
+
+    ``low`` still has at least one other predecessor, so no distance changes
+    (Algorithm 2, deletion flavour): the shortest paths that used the removed
+    edge are subtracted from the sub-DAG rooted at ``low``.
+    """
+    plan = RepairPlan(high=high, low=low)
+    distance = data.distance
+    sigma = data.sigma
+
+    plan.removed_edge_dependency = _removed_edge_dependency(data, high, low)
+    plan.new_sigma[low] = sigma[low] - sigma[high]
+    plan.affected.add(low)
+    plan.enqueue(low, distance[low])
+
+    queue: deque[Vertex] = deque([low])
+    while queue:
+        vertex = queue.popleft()
+        vertex_level = distance[vertex]
+        delta_sigma = plan.new_sigma[vertex] - sigma[vertex]
+        for neighbor in graph.out_neighbors(vertex):
+            if distance.get(neighbor) != vertex_level + 1:
+                continue
+            if neighbor not in plan.affected:
+                plan.new_sigma[neighbor] = sigma[neighbor]
+                plan.affected.add(neighbor)
+                plan.enqueue(neighbor, vertex_level + 1)
+                queue.append(neighbor)
+            plan.new_sigma[neighbor] += delta_sigma
+    return plan
+
+
+def find_drop_set(graph: Graph, data: SourceData, low: Vertex) -> Set[Vertex]:
+    """Vertices whose distance from the source increases after the removal.
+
+    A vertex drops if and only if *all* of its shortest-path predecessors
+    drop (``low`` itself drops by assumption: it just lost its last
+    predecessor).  Candidates are explored in increasing old distance so that
+    every predecessor's fate is decided before the vertex is examined; this
+    mirrors the pivot-finding BFS of Algorithm 6, with the complement of the
+    drop set adjacent to it forming the pivots.
+    """
+    distance = data.distance
+    drop: Set[Vertex] = {low}
+    decided: Set[Vertex] = {low}
+
+    buckets: Dict[int, List[Vertex]] = {}
+
+    def schedule_children(vertex: Vertex) -> None:
+        vertex_level = distance[vertex]
+        for child in graph.out_neighbors(vertex):
+            if distance.get(child) == vertex_level + 1 and child not in decided:
+                buckets.setdefault(vertex_level + 1, []).append(child)
+
+    schedule_children(low)
+    if not buckets:
+        return drop
+    level = min(buckets)
+    max_level = max(buckets)
+    while level <= max_level:
+        queue = buckets.get(level, [])
+        index = 0
+        while index < len(queue):
+            vertex = queue[index]
+            index += 1
+            if vertex in decided:
+                continue
+            decided.add(vertex)
+            parent_level = distance[vertex] - 1
+            all_parents_drop = True
+            for parent in graph.in_neighbors(vertex):
+                if distance.get(parent) == parent_level and parent not in drop:
+                    all_parents_drop = False
+                    break
+            if all_parents_drop:
+                drop.add(vertex)
+                schedule_children(vertex)
+                max_level = max(max_level, level + 1)
+        level += 1
+    return drop
+
+
+def repair_removal_structural(
+    graph: Graph, data: SourceData, high: Vertex, low: Vertex
+) -> RepairPlan:
+    """Repair after removing ``(high, low)`` when ``low`` loses its last predecessor.
+
+    Three stages (Algorithms 6-7, with Algorithm 10 folded in for the
+    disconnected part):
+
+    1. find the drop set (vertices whose distance increases) and, implicitly,
+       the pivots at its boundary;
+    2. recompute the new distances of dropped vertices with a multi-source
+       level-ordered traversal seeded from the pivots; dropped vertices that
+       are never reached became disconnected from the source;
+    3. recompute the shortest-path counts of every affected vertex (dropped
+       vertices plus vertices that lost a dropped predecessor and their
+       descendants) in increasing order of new distance.
+    """
+    plan = RepairPlan(high=high, low=low)
+    old_distance = data.distance
+    old_sigma = data.sigma
+    plan.removed_edge_dependency = _removed_edge_dependency(data, high, low)
+
+    drop = find_drop_set(graph, data, low)
+
+    # ------------------------------------------------------------------ #
+    # Stage 2: new distances for dropped vertices, seeded from pivots.
+    # ------------------------------------------------------------------ #
+    new_distance = plan.new_distance
+    tentative: Dict[Vertex, int] = {}
+    buckets: Dict[int, List[Vertex]] = {}
+    for vertex in drop:
+        best: Optional[int] = None
+        for neighbor in graph.in_neighbors(vertex):
+            if neighbor in drop:
+                continue
+            neighbor_distance = old_distance.get(neighbor)
+            if neighbor_distance is None:
+                continue
+            if best is None or neighbor_distance + 1 < best:
+                best = neighbor_distance + 1
+        if best is not None:
+            tentative[vertex] = best
+            buckets.setdefault(best, []).append(vertex)
+
+    settled: Set[Vertex] = set()
+    if buckets:
+        level = min(buckets)
+        max_level = max(buckets)
+        while level <= max_level:
+            queue = buckets.get(level, [])
+            index = 0
+            while index < len(queue):
+                vertex = queue[index]
+                index += 1
+                if vertex in settled or tentative.get(vertex) != level:
+                    continue
+                settled.add(vertex)
+                new_distance[vertex] = level
+                for neighbor in graph.out_neighbors(vertex):
+                    if neighbor not in drop or neighbor in settled:
+                        continue
+                    proposal = level + 1
+                    current = tentative.get(neighbor)
+                    if current is None or proposal < current:
+                        tentative[neighbor] = proposal
+                        buckets.setdefault(proposal, []).append(neighbor)
+                        max_level = max(max_level, proposal)
+            level += 1
+
+    plan.disconnected = [vertex for vertex in drop if vertex not in settled]
+    disconnected_set = set(plan.disconnected)
+
+    # ------------------------------------------------------------------ #
+    # Stage 3: sigma repair over the affected region, by new distance.
+    # ------------------------------------------------------------------ #
+    def current_distance(vertex: Vertex) -> Optional[int]:
+        if vertex in disconnected_set:
+            return None
+        found = new_distance.get(vertex)
+        if found is not None:
+            return found
+        return old_distance.get(vertex)
+
+    new_sigma = plan.new_sigma
+    sigma_buckets: Dict[int, List[Vertex]] = {}
+    scheduled: Set[Vertex] = set()
+
+    def schedule(vertex: Vertex) -> None:
+        if vertex in scheduled or vertex in disconnected_set:
+            return
+        vertex_distance = current_distance(vertex)
+        if vertex_distance is None:
+            return
+        scheduled.add(vertex)
+        sigma_buckets.setdefault(vertex_distance, []).append(vertex)
+
+    # Seeds: every reachable dropped vertex, plus every surviving vertex that
+    # lost a dropped predecessor (its shortest-path count shrinks).
+    for vertex in drop:
+        schedule(vertex)
+    for vertex in drop:
+        vertex_level = old_distance[vertex]
+        for child in graph.out_neighbors(vertex):
+            if child in drop:
+                continue
+            if old_distance.get(child) == vertex_level + 1:
+                schedule(child)
+
+    if sigma_buckets:
+        level = min(sigma_buckets)
+        max_level = max(sigma_buckets)
+        while level <= max_level:
+            queue = sigma_buckets.get(level, [])
+            index = 0
+            while index < len(queue):
+                vertex = queue[index]
+                index += 1
+                if vertex in plan.affected:
+                    continue
+                plan.affected.add(vertex)
+                plan.enqueue(vertex, level)
+                total = 0
+                for neighbor in graph.in_neighbors(vertex):
+                    neighbor_distance = current_distance(neighbor)
+                    if neighbor_distance is not None and neighbor_distance + 1 == level:
+                        total += new_sigma.get(neighbor, old_sigma.get(neighbor, 0))
+                new_sigma[vertex] = total
+                for child in graph.out_neighbors(vertex):
+                    child_distance = current_distance(child)
+                    if child_distance is not None and child_distance == level + 1:
+                        if child not in scheduled:
+                            scheduled.add(child)
+                            sigma_buckets.setdefault(level + 1, []).append(child)
+                            max_level = max(max_level, level + 1)
+            level += 1
+
+    return plan

@@ -1,0 +1,76 @@
+"""Result and statistics objects returned by the incremental framework."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.classification import UpdateCase
+from repro.core.updates import EdgeUpdate
+
+
+@dataclass
+class SourceUpdateStats:
+    """Work accounting for one (source, update) pair.
+
+    The experiment harness aggregates these to explain speedups: sources
+    classified as ``SKIP`` cost almost nothing (with the out-of-core store
+    only two distances are read), while structural changes touch larger
+    portions of the shortest-path DAG.
+    """
+
+    case: UpdateCase
+    affected_vertices: int = 0
+    touched_vertices: int = 0
+    disconnected_vertices: int = 0
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of applying one edge update to the whole framework.
+
+    Attributes
+    ----------
+    update:
+        The edge update that was applied.
+    case_counts:
+        How many sources fell into each :class:`UpdateCase`.
+    sources_processed:
+        Total number of sources examined (equals the number of vertices).
+    sources_skipped:
+        Sources for which the update required no work (``dd == 0`` or both
+        endpoints unreachable).
+    affected_vertices:
+        Total number of sigma-affected vertices summed over sources.
+    touched_vertices:
+        Total number of vertices whose dependency was adjusted, summed over
+        sources.
+    elapsed_seconds:
+        Wall-clock time spent applying the update (None when not timed).
+    """
+
+    update: EdgeUpdate
+    case_counts: Dict[UpdateCase, int] = field(default_factory=dict)
+    sources_processed: int = 0
+    sources_skipped: int = 0
+    affected_vertices: int = 0
+    touched_vertices: int = 0
+    disconnected_vertices: int = 0
+    elapsed_seconds: Optional[float] = None
+
+    def record(self, stats: SourceUpdateStats) -> None:
+        """Fold the statistics of one source into this result."""
+        self.sources_processed += 1
+        self.case_counts[stats.case] = self.case_counts.get(stats.case, 0) + 1
+        if stats.case is UpdateCase.SKIP:
+            self.sources_skipped += 1
+        self.affected_vertices += stats.affected_vertices
+        self.touched_vertices += stats.touched_vertices
+        self.disconnected_vertices += stats.disconnected_vertices
+
+    @property
+    def skip_fraction(self) -> float:
+        """Fraction of sources skipped (0.0 when nothing was processed)."""
+        if self.sources_processed == 0:
+            return 0.0
+        return self.sources_skipped / self.sources_processed

@@ -1,0 +1,144 @@
+"""Per-source orchestration of an incremental update (Algorithm 1).
+
+For a single source ``s``, :func:`update_source` classifies the edge update,
+runs the appropriate search-phase repair, runs the shared dependency
+accumulation, folds the corrections into the global scores and finally
+writes the repaired ``BD[s]`` back into the provided
+:class:`~repro.algorithms.brandes.SourceData` (Step 2.2 of Figure 1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.algorithms.brandes import SourceData
+from repro.core.accumulation import accumulate_dependencies
+from repro.core.addition import (
+    repair_addition_same_level,
+    repair_addition_structural,
+)
+from repro.core.classification import UpdateCase, classify
+from repro.core.removal import (
+    repair_removal_same_level,
+    repair_removal_structural,
+)
+from repro.core.repair import RepairPlan
+from repro.core.result import SourceUpdateStats
+from repro.core.updates import EdgeUpdate
+from repro.graph.graph import Graph
+from repro.types import Edge, EdgeScores, Vertex, VertexScores
+
+
+def update_source(
+    graph: Graph,
+    data: SourceData,
+    update: EdgeUpdate,
+    vertex_scores: VertexScores,
+    edge_scores: EdgeScores,
+    edge_key: Callable[[Vertex, Vertex], Edge],
+    predecessors: Optional[Dict[Vertex, Set[Vertex]]] = None,
+) -> SourceUpdateStats:
+    """Apply ``update`` to the betweenness data of a single source.
+
+    ``graph`` must already reflect the update.  ``data`` is mutated in place
+    into the post-update ``BD[s]``; the global ``vertex_scores`` and
+    ``edge_scores`` receive this source's corrections.
+
+    ``predecessors``, when given, is this source's predecessor-list structure
+    (vertex -> set of shortest-path predecessors) and is refreshed for the
+    vertices whose lists may have changed.  The paper's "MP" configuration
+    pays exactly this maintenance cost; the default "MO" configuration does
+    not keep the structure at all (Section 3, memory optimisation).
+    """
+    classification = classify(graph, data, update)
+    case = classification.case
+    if case is UpdateCase.SKIP:
+        return SourceUpdateStats(case=case)
+
+    high = classification.high
+    low = classification.low
+
+    plan: RepairPlan
+    excluded_old_edge: Optional[Tuple[Vertex, Vertex]] = None
+    if case is UpdateCase.ADD_NO_STRUCTURE:
+        plan = repair_addition_same_level(graph, data, high, low)
+        excluded_old_edge = (high, low)
+    elif case is UpdateCase.ADD_STRUCTURAL:
+        plan = repair_addition_structural(graph, data, high, low)
+        excluded_old_edge = (high, low)
+    elif case is UpdateCase.REMOVE_NO_STRUCTURE:
+        plan = repair_removal_same_level(graph, data, high, low)
+    else:  # UpdateCase.REMOVE_STRUCTURAL
+        plan = repair_removal_structural(graph, data, high, low)
+
+    accumulation = accumulate_dependencies(
+        graph=graph,
+        source=data.source,
+        data=data,
+        plan=plan,
+        vertex_scores=vertex_scores,
+        edge_scores=edge_scores,
+        edge_key=edge_key,
+        excluded_old_edge=excluded_old_edge,
+    )
+
+    _write_back(data, plan, accumulation.new_delta)
+    if predecessors is not None:
+        _refresh_predecessors(graph, data, plan, predecessors)
+
+    return SourceUpdateStats(
+        case=case,
+        affected_vertices=plan.num_affected,
+        touched_vertices=accumulation.vertices_touched,
+        disconnected_vertices=len(plan.disconnected),
+    )
+
+
+def _refresh_predecessors(
+    graph: Graph,
+    data: SourceData,
+    plan: RepairPlan,
+    predecessors: Dict[Vertex, Set[Vertex]],
+) -> None:
+    """Rebuild the predecessor lists invalidated by this update.
+
+    A vertex's predecessor set changes when its own distance changed, when a
+    neighbor's distance changed, or when the updated edge is incident to it
+    (the ``dd == 1`` cases alter a predecessor set without any distance
+    change).  ``data`` already holds the post-update distances.
+    """
+    stale: Set[Vertex] = set()
+    for vertex in plan.new_distance:
+        stale.add(vertex)
+        stale.update(graph.out_neighbors(vertex))
+    for vertex in plan.disconnected:
+        stale.add(vertex)
+        stale.update(graph.out_neighbors(vertex))
+    for endpoint in (plan.high, plan.low):
+        if endpoint is not None and graph.has_vertex(endpoint):
+            stale.add(endpoint)
+
+    for vertex in stale:
+        level = data.distance.get(vertex)
+        if level is None:
+            predecessors.pop(vertex, None)
+            continue
+        predecessors[vertex] = {
+            neighbor
+            for neighbor in graph.in_neighbors(vertex)
+            if data.distance.get(neighbor) == level - 1
+        }
+
+
+def _write_back(data: SourceData, plan: RepairPlan, new_delta) -> None:
+    """Persist the repaired distances, path counts and dependencies in BD[s]."""
+    for vertex, distance in plan.new_distance.items():
+        data.distance[vertex] = distance
+    for vertex, sigma in plan.new_sigma.items():
+        data.sigma[vertex] = sigma
+    for vertex, delta in new_delta.items():
+        data.delta[vertex] = delta
+    for vertex in plan.disconnected:
+        data.distance.pop(vertex, None)
+        data.sigma.pop(vertex, None)
+        data.delta.pop(vertex, None)

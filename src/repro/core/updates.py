@@ -1,0 +1,96 @@
+"""Edge-update stream primitives.
+
+The framework consumes a stream of edge updates (Figure 1, ``ES``): each
+element either adds a new edge or removes an existing one, optionally with
+an arrival timestamp (used by the online experiments of Section 6.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.types import Vertex
+
+
+class UpdateKind(enum.Enum):
+    """Whether a stream element adds or removes an edge."""
+
+    ADDITION = "add"
+    REMOVAL = "remove"
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """A single element of the update stream.
+
+    Attributes
+    ----------
+    kind:
+        :class:`UpdateKind.ADDITION` or :class:`UpdateKind.REMOVAL`.
+    u, v:
+        Endpoints of the edge.
+    timestamp:
+        Optional arrival time (seconds, arbitrary epoch).  Only used by the
+        online-update simulator; the algorithms ignore it.
+    """
+
+    kind: UpdateKind
+    u: Vertex
+    v: Vertex
+    timestamp: Optional[float] = None
+
+    @property
+    def is_addition(self) -> bool:
+        """True when this update adds an edge."""
+        return self.kind is UpdateKind.ADDITION
+
+    @property
+    def is_removal(self) -> bool:
+        """True when this update removes an edge."""
+        return self.kind is UpdateKind.REMOVAL
+
+    @property
+    def endpoints(self) -> Tuple[Vertex, Vertex]:
+        """The ``(u, v)`` pair."""
+        return (self.u, self.v)
+
+    @staticmethod
+    def addition(u: Vertex, v: Vertex, timestamp: Optional[float] = None) -> "EdgeUpdate":
+        """Convenience constructor for an edge addition."""
+        return EdgeUpdate(UpdateKind.ADDITION, u, v, timestamp)
+
+    @staticmethod
+    def removal(u: Vertex, v: Vertex, timestamp: Optional[float] = None) -> "EdgeUpdate":
+        """Convenience constructor for an edge removal."""
+        return EdgeUpdate(UpdateKind.REMOVAL, u, v, timestamp)
+
+
+def additions(edges: Iterable[Tuple[Vertex, Vertex]]) -> List[EdgeUpdate]:
+    """Wrap plain ``(u, v)`` pairs as addition updates."""
+    return [EdgeUpdate.addition(u, v) for u, v in edges]
+
+
+def removals(edges: Iterable[Tuple[Vertex, Vertex]]) -> List[EdgeUpdate]:
+    """Wrap plain ``(u, v)`` pairs as removal updates."""
+    return [EdgeUpdate.removal(u, v) for u, v in edges]
+
+
+def interleave_by_timestamp(*streams: Iterable[EdgeUpdate]) -> Iterator[EdgeUpdate]:
+    """Merge several update streams into one, ordered by timestamp.
+
+    Updates without a timestamp keep their relative position at the end of
+    the merged stream.
+    """
+    timestamped: List[EdgeUpdate] = []
+    untimestamped: List[EdgeUpdate] = []
+    for stream in streams:
+        for update in stream:
+            if update.timestamp is None:
+                untimestamped.append(update)
+            else:
+                timestamped.append(update)
+    timestamped.sort(key=lambda item: item.timestamp)
+    yield from timestamped
+    yield from untimestamped

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class when they do not care about the specific
+failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors related to the graph substrate."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """A vertex referenced by an operation does not exist in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge referenced by an operation does not exist in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class EdgeExistsError(GraphError, ValueError):
+    """An edge being added is already present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is already in the graph")
+        self.u = u
+        self.v = v
+
+
+class SelfLoopError(GraphError, ValueError):
+    """Self loops are not supported by the betweenness framework."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"self loop on vertex {vertex!r} is not supported")
+        self.vertex = vertex
+
+
+class DirectedGraphUnsupportedError(ReproError, ValueError):
+    """Raised by components that only operate on undirected graphs."""
+
+
+class StorageError(ReproError):
+    """Base class for errors in the out-of-core storage layer."""
+
+
+class StoreClosedError(StorageError, RuntimeError):
+    """An operation was attempted on a closed betweenness-data store."""
+
+
+class StoreCorruptedError(StorageError, ValueError):
+    """On-disk betweenness data does not match the expected layout."""
+
+
+class PartitionError(ReproError, ValueError):
+    """Invalid partitioning of the source set across workers."""
+
+
+class UpdateError(ReproError, ValueError):
+    """An edge update in the stream cannot be applied to the current graph."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Invalid configuration of an experiment or framework component."""

@@ -1,0 +1,66 @@
+"""Graph and workload generators.
+
+The paper evaluates on (a) synthetic graphs produced by a measurement-
+calibrated social-graph generator and (b) real evolving graphs from the
+KONECT collection.  This package provides:
+
+* classic random-graph models (Erdős–Rényi, Barabási–Albert,
+  Watts–Strogatz, power-law cluster) used for unit tests and ablations;
+* :func:`synthetic_social_graph`, a power-law + triadic-closure generator
+  standing in for the Sala et al. generator of the paper (heavy-tailed
+  degrees, average degree ≈ 11.8, clustering ≈ 0.2);
+* update-stream generators mirroring Section 6 ("Graph updates"): random
+  unconnected pairs for additions, random existing edges for removals, and
+  timestamped replay of the most recent edges;
+* scaled-down stand-ins for the six real datasets of Table 2.
+"""
+
+from repro.generators.random_graphs import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    powerlaw_cluster_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+from repro.generators.social import synthetic_social_graph
+from repro.generators.streams import (
+    EvolvingGraph,
+    addition_stream,
+    removal_stream,
+    replay_last_edges,
+    timestamped_addition_stream,
+)
+from repro.generators.datasets import (
+    DATASET_SPECS,
+    DatasetSpec,
+    available_datasets,
+    load_dataset,
+    synthetic_suite,
+)
+
+__all__ = [
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "powerlaw_cluster_graph",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "grid_graph",
+    "synthetic_social_graph",
+    "EvolvingGraph",
+    "addition_stream",
+    "removal_stream",
+    "replay_last_edges",
+    "timestamped_addition_stream",
+    "DatasetSpec",
+    "DATASET_SPECS",
+    "available_datasets",
+    "load_dataset",
+    "synthetic_suite",
+]

@@ -1,0 +1,199 @@
+"""Classic random and deterministic graph models.
+
+These generators are implemented from scratch on top of
+:class:`repro.graph.Graph` (no external graph library) and are used
+throughout the test suite and in the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exceptions import ConfigurationError
+from repro.graph.graph import Graph
+from repro.utils.rng import RandomLike, ensure_rng
+
+
+def complete_graph(n: int) -> Graph:
+    """Complete graph K_n on vertices ``0 .. n-1``."""
+    graph = Graph()
+    for vertex in range(n):
+        graph.add_vertex(vertex)
+    for u in range(n):
+        for v in range(u + 1, n):
+            graph.add_edge(u, v)
+    return graph
+
+
+def path_graph(n: int) -> Graph:
+    """Path graph P_n on vertices ``0 .. n-1``."""
+    graph = Graph()
+    for vertex in range(n):
+        graph.add_vertex(vertex)
+    for u in range(n - 1):
+        graph.add_edge(u, u + 1)
+    return graph
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle graph C_n on vertices ``0 .. n-1`` (requires n >= 3)."""
+    if n < 3:
+        raise ConfigurationError(f"a cycle needs at least 3 vertices, got {n}")
+    graph = path_graph(n)
+    graph.add_edge(n - 1, 0)
+    return graph
+
+
+def star_graph(n: int) -> Graph:
+    """Star graph with center ``0`` and ``n`` leaves ``1 .. n``."""
+    graph = Graph()
+    graph.add_vertex(0)
+    for leaf in range(1, n + 1):
+        graph.add_edge(0, leaf)
+    return graph
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """2D grid graph with ``rows x cols`` vertices labelled ``(r, c)``."""
+    graph = Graph()
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_vertex((r, c))
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                graph.add_edge((r, c), (r + 1, c))
+            if c + 1 < cols:
+                graph.add_edge((r, c), (r, c + 1))
+    return graph
+
+
+def erdos_renyi_graph(n: int, p: float, rng: RandomLike = None) -> Graph:
+    """G(n, p) random graph."""
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"edge probability must be in [0, 1], got {p}")
+    generator = ensure_rng(rng)
+    graph = Graph()
+    for vertex in range(n):
+        graph.add_vertex(vertex)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if generator.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
+def barabasi_albert_graph(n: int, m: int, rng: RandomLike = None) -> Graph:
+    """Barabási–Albert preferential-attachment graph.
+
+    Starts from a star on ``m + 1`` vertices and attaches each new vertex to
+    ``m`` distinct existing vertices chosen proportionally to their degree.
+    """
+    if m < 1 or n < m + 1:
+        raise ConfigurationError(
+            f"need n >= m + 1 and m >= 1, got n={n}, m={m}"
+        )
+    generator = ensure_rng(rng)
+    graph = star_graph(m)
+
+    # Repeated-vertex list implements preferential attachment: each endpoint
+    # appears once per incident edge, so sampling uniformly from it samples
+    # vertices proportionally to degree.
+    repeated: List[int] = []
+    for u, v in graph.edges():
+        repeated.extend((u, v))
+
+    for new_vertex in range(m + 1, n):
+        targets: set = set()
+        while len(targets) < m:
+            targets.add(generator.choice(repeated))
+        graph.add_vertex(new_vertex)
+        for target in targets:
+            graph.add_edge(new_vertex, target)
+            repeated.extend((new_vertex, target))
+    return graph
+
+
+def watts_strogatz_graph(n: int, k: int, beta: float, rng: RandomLike = None) -> Graph:
+    """Watts–Strogatz small-world graph (ring of ``n`` vertices, ``k`` nearest
+    neighbors, rewiring probability ``beta``)."""
+    if k % 2 != 0 or k >= n:
+        raise ConfigurationError(f"k must be even and < n, got k={k}, n={n}")
+    if not 0.0 <= beta <= 1.0:
+        raise ConfigurationError(f"beta must be in [0, 1], got {beta}")
+    generator = ensure_rng(rng)
+    graph = Graph()
+    for vertex in range(n):
+        graph.add_vertex(vertex)
+    for u in range(n):
+        for offset in range(1, k // 2 + 1):
+            v = (u + offset) % n
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+    # Rewire each edge (u, u+offset) with probability beta.
+    for u in range(n):
+        for offset in range(1, k // 2 + 1):
+            v = (u + offset) % n
+            if generator.random() >= beta or not graph.has_edge(u, v):
+                continue
+            candidates = [
+                w for w in range(n) if w != u and not graph.has_edge(u, w)
+            ]
+            if not candidates:
+                continue
+            graph.remove_edge(u, v)
+            graph.add_edge(u, generator.choice(candidates))
+    return graph
+
+
+def powerlaw_cluster_graph(
+    n: int, m: int, triangle_probability: float, rng: RandomLike = None
+) -> Graph:
+    """Holme–Kim power-law graph with tunable clustering.
+
+    Like Barabási–Albert, but after each preferential attachment step a
+    triangle is closed with probability ``triangle_probability``, which
+    raises the clustering coefficient towards the values observed in social
+    networks (the property the paper's synthetic generator is calibrated
+    for).
+    """
+    if m < 1 or n < m + 1:
+        raise ConfigurationError(f"need n >= m + 1 and m >= 1, got n={n}, m={m}")
+    if not 0.0 <= triangle_probability <= 1.0:
+        raise ConfigurationError(
+            f"triangle_probability must be in [0, 1], got {triangle_probability}"
+        )
+    generator = ensure_rng(rng)
+    graph = star_graph(m)
+    repeated: List[int] = []
+    for u, v in graph.edges():
+        repeated.extend((u, v))
+
+    for new_vertex in range(m + 1, n):
+        graph.add_vertex(new_vertex)
+        added = 0
+        last_target = None
+        while added < m:
+            if (
+                last_target is not None
+                and generator.random() < triangle_probability
+            ):
+                # Triangle-closure step: link to a neighbor of the last target.
+                candidates = [
+                    w
+                    for w in graph.neighbors(last_target)
+                    if w != new_vertex and not graph.has_edge(new_vertex, w)
+                ]
+                if candidates:
+                    target = generator.choice(candidates)
+                    graph.add_edge(new_vertex, target)
+                    repeated.extend((new_vertex, target))
+                    added += 1
+                    continue
+            target = generator.choice(repeated)
+            if target != new_vertex and not graph.has_edge(new_vertex, target):
+                graph.add_edge(new_vertex, target)
+                repeated.extend((new_vertex, target))
+                last_target = target
+                added += 1
+    return graph

@@ -1,0 +1,61 @@
+"""Synthetic social-graph generator (stand-in for Sala et al. [32]).
+
+The paper builds its synthetic datasets (1k, 10k, 100k, 1000k) with a
+measurement-calibrated generator whose outputs match real social networks in
+degree distribution and clustering coefficient; Table 2 shows average degree
+≈ 11.8 and clustering ≈ 0.2-0.26 across all sizes.  That generator (and the
+measurement data it is calibrated on) is not available offline, so this
+module substitutes a Holme–Kim power-law-cluster construction tuned to hit
+the same two statistics, which are the properties the evaluation actually
+depends on (Section 6.1 attributes speedup differences to clustering
+coefficient and diameter).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.generators.random_graphs import powerlaw_cluster_graph
+from repro.graph.graph import Graph
+from repro.utils.rng import RandomLike
+
+#: Average degree targeted by the paper's synthetic graphs (Table 2).
+TARGET_AVERAGE_DEGREE = 11.8
+
+#: Clustering coefficient regime of the paper's synthetic graphs (Table 2).
+TARGET_CLUSTERING = 0.2
+
+
+def synthetic_social_graph(
+    n: int,
+    average_degree: float = TARGET_AVERAGE_DEGREE,
+    clustering: float = TARGET_CLUSTERING,
+    rng: RandomLike = None,
+) -> Graph:
+    """Generate a synthetic social graph with ``n`` vertices.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    average_degree:
+        Target average degree (the generator attaches
+        ``round(average_degree / 2)`` edges per arriving vertex, so the
+        realised value is close to, but not exactly, the target).
+    clustering:
+        Target clustering-coefficient regime, controlled through the
+        triangle-closure probability of the underlying Holme–Kim process.
+    rng:
+        Seed or random generator.
+    """
+    if n < 4:
+        raise ConfigurationError(f"a social graph needs at least 4 vertices, got {n}")
+    edges_per_vertex = max(1, round(average_degree / 2.0))
+    if n <= edges_per_vertex:
+        edges_per_vertex = max(1, n - 2)
+    # Empirically, the Holme–Kim process realises roughly half of its
+    # triangle-closure probability as average clustering on graphs of this
+    # density, so over-drive the knob (capped at 1.0).
+    triangle_probability = min(1.0, 2.5 * clustering)
+    return powerlaw_cluster_graph(
+        n, edges_per_vertex, triangle_probability, rng=rng
+    )

@@ -1,0 +1,173 @@
+"""Update-stream generators (the "Graph updates" paragraph of Section 6).
+
+The paper constructs its update streams in three ways:
+
+* **additions on synthetic graphs** — connect random pairs of vertices that
+  are not currently connected by an edge (:func:`addition_stream`);
+* **removals** — remove random existing edges on synthetic graphs, or the
+  last-arrived edges on real graphs (:func:`removal_stream`,
+  :func:`replay_last_edges`);
+* **real arrival times** — replay edges in timestamp order, which is what
+  allows the online experiments (Figure 8, Table 5) to compare update time
+  against inter-arrival time (:func:`timestamped_addition_stream`).
+
+:class:`EvolvingGraph` packages a base graph together with a timestamped
+edge history so that real-graph experiments can split "the graph so far"
+from "the edges still to arrive".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.updates import EdgeUpdate
+from repro.exceptions import ConfigurationError
+from repro.graph.graph import Graph
+from repro.types import Vertex
+from repro.utils.rng import RandomLike, ensure_rng
+
+
+def addition_stream(
+    graph: Graph, count: int, rng: RandomLike = None, max_attempts_factor: int = 100
+) -> List[EdgeUpdate]:
+    """Pick ``count`` random unconnected vertex pairs to add (no duplicates).
+
+    Mirrors the paper's synthetic addition workload: "we generate the stream
+    of added edges by connecting random unconnected pairs of vertices".
+    """
+    if count < 0:
+        raise ConfigurationError(f"count must be non-negative, got {count}")
+    generator = ensure_rng(rng)
+    vertices = graph.vertex_list()
+    if len(vertices) < 2:
+        raise ConfigurationError("need at least two vertices to add edges")
+    chosen: set = set()
+    updates: List[EdgeUpdate] = []
+    attempts = 0
+    max_attempts = max_attempts_factor * max(count, 1)
+    while len(updates) < count and attempts < max_attempts:
+        attempts += 1
+        u, v = generator.sample(vertices, 2)
+        key = (u, v) if repr(u) <= repr(v) else (v, u)
+        if graph.has_edge(u, v) or key in chosen:
+            continue
+        chosen.add(key)
+        updates.append(EdgeUpdate.addition(u, v))
+    if len(updates) < count:
+        raise ConfigurationError(
+            f"could not find {count} unconnected pairs (graph too dense?)"
+        )
+    return updates
+
+
+def removal_stream(graph: Graph, count: int, rng: RandomLike = None) -> List[EdgeUpdate]:
+    """Pick ``count`` random existing edges to remove (without replacement)."""
+    if count < 0:
+        raise ConfigurationError(f"count must be non-negative, got {count}")
+    edges = graph.edge_list()
+    if count > len(edges):
+        raise ConfigurationError(
+            f"cannot remove {count} edges from a graph with {len(edges)} edges"
+        )
+    generator = ensure_rng(rng)
+    selected = generator.sample(edges, count)
+    return [EdgeUpdate.removal(u, v) for u, v in selected]
+
+
+def timestamped_addition_stream(
+    edges: Sequence[Tuple[Vertex, Vertex, float]]
+) -> List[EdgeUpdate]:
+    """Wrap timestamped ``(u, v, t)`` records as an addition stream in time order."""
+    ordered = sorted(edges, key=lambda record: record[2])
+    return [EdgeUpdate.addition(u, v, timestamp=t) for u, v, t in ordered]
+
+
+def replay_last_edges(
+    history: Sequence[Tuple[Vertex, Vertex, float]], count: int, as_removals: bool = False
+) -> List[EdgeUpdate]:
+    """Return the last ``count`` arrived edges, as additions or removals.
+
+    For real graphs the paper removes "the last 100 edges that are added in
+    each graph"; with ``as_removals=True`` this helper produces exactly that
+    stream (most recent first).
+    """
+    if count < 0:
+        raise ConfigurationError(f"count must be non-negative, got {count}")
+    ordered = sorted(history, key=lambda record: record[2])
+    tail = ordered[-count:] if count else []
+    if as_removals:
+        return [EdgeUpdate.removal(u, v, timestamp=t) for u, v, t in reversed(tail)]
+    return [EdgeUpdate.addition(u, v, timestamp=t) for u, v, t in tail]
+
+
+@dataclass
+class EvolvingGraph:
+    """A graph plus the timestamped history of its edge arrivals.
+
+    ``base_graph()`` reconstructs the graph as of a given prefix of the
+    history, and ``future_updates()`` returns the remaining arrivals as an
+    addition stream — the two ingredients of an online-replay experiment.
+    """
+
+    vertices: List[Vertex] = field(default_factory=list)
+    history: List[Tuple[Vertex, Vertex, float]] = field(default_factory=list)
+
+    @classmethod
+    def from_graph(
+        cls, graph: Graph, rng: RandomLike = None, start_time: float = 0.0,
+        mean_interarrival: float = 1.0,
+    ) -> "EvolvingGraph":
+        """Build an evolving graph by assigning synthetic arrival times.
+
+        Edges receive exponentially distributed inter-arrival times in a
+        random order — the standard synthetic substitute when a dataset has
+        no native timestamps.
+        """
+        generator = ensure_rng(rng)
+        edges = graph.edge_list()
+        generator.shuffle(edges)
+        history: List[Tuple[Vertex, Vertex, float]] = []
+        clock = start_time
+        for u, v in edges:
+            clock += generator.expovariate(1.0 / mean_interarrival)
+            history.append((u, v, clock))
+        return cls(vertices=graph.vertex_list(), history=history)
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of edges in the history."""
+        return len(self.history)
+
+    def base_graph(self, prefix: Optional[int] = None) -> Graph:
+        """Graph induced by the first ``prefix`` arrivals (all when ``None``)."""
+        if prefix is None:
+            prefix = len(self.history)
+        if not 0 <= prefix <= len(self.history):
+            raise ConfigurationError(
+                f"prefix must be in [0, {len(self.history)}], got {prefix}"
+            )
+        graph = Graph()
+        for vertex in self.vertices:
+            graph.add_vertex(vertex)
+        for u, v, _ in self.history[:prefix]:
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+        return graph
+
+    def future_updates(self, prefix: int) -> List[EdgeUpdate]:
+        """The arrivals after the first ``prefix`` edges, as timestamped additions."""
+        if not 0 <= prefix <= len(self.history):
+            raise ConfigurationError(
+                f"prefix must be in [0, {len(self.history)}], got {prefix}"
+            )
+        return [
+            EdgeUpdate.addition(u, v, timestamp=t) for u, v, t in self.history[prefix:]
+        ]
+
+    def interarrival_times(self, prefix: int = 0) -> List[float]:
+        """Inter-arrival times (seconds) of the arrivals after ``prefix``."""
+        tail = self.history[prefix:]
+        return [
+            tail[i][2] - tail[i - 1][2] for i in range(1, len(tail))
+        ]

@@ -1,0 +1,52 @@
+"""Dynamic graph substrate used by every other subsystem.
+
+The paper keeps the evolving graph itself in memory (adjacency structure)
+while the per-source betweenness data lives in memory or on disk.  This
+package provides that substrate: a mutable adjacency-set graph supporting
+edge additions and removals, breadth-first traversals and shortest-path DAG
+construction, connected components, structural metrics (average degree,
+clustering coefficient, effective diameter) and simple edge-list I/O.
+"""
+
+from repro.graph.graph import Graph
+from repro.graph.components import (
+    connected_components,
+    is_connected,
+    largest_connected_component,
+)
+from repro.graph.metrics import (
+    GraphProfile,
+    average_degree,
+    clustering_coefficient,
+    degree_histogram,
+    effective_diameter,
+    profile,
+)
+from repro.graph.traversal import (
+    ShortestPathDAG,
+    bfs_distances,
+    bfs_tree,
+    shortest_path_dag,
+    single_source_shortest_paths,
+)
+from repro.graph.io import read_edge_list, write_edge_list
+
+__all__ = [
+    "Graph",
+    "connected_components",
+    "is_connected",
+    "largest_connected_component",
+    "GraphProfile",
+    "average_degree",
+    "clustering_coefficient",
+    "degree_histogram",
+    "effective_diameter",
+    "profile",
+    "ShortestPathDAG",
+    "bfs_distances",
+    "bfs_tree",
+    "shortest_path_dag",
+    "single_source_shortest_paths",
+    "read_edge_list",
+    "write_edge_list",
+]

@@ -1,0 +1,265 @@
+"""A mutable, unweighted graph with adjacency-set storage.
+
+The class supports both undirected and directed graphs.  The incremental
+betweenness framework operates on undirected graphs (as in all of the
+paper's experiments); the static algorithms and the substrate itself also
+work on directed graphs, following out-links during search and in-links
+during backtracking as described in Section 3 of the paper.
+
+Design notes
+------------
+* Vertices are arbitrary hashable objects.
+* Parallel edges and self loops are rejected: betweenness centrality over
+  shortest paths is not well defined for self loops, and parallel edges do
+  not change shortest-path structure.
+* All mutation methods run in expected O(1) time (hash-set operations), so
+  replaying an edge stream is cheap compared to the centrality updates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.exceptions import (
+    EdgeExistsError,
+    EdgeNotFoundError,
+    SelfLoopError,
+    VertexNotFoundError,
+)
+from repro.types import Edge, Vertex, canonical_edge
+
+
+class Graph:
+    """Unweighted graph with O(1) edge insertion/removal.
+
+    Parameters
+    ----------
+    directed:
+        When ``True`` the graph is directed; edges are stored separately as
+        out- and in-adjacency.  When ``False`` (default) the graph is
+        undirected and the two adjacency views coincide.
+
+    Examples
+    --------
+    >>> g = Graph()
+    >>> g.add_edge(1, 2)
+    >>> g.add_edge(2, 3)
+    >>> sorted(g.neighbors(2))
+    [1, 3]
+    >>> g.num_vertices, g.num_edges
+    (3, 2)
+    """
+
+    __slots__ = ("_directed", "_succ", "_pred")
+
+    def __init__(self, directed: bool = False) -> None:
+        self._directed = directed
+        self._succ: Dict[Vertex, Set[Vertex]] = {}
+        # For undirected graphs _pred is the same dict object as _succ, so a
+        # single update keeps both views consistent.
+        self._pred: Dict[Vertex, Set[Vertex]] = {} if directed else self._succ
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def directed(self) -> bool:
+        """Whether the graph is directed."""
+        return self._directed
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices currently in the graph."""
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges currently in the graph."""
+        total = sum(len(nbrs) for nbrs in self._succ.values())
+        return total if self._directed else total // 2
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._succ
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "directed" if self._directed else "undirected"
+        return f"<Graph {kind} |V|={self.num_vertices} |E|={self.num_edges}>"
+
+    # ------------------------------------------------------------------ #
+    # Vertex operations
+    # ------------------------------------------------------------------ #
+    def add_vertex(self, vertex: Vertex) -> bool:
+        """Add ``vertex``; return ``True`` if it was not already present."""
+        if vertex in self._succ:
+            return False
+        self._succ[vertex] = set()
+        if self._directed:
+            self._pred[vertex] = set()
+        return True
+
+    def remove_vertex(self, vertex: Vertex) -> None:
+        """Remove ``vertex`` and all its incident edges."""
+        if vertex not in self._succ:
+            raise VertexNotFoundError(vertex)
+        for neighbor in list(self._succ[vertex]):
+            self._pred[neighbor].discard(vertex)
+        if self._directed:
+            for neighbor in list(self._pred[vertex]):
+                self._succ[neighbor].discard(vertex)
+            del self._pred[vertex]
+        else:
+            for neighbor in list(self._succ[vertex]):
+                self._succ[neighbor].discard(vertex)
+        del self._succ[vertex]
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """Return ``True`` if ``vertex`` is in the graph."""
+        return vertex in self._succ
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over all vertices."""
+        return iter(self._succ)
+
+    # ------------------------------------------------------------------ #
+    # Edge operations
+    # ------------------------------------------------------------------ #
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add the edge ``(u, v)``; missing endpoints are created.
+
+        Raises
+        ------
+        SelfLoopError
+            If ``u == v``.
+        EdgeExistsError
+            If the edge is already present.
+        """
+        if u == v:
+            raise SelfLoopError(u)
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v in self._succ[u]:
+            raise EdgeExistsError(u, v)
+        self._succ[u].add(v)
+        self._pred[v].add(u)
+        if not self._directed:
+            self._succ[v].add(u)
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the edge ``(u, v)``; endpoints are kept even if isolated."""
+        if u not in self._succ:
+            raise VertexNotFoundError(u)
+        if v not in self._succ:
+            raise VertexNotFoundError(v)
+        if v not in self._succ[u]:
+            raise EdgeNotFoundError(u, v)
+        self._succ[u].discard(v)
+        self._pred[v].discard(u)
+        if not self._directed:
+            self._succ[v].discard(u)
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Return ``True`` if the edge ``(u, v)`` is in the graph."""
+        return u in self._succ and v in self._succ[u]
+
+    def edges(self) -> Iterator[Tuple[Vertex, Vertex]]:
+        """Iterate over edges.
+
+        For undirected graphs each edge is yielded exactly once, in
+        canonical orientation.
+        """
+        if self._directed:
+            for u, nbrs in self._succ.items():
+                for v in nbrs:
+                    yield (u, v)
+        else:
+            seen: Set[Edge] = set()
+            for u, nbrs in self._succ.items():
+                for v in nbrs:
+                    edge = canonical_edge(u, v)
+                    if edge not in seen:
+                        seen.add(edge)
+                        yield edge
+
+    # ------------------------------------------------------------------ #
+    # Adjacency views
+    # ------------------------------------------------------------------ #
+    def neighbors(self, vertex: Vertex) -> Set[Vertex]:
+        """Return the set of neighbors of ``vertex`` (out-neighbors if directed)."""
+        try:
+            return self._succ[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def out_neighbors(self, vertex: Vertex) -> Set[Vertex]:
+        """Successors of ``vertex`` (same as :meth:`neighbors` when undirected)."""
+        return self.neighbors(vertex)
+
+    def in_neighbors(self, vertex: Vertex) -> Set[Vertex]:
+        """Predecessors of ``vertex`` (same as :meth:`neighbors` when undirected)."""
+        try:
+            return self._pred[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+
+    def degree(self, vertex: Vertex) -> int:
+        """Degree of ``vertex`` (out-degree for directed graphs)."""
+        return len(self.neighbors(vertex))
+
+    def in_degree(self, vertex: Vertex) -> int:
+        """In-degree of ``vertex`` (equal to degree for undirected graphs)."""
+        return len(self.in_neighbors(vertex))
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors and copies
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[Vertex, Vertex]],
+        directed: bool = False,
+        vertices: Optional[Iterable[Vertex]] = None,
+    ) -> "Graph":
+        """Build a graph from an iterable of edges (duplicates are ignored)."""
+        graph = cls(directed=directed)
+        if vertices is not None:
+            for vertex in vertices:
+                graph.add_vertex(vertex)
+        for u, v in edges:
+            if u == v or graph.has_edge(u, v):
+                continue
+            graph.add_edge(u, v)
+        return graph
+
+    def copy(self) -> "Graph":
+        """Return an independent copy of the graph."""
+        clone = Graph(directed=self._directed)
+        for vertex in self._succ:
+            clone.add_vertex(vertex)
+        for u, v in self.edges():
+            clone.add_edge(u, v)
+        return clone
+
+    def subgraph(self, keep: Iterable[Vertex]) -> "Graph":
+        """Return the induced subgraph on the vertex set ``keep``."""
+        keep_set = set(keep)
+        missing = keep_set - set(self._succ)
+        if missing:
+            raise VertexNotFoundError(next(iter(missing)))
+        sub = Graph(directed=self._directed)
+        for vertex in keep_set:
+            sub.add_vertex(vertex)
+        for u, v in self.edges():
+            if u in keep_set and v in keep_set:
+                sub.add_edge(u, v)
+        return sub
+
+    def vertex_list(self) -> List[Vertex]:
+        """Return the vertices as a list (insertion order)."""
+        return list(self._succ)
+
+    def edge_list(self) -> List[Tuple[Vertex, Vertex]]:
+        """Return the edges as a list."""
+        return list(self.edges())

@@ -1,0 +1,103 @@
+"""Edge-list I/O.
+
+Real-world evolving graphs (the KONECT datasets used in the paper) are
+distributed as whitespace-separated edge lists with optional timestamps.
+These helpers read and write that format, preserving arrival order so that
+timestamped streams can be replayed for the online experiments (Figure 8,
+Table 5).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple, Union
+
+from repro.graph.graph import Graph
+
+PathLike = Union[str, Path]
+
+#: An edge-list record: (u, v, optional timestamp).
+TimestampedEdge = Tuple[int, int, Optional[float]]
+
+
+def read_edge_list(
+    path: PathLike,
+    directed: bool = False,
+    comments: str = "#",
+) -> Graph:
+    """Read an edge list file into a :class:`Graph`.
+
+    Lines starting with ``comments`` and blank lines are skipped; the first
+    two whitespace-separated fields of each line are the endpoints (parsed as
+    integers when possible, kept as strings otherwise); any further fields
+    (weights, timestamps) are ignored for graph construction.
+    """
+    graph = Graph(directed=directed)
+    for u, v, _ in iter_edge_records(path, comments=comments):
+        if u == v or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v)
+    return graph
+
+
+def iter_edge_records(
+    path: PathLike, comments: str = "#"
+) -> Iterable[TimestampedEdge]:
+    """Yield ``(u, v, timestamp)`` records from an edge-list file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith(comments):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                continue
+            u = _parse_vertex(parts[0])
+            v = _parse_vertex(parts[1])
+            timestamp = float(parts[2]) if len(parts) >= 3 else None
+            yield (u, v, timestamp)
+
+
+def read_timestamped_edges(path: PathLike, comments: str = "#") -> List[TimestampedEdge]:
+    """Read all ``(u, v, timestamp)`` records, sorted by timestamp when present."""
+    records = list(iter_edge_records(path, comments=comments))
+    if records and all(record[2] is not None for record in records):
+        records.sort(key=lambda record: record[2])
+    return records
+
+
+def write_edge_list(
+    graph: Graph,
+    path: PathLike,
+    header: Optional[str] = None,
+) -> None:
+    """Write ``graph`` as a whitespace-separated edge list."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+
+
+def write_timestamped_edges(
+    edges: Iterable[TimestampedEdge], path: PathLike, header: Optional[str] = None
+) -> None:
+    """Write ``(u, v, timestamp)`` records to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        for u, v, timestamp in edges:
+            if timestamp is None:
+                handle.write(f"{u} {v}\n")
+            else:
+                handle.write(f"{u} {v} {timestamp}\n")
+
+
+def _parse_vertex(token: str) -> object:
+    """Parse a vertex token as an int when possible, else keep the string."""
+    try:
+        return int(token)
+    except ValueError:
+        return token

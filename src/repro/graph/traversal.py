@@ -1,0 +1,156 @@
+"""Breadth-first traversals and shortest-path DAG construction.
+
+These routines underpin both the static Brandes implementations and the
+brute-force oracles used in the test suite.  The :class:`ShortestPathDAG`
+mirrors the per-source betweenness data the paper stores: distance from the
+source, number of shortest paths, and (optionally) predecessor sets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.exceptions import VertexNotFoundError
+from repro.graph.graph import Graph
+from repro.types import Vertex
+
+
+def bfs_distances(graph: Graph, source: Vertex) -> Dict[Vertex, int]:
+    """Return hop distances from ``source`` to every reachable vertex."""
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(source)
+    distances: Dict[Vertex, int] = {source: 0}
+    queue: deque[Vertex] = deque([source])
+    while queue:
+        vertex = queue.popleft()
+        next_distance = distances[vertex] + 1
+        for neighbor in graph.out_neighbors(vertex):
+            if neighbor not in distances:
+                distances[neighbor] = next_distance
+                queue.append(neighbor)
+    return distances
+
+
+def bfs_tree(graph: Graph, source: Vertex) -> Dict[Vertex, Optional[Vertex]]:
+    """Return a BFS tree as a child -> parent mapping (source maps to None)."""
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(source)
+    parents: Dict[Vertex, Optional[Vertex]] = {source: None}
+    queue: deque[Vertex] = deque([source])
+    while queue:
+        vertex = queue.popleft()
+        for neighbor in graph.out_neighbors(vertex):
+            if neighbor not in parents:
+                parents[neighbor] = vertex
+                queue.append(neighbor)
+    return parents
+
+
+@dataclass
+class ShortestPathDAG:
+    """Shortest-path DAG rooted at a source vertex.
+
+    Attributes
+    ----------
+    source:
+        The root of the DAG.
+    distance:
+        Hop distance from the source for every reachable vertex.
+    sigma:
+        Number of distinct shortest paths from the source to each vertex.
+    order:
+        Vertices in non-decreasing order of distance (BFS finish order),
+        which is the order required for dependency accumulation.
+    predecessors:
+        For each vertex, the set of neighbors that lie on a shortest path
+        immediately before it.  Only populated when requested: the paper's
+        memory optimisation is precisely to *not* keep this structure.
+    """
+
+    source: Vertex
+    distance: Dict[Vertex, int] = field(default_factory=dict)
+    sigma: Dict[Vertex, int] = field(default_factory=dict)
+    order: List[Vertex] = field(default_factory=list)
+    predecessors: Optional[Dict[Vertex, Set[Vertex]]] = None
+
+    def is_reachable(self, vertex: Vertex) -> bool:
+        """Return ``True`` if ``vertex`` is reachable from the source."""
+        return vertex in self.distance
+
+
+def shortest_path_dag(
+    graph: Graph, source: Vertex, keep_predecessors: bool = False
+) -> ShortestPathDAG:
+    """Run a BFS from ``source`` computing distances and path counts.
+
+    Parameters
+    ----------
+    graph:
+        The graph to traverse (out-links are followed when directed).
+    source:
+        Root of the traversal.
+    keep_predecessors:
+        When ``True`` the predecessor sets are materialised, reproducing the
+        original Brandes data structures; when ``False`` (default) they are
+        omitted, reproducing the paper's reduced-memory variant.
+    """
+    if not graph.has_vertex(source):
+        raise VertexNotFoundError(source)
+    dag = ShortestPathDAG(source=source)
+    dag.distance[source] = 0
+    dag.sigma[source] = 1
+    if keep_predecessors:
+        dag.predecessors = {source: set()}
+    queue: deque[Vertex] = deque([source])
+    while queue:
+        vertex = queue.popleft()
+        dag.order.append(vertex)
+        vertex_distance = dag.distance[vertex]
+        vertex_sigma = dag.sigma[vertex]
+        for neighbor in graph.out_neighbors(vertex):
+            if neighbor not in dag.distance:
+                dag.distance[neighbor] = vertex_distance + 1
+                dag.sigma[neighbor] = 0
+                if keep_predecessors:
+                    dag.predecessors[neighbor] = set()
+                queue.append(neighbor)
+            if dag.distance[neighbor] == vertex_distance + 1:
+                dag.sigma[neighbor] += vertex_sigma
+                if keep_predecessors:
+                    dag.predecessors[neighbor].add(vertex)
+    return dag
+
+
+def single_source_shortest_paths(
+    graph: Graph, source: Vertex, target: Vertex
+) -> List[List[Vertex]]:
+    """Enumerate *all* shortest paths from ``source`` to ``target``.
+
+    This is exponential in the worst case and exists purely as a brute-force
+    oracle for the test suite (validating sigma counts and betweenness on
+    tiny graphs).
+    """
+    dag = shortest_path_dag(graph, source, keep_predecessors=True)
+    if target not in dag.distance:
+        return []
+    if source == target:
+        return [[source]]
+    paths: List[List[Vertex]] = []
+
+    def backtrack(vertex: Vertex, suffix: List[Vertex]) -> None:
+        if vertex == source:
+            paths.append([source] + suffix)
+            return
+        for pred in dag.predecessors[vertex]:
+            backtrack(pred, [vertex] + suffix)
+
+    backtrack(target, [])
+    return paths
+
+
+def eccentricity(graph: Graph, source: Vertex) -> int:
+    """Return the eccentricity of ``source`` within its reachable set."""
+    distances = bfs_distances(graph, source)
+    return max(distances.values())

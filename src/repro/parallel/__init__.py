@@ -1,0 +1,48 @@
+"""Parallel execution, scaling models and online-update simulation.
+
+Section 5 of the paper makes the incremental algorithm practical at scale by
+exploiting its embarrassing parallelism over sources: the per-source data is
+partitioned across ``p`` shared-nothing workers, each worker repairs its own
+partition for every update, and partial betweenness scores are summed by a
+reducer (the MapReduce embodiment of Figure 4).  Section 5.3 derives the
+online-capacity model ``tU = tS * n / p + tM`` that predicts how many
+workers are needed to keep up with a given edge-arrival rate.
+
+No Hadoop cluster is available in this environment, so the package provides
+a faithful in-process simulation: the map phase really runs the per-source
+incremental updates partition by partition (optionally in separate
+processes), per-partition wall-clock times are measured, and cluster
+wall-clock is derived exactly as the paper's model prescribes.
+"""
+
+from repro.parallel.mapreduce import (
+    MapReduceBetweenness,
+    MapReduceUpdateReport,
+    merge_partial_scores,
+)
+from repro.parallel.scaling import (
+    OnlineCapacityModel,
+    ScalingMeasurement,
+    required_workers,
+    strong_scaling,
+    weak_scaling,
+)
+from repro.parallel.online import (
+    OnlineReplayResult,
+    OnlineUpdateRecord,
+    simulate_online_updates,
+)
+
+__all__ = [
+    "MapReduceBetweenness",
+    "MapReduceUpdateReport",
+    "merge_partial_scores",
+    "OnlineCapacityModel",
+    "ScalingMeasurement",
+    "required_workers",
+    "strong_scaling",
+    "weak_scaling",
+    "OnlineReplayResult",
+    "OnlineUpdateRecord",
+    "simulate_online_updates",
+]

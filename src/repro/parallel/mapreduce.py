@@ -1,0 +1,176 @@
+"""Simulated MapReduce embodiment of the framework (Section 5.4, Figure 4).
+
+Each *mapper* owns a contiguous partition of the source set and maintains a
+partial :class:`~repro.core.framework.IncrementalBetweenness` instance
+restricted to those sources (its ``BD[.]`` slice lives in that instance's
+store, in memory or on disk, exactly as a real mapper would keep it on its
+local disk).  For every edge update, every mapper repairs its own partition;
+the *reducer* sums the partial vertex/edge scores.
+
+Because the mappers of the paper run on separate machines, cluster
+wall-clock time for an update is the *maximum* per-mapper time plus the
+merge time, while cumulative cost (the quantity compared against Brandes in
+Figure 6) is the *sum* — both are reported per update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.framework import IncrementalBetweenness
+from repro.core.result import UpdateResult
+from repro.core.updates import EdgeUpdate
+from repro.exceptions import ConfigurationError
+from repro.graph.graph import Graph
+from repro.storage.base import BDStore
+from repro.storage.partition import SourcePartition, partition_sources
+from repro.types import EdgeScores, Vertex, VertexScores
+from repro.utils.timing import Timer
+
+#: Factory building a store for one mapper, given its partition.
+StoreFactory = Callable[[SourcePartition, Graph], Optional[BDStore]]
+
+
+def merge_partial_scores(partials: Iterable[Dict]) -> Dict:
+    """Reduce step: sum partial score dictionaries key by key."""
+    merged: Dict = {}
+    for partial in partials:
+        for key, value in partial.items():
+            merged[key] = merged.get(key, 0.0) + value
+    return merged
+
+
+@dataclass
+class MapReduceUpdateReport:
+    """Timing and work accounting for one update across all mappers."""
+
+    update: EdgeUpdate
+    mapper_seconds: List[float] = field(default_factory=list)
+    merge_seconds: float = 0.0
+    mapper_results: List[UpdateResult] = field(default_factory=list)
+
+    @property
+    def cumulative_seconds(self) -> float:
+        """Total compute across mappers plus the merge (Figure 6 comparison)."""
+        return sum(self.mapper_seconds) + self.merge_seconds
+
+    @property
+    def wall_clock_seconds(self) -> float:
+        """Cluster wall-clock: slowest mapper plus the merge (Figures 7-8)."""
+        if not self.mapper_seconds:
+            return self.merge_seconds
+        return max(self.mapper_seconds) + self.merge_seconds
+
+
+class MapReduceBetweenness:
+    """Parallel incremental betweenness over partitioned sources.
+
+    Parameters
+    ----------
+    graph:
+        Initial graph, replicated on every mapper (distributed-cache step of
+        Figure 4).
+    num_mappers:
+        Number of partitions / workers.
+    store_factory:
+        Optional callable building the per-mapper ``BD`` store (e.g. one
+        :class:`~repro.storage.disk.DiskBDStore` per mapper); by default each
+        mapper uses an in-memory store.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        num_mappers: int,
+        store_factory: Optional[StoreFactory] = None,
+    ) -> None:
+        if num_mappers < 1:
+            raise ConfigurationError(f"num_mappers must be >= 1, got {num_mappers}")
+        self._graph = graph.copy()
+        self._num_mappers = num_mappers
+        self._partitions = partition_sources(self._graph.vertex_list(), num_mappers)
+        self._mappers: List[IncrementalBetweenness] = []
+        for partition in self._partitions:
+            store = store_factory(partition, self._graph) if store_factory else None
+            self._mappers.append(
+                IncrementalBetweenness(
+                    self._graph, store=store, sources=list(partition.sources)
+                )
+            )
+        self._new_vertex_round_robin = 0
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_mappers(self) -> int:
+        """Number of mappers (partitions)."""
+        return self._num_mappers
+
+    @property
+    def partitions(self) -> Sequence[SourcePartition]:
+        """The source partitions."""
+        return tuple(self._partitions)
+
+    @property
+    def mappers(self) -> Sequence[IncrementalBetweenness]:
+        """The per-partition framework instances."""
+        return tuple(self._mappers)
+
+    def vertex_betweenness(self) -> VertexScores:
+        """Reduced (global) vertex betweenness scores."""
+        return merge_partial_scores(m.vertex_betweenness() for m in self._mappers)
+
+    def edge_betweenness(self) -> EdgeScores:
+        """Reduced (global) edge betweenness scores."""
+        return merge_partial_scores(m.edge_betweenness() for m in self._mappers)
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def add_edge(self, u: Vertex, v: Vertex) -> MapReduceUpdateReport:
+        """Add an edge across all mappers."""
+        return self.apply(EdgeUpdate.addition(u, v))
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> MapReduceUpdateReport:
+        """Remove an edge across all mappers."""
+        return self.apply(EdgeUpdate.removal(u, v))
+
+    def apply(self, update: EdgeUpdate) -> MapReduceUpdateReport:
+        """Apply one update on every mapper and time each of them."""
+        u, v = update.endpoints
+        if update.is_addition:
+            new_vertices = [w for w in (u, v) if not self._graph.has_vertex(w)]
+            self._graph.add_edge(u, v)
+            # A brand-new vertex becomes a new source; assign it to one
+            # mapper round-robin so partitions stay balanced.
+            for vertex in new_vertices:
+                owner = self._mappers[
+                    self._new_vertex_round_robin % self._num_mappers
+                ]
+                owner.add_source(vertex)
+                self._new_vertex_round_robin += 1
+        else:
+            self._graph.remove_edge(u, v)
+
+        report = MapReduceUpdateReport(update=update)
+        for mapper in self._mappers:
+            result = mapper.apply(update)
+            report.mapper_results.append(result)
+            report.mapper_seconds.append(result.elapsed_seconds or 0.0)
+
+        merge_timer = Timer()
+        with merge_timer.measure():
+            # The reduce step of Figure 4: group partial scores by element id
+            # and sum them.  The merged dictionaries are discarded here (the
+            # mappers remain the source of truth); the point is to account
+            # for the merge cost tM of the capacity model.
+            merge_partial_scores(m.vertex_betweenness() for m in self._mappers)
+            merge_partial_scores(m.edge_betweenness() for m in self._mappers)
+        report.merge_seconds = merge_timer.total
+        return report
+
+    def process_stream(self, updates: Iterable[EdgeUpdate]) -> List[MapReduceUpdateReport]:
+        """Apply a whole update stream, one report per update."""
+        return [self.apply(update) for update in updates]

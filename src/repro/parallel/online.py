@@ -1,0 +1,174 @@
+"""Online-update replay: can the framework keep up with edge arrivals?
+
+The online experiments of the paper (Figure 8, Table 5) replay real edge
+arrivals with their timestamps and compare, for every arriving edge, the
+time needed to refresh the betweenness scores against the inter-arrival
+time.  An update "misses" its deadline when the system is still busy when
+the next edge arrives; Table 5 reports the fraction of missed edges and the
+average delay as the number of mappers grows.
+
+This module performs that replay.  The per-update processing time can come
+from an actual run of the (single-machine) framework scaled through the
+capacity model of Section 5.3, which is how a cluster of ``p`` mappers is
+simulated without a cluster: the measured per-source time on one machine is
+divided across ``p`` workers and the merge cost added back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.framework import IncrementalBetweenness
+from repro.core.updates import EdgeUpdate
+from repro.exceptions import ConfigurationError
+from repro.graph.graph import Graph
+from repro.parallel.scaling import OnlineCapacityModel
+
+
+@dataclass(frozen=True)
+class OnlineUpdateRecord:
+    """Outcome of one replayed edge arrival."""
+
+    update: EdgeUpdate
+    interarrival_time: float
+    processing_time: float
+    delay: float
+
+    @property
+    def missed(self) -> bool:
+        """True when the update was not finished before the next arrival."""
+        return self.delay > 0.0
+
+
+@dataclass
+class OnlineReplayResult:
+    """Aggregate outcome of an online replay (one Table 5 row)."""
+
+    num_mappers: int
+    records: List[OnlineUpdateRecord] = field(default_factory=list)
+
+    @property
+    def num_updates(self) -> int:
+        """Number of replayed arrivals."""
+        return len(self.records)
+
+    @property
+    def num_missed(self) -> int:
+        """Arrivals whose processing finished after the next arrival."""
+        return sum(1 for record in self.records if record.missed)
+
+    @property
+    def missed_fraction(self) -> float:
+        """Fraction of missed arrivals (the "% missed" column of Table 5)."""
+        if not self.records:
+            return 0.0
+        return self.num_missed / len(self.records)
+
+    @property
+    def average_delay(self) -> float:
+        """Average delay of the missed arrivals, in seconds (0 when none)."""
+        delays = [record.delay for record in self.records if record.missed]
+        if not delays:
+            return 0.0
+        return sum(delays) / len(delays)
+
+    def as_table_row(self) -> tuple:
+        """Return ``(mappers, % missed, average delay)`` as in Table 5."""
+        return (self.num_mappers, 100.0 * self.missed_fraction, self.average_delay)
+
+
+def simulate_online_updates(
+    graph: Graph,
+    updates: Sequence[EdgeUpdate],
+    num_mappers: int = 1,
+    merge_time: float = 0.0,
+    framework: Optional[IncrementalBetweenness] = None,
+    time_scale: float = 1.0,
+) -> OnlineReplayResult:
+    """Replay timestamped ``updates`` on ``graph`` and account for deadlines.
+
+    Parameters
+    ----------
+    graph:
+        Graph as of the start of the replay.
+    updates:
+        Timestamped updates (additions and/or removals), in arrival order.
+        Every update must carry a timestamp.
+    num_mappers:
+        Number of simulated workers ``p``.  The update is actually processed
+        once, on a single machine; its measured per-source cost is then
+        divided across ``p`` workers through the capacity model
+        ``tU = tS * n/p + tM``.
+    merge_time:
+        The model's ``tM`` (seconds).
+    framework:
+        Optionally reuse an existing framework instance (must have been
+        built on ``graph``); a fresh in-memory one is created otherwise.
+    time_scale:
+        Multiplier applied to inter-arrival times, handy for exploring
+        "what if edges arrived k times faster" scenarios.
+
+    Notes
+    -----
+    The simulation uses a single-server queue per the paper's description: if
+    the previous update is still being processed when a new edge arrives, the
+    new update waits; the reported delay of an update is the time between its
+    arrival and the moment its processing completes, minus nothing — i.e. a
+    delay of zero means it finished before the next arrival.
+    """
+    if not updates:
+        raise ConfigurationError("need at least one update to replay")
+    if any(update.timestamp is None for update in updates):
+        raise ConfigurationError("every replayed update needs a timestamp")
+    if num_mappers < 1:
+        raise ConfigurationError(f"num_mappers must be >= 1, got {num_mappers}")
+
+    ibc = framework if framework is not None else IncrementalBetweenness(graph)
+    result = OnlineReplayResult(num_mappers=num_mappers)
+
+    # Queueing state: the (simulated) time at which the system becomes free.
+    busy_until = 0.0
+    previous_arrival: Optional[float] = None
+    first_arrival = updates[0].timestamp
+
+    for index, update in enumerate(updates):
+        arrival = (update.timestamp - first_arrival) * time_scale
+        if previous_arrival is None:
+            interarrival = float("inf")
+        else:
+            interarrival = arrival - previous_arrival
+        previous_arrival = arrival
+
+        outcome = ibc.apply(update)
+        num_sources = max(1, outcome.sources_processed)
+        time_per_source = (outcome.elapsed_seconds or 0.0) / num_sources
+        model = OnlineCapacityModel(
+            time_per_source=time_per_source,
+            num_sources=num_sources,
+            merge_time=merge_time,
+        )
+        processing_time = model.update_time(num_mappers)
+
+        start_time = max(arrival, busy_until)
+        completion = start_time + processing_time
+        busy_until = completion
+
+        # An update is "on time" when it completes before the next arrival;
+        # for the last update there is no next arrival, so the deadline is
+        # its own arrival plus its inter-arrival time estimate.
+        if index + 1 < len(updates):
+            deadline = (updates[index + 1].timestamp - first_arrival) * time_scale
+        else:
+            deadline = completion + 1.0  # the last update cannot be late
+        delay = max(0.0, completion - deadline)
+
+        result.records.append(
+            OnlineUpdateRecord(
+                update=update,
+                interarrival_time=interarrival,
+                processing_time=processing_time,
+                delay=delay,
+            )
+        )
+    return result

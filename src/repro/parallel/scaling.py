@@ -1,0 +1,142 @@
+"""Scaling and online-capacity models (Sections 5.2 and 5.3).
+
+The algorithm is embarrassingly parallel over sources, so with ``p`` workers
+the per-update time is
+
+    tU = tS * n / p + tM
+
+where ``tS`` is the average time to repair one source and ``tM`` the merge
+time.  :class:`OnlineCapacityModel` encapsulates that formula, answers
+"how many workers keep the system online for an arrival rate F" (Section
+5.3), and drives the strong-/weak-scaling projections of Figure 7 from
+per-source timings measured on a single machine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import require_non_negative, require_positive
+
+
+@dataclass(frozen=True)
+class OnlineCapacityModel:
+    """The paper's per-update timing model ``tU = tS * n/p + tM``.
+
+    Attributes
+    ----------
+    time_per_source:
+        ``tS`` — average seconds to process one source for one update.
+    num_sources:
+        ``n`` — number of sources (vertices).
+    merge_time:
+        ``tM`` — seconds to merge the partial scores.
+    """
+
+    time_per_source: float
+    num_sources: int
+    merge_time: float = 0.0
+
+    def update_time(self, num_workers: int) -> float:
+        """Predicted time ``tU`` to produce updated scores with ``p`` workers."""
+        if num_workers < 1:
+            raise ConfigurationError(f"num_workers must be >= 1, got {num_workers}")
+        sources_per_worker = math.ceil(self.num_sources / num_workers)
+        return self.time_per_source * sources_per_worker + self.merge_time
+
+    def is_online(self, num_workers: int, interarrival_time: float) -> bool:
+        """Can ``p`` workers keep up with updates arriving every ``tI`` seconds?"""
+        return self.update_time(num_workers) < interarrival_time
+
+    def required_workers(self, interarrival_time: float) -> int:
+        """Minimum ``p`` such that ``tU < tI`` (Section 5.3).
+
+        Raises :class:`ConfigurationError` when even infinitely many workers
+        cannot keep up, i.e. when the serial part ``tS + tM`` already exceeds
+        the inter-arrival time.
+        """
+        require_positive("interarrival_time", interarrival_time)
+        if interarrival_time <= self.time_per_source + self.merge_time:
+            raise ConfigurationError(
+                "inter-arrival time is smaller than the inherent serial part "
+                f"tS + tM = {self.time_per_source + self.merge_time:.6f}s"
+            )
+        needed = self.time_per_source * self.num_sources / (
+            interarrival_time - self.merge_time
+        )
+        return max(1, math.ceil(needed))
+
+
+def required_workers(
+    time_per_source: float,
+    num_sources: int,
+    interarrival_time: float,
+    merge_time: float = 0.0,
+) -> int:
+    """Convenience wrapper around :meth:`OnlineCapacityModel.required_workers`."""
+    model = OnlineCapacityModel(
+        time_per_source=require_non_negative("time_per_source", time_per_source),
+        num_sources=num_sources,
+        merge_time=require_non_negative("merge_time", merge_time),
+    )
+    return model.required_workers(interarrival_time)
+
+
+@dataclass(frozen=True)
+class ScalingMeasurement:
+    """One point of a strong- or weak-scaling curve (Figure 7)."""
+
+    num_workers: int
+    num_updates: int
+    seconds_per_update: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Total time to process the whole workload at this parallelism."""
+        return self.seconds_per_update * self.num_updates
+
+
+def strong_scaling(
+    model: OnlineCapacityModel,
+    worker_counts: Sequence[int],
+    num_updates: int,
+) -> List[ScalingMeasurement]:
+    """Fixed workload, increasing parallelism (Figure 7 a-b).
+
+    Returns the projected per-update wall-clock time for each worker count.
+    """
+    measurements = []
+    for workers in worker_counts:
+        measurements.append(
+            ScalingMeasurement(
+                num_workers=workers,
+                num_updates=num_updates,
+                seconds_per_update=model.update_time(workers),
+            )
+        )
+    return measurements
+
+
+def weak_scaling(
+    model: OnlineCapacityModel,
+    worker_counts: Sequence[int],
+    updates_per_worker_ratio: float,
+) -> Dict[int, ScalingMeasurement]:
+    """Workload grows proportionally with parallelism (Figure 7 c-d).
+
+    For each worker count ``p`` the workload is ``ratio * p`` updates; with
+    ideal weak scaling the total time stays flat as ``p`` grows.
+    """
+    require_positive("updates_per_worker_ratio", updates_per_worker_ratio)
+    results: Dict[int, ScalingMeasurement] = {}
+    for workers in worker_counts:
+        num_updates = max(1, round(updates_per_worker_ratio * workers))
+        results[workers] = ScalingMeasurement(
+            num_workers=workers,
+            num_updates=num_updates,
+            seconds_per_update=model.update_time(workers),
+        )
+    return results

@@ -1,0 +1,31 @@
+"""Storage backends for the per-source betweenness data ``BD[.]``.
+
+Section 5.1 of the paper describes how the framework stays practical on
+large graphs: the per-source data ``(d, sigma, delta)`` has fixed width once
+the predecessor lists are dropped, so it can be laid out on disk in a
+columnar binary format, read sequentially source by source, updated in
+place, and skipped entirely (after peeking at just two distances) when an
+update does not affect the source.
+
+Two interchangeable backends implement the same :class:`BDStore` interface:
+
+* :class:`InMemoryBDStore` — the "MO" configuration (in memory, no
+  predecessor lists);
+* :class:`DiskBDStore` — the "DO" configuration (on disk, no predecessor
+  lists), using the columnar layout of Section 5.1.
+"""
+
+from repro.storage.base import BDStore
+from repro.storage.memory import InMemoryBDStore
+from repro.storage.disk import DiskBDStore
+from repro.storage.index import VertexIndex
+from repro.storage.partition import SourcePartition, partition_sources
+
+__all__ = [
+    "BDStore",
+    "InMemoryBDStore",
+    "DiskBDStore",
+    "VertexIndex",
+    "SourcePartition",
+    "partition_sources",
+]

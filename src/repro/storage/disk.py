@@ -1,0 +1,259 @@
+"""Out-of-core betweenness-data store (the paper's "DO" configuration).
+
+The store keeps one binary file containing ``capacity`` fixed-size records,
+one per source slot, each laid out columnarly (distances, then shortest-path
+counts, then dependencies — Section 5.1).  Records are:
+
+* read sequentially, source by source, during an update sweep;
+* peeked at cheaply: the ``dd == 0`` skip needs only the two distances of
+  the updated endpoints, which are read directly at their column offsets
+  without touching the sigma/delta columns;
+* written back *in place*, so processing an update stream never rewrites the
+  whole file.
+
+The file is pre-allocated with room for ``capacity`` vertices (and as many
+source slots); when the evolving graph outgrows it, the store transparently
+rebuilds the file with a larger capacity.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.algorithms.brandes import SourceData
+from repro.exceptions import StoreClosedError, StoreCorruptedError
+from repro.storage.base import BDStore
+from repro.storage.codec import (
+    DISTANCE_DTYPE,
+    column_offsets,
+    decode_record,
+    empty_record,
+    encode_record,
+    record_size,
+)
+from repro.storage.index import VertexIndex
+from repro.types import UNREACHABLE, Vertex
+
+PathLike = Union[str, Path]
+
+#: Default headroom left for future vertices when sizing the file.
+DEFAULT_GROWTH_FACTOR = 1.25
+
+
+class DiskBDStore(BDStore):
+    """Columnar on-disk store for ``BD[.]`` records.
+
+    Parameters
+    ----------
+    vertices:
+        Initial vertex set; every vertex receives both a column slot and a
+        source record.
+    path:
+        File to use.  When omitted a temporary file is created and deleted on
+        :meth:`close`.
+    capacity:
+        Number of vertex slots to pre-allocate.  Defaults to the initial
+        vertex count padded by ``DEFAULT_GROWTH_FACTOR`` so that a modest
+        number of new vertices can arrive without rebuilding the file.
+    """
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex],
+        path: Optional[PathLike] = None,
+        capacity: Optional[int] = None,
+    ) -> None:
+        self._index = VertexIndex(vertices)
+        initial = len(self._index)
+        if capacity is None:
+            capacity = max(initial, int(initial * DEFAULT_GROWTH_FACTOR), 16)
+        if capacity < initial:
+            raise StoreCorruptedError(
+                f"capacity {capacity} is smaller than the vertex count {initial}"
+            )
+        self._capacity = capacity
+
+        if path is None:
+            handle, tmp_path = tempfile.mkstemp(prefix="repro-bd-", suffix=".bin")
+            os.close(handle)
+            self._path = Path(tmp_path)
+            self._owns_file = True
+        else:
+            self._path = Path(path)
+            self._owns_file = False
+
+        self._file = open(self._path, "w+b")
+        self._closed = False
+        self._bytes_read = 0
+        self._bytes_written = 0
+        self._format_file()
+
+    # ------------------------------------------------------------------ #
+    # Properties and statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def path(self) -> Path:
+        """Location of the backing file."""
+        return self._path
+
+    @property
+    def capacity(self) -> int:
+        """Number of vertex slots currently allocated per record."""
+        return self._capacity
+
+    @property
+    def bytes_read(self) -> int:
+        """Total bytes read since creation (I/O accounting for experiments)."""
+        return self._bytes_read
+
+    @property
+    def bytes_written(self) -> int:
+        """Total bytes written since creation."""
+        return self._bytes_written
+
+    # ------------------------------------------------------------------ #
+    # Record access
+    # ------------------------------------------------------------------ #
+    def put(self, data: SourceData) -> None:
+        self._ensure_open()
+        if data.source not in self._index:
+            self._register_vertex(data.source)
+        payload = encode_record(data, self._index, self._capacity)
+        self._write_record(self._index.slot(data.source), payload)
+
+    def get(self, source: Vertex) -> SourceData:
+        self._ensure_open()
+        slot = self._index.slot(source)
+        payload = self._read_record(slot)
+        return decode_record(payload, source, self._index, self._capacity)
+
+    def endpoint_distances(
+        self, source: Vertex, u: Vertex, v: Vertex
+    ) -> Tuple[Optional[int], Optional[int]]:
+        """Read only the two distance entries needed for the ``dd == 0`` skip."""
+        self._ensure_open()
+        source_slot = self._index.slot(source)
+        base = source_slot * record_size(self._capacity)
+        distance_offset, _, _ = column_offsets(self._capacity)
+        result = []
+        for vertex in (u, v):
+            if vertex not in self._index:
+                result.append(None)
+                continue
+            offset = (
+                base
+                + distance_offset
+                + self._index.slot(vertex) * DISTANCE_DTYPE.itemsize
+            )
+            self._file.seek(offset)
+            raw = self._file.read(DISTANCE_DTYPE.itemsize)
+            self._bytes_read += len(raw)
+            value = int(np.frombuffer(raw, dtype=DISTANCE_DTYPE, count=1)[0])
+            result.append(None if value == UNREACHABLE else value)
+        return result[0], result[1]
+
+    def add_source(self, source: Vertex) -> None:
+        self._ensure_open()
+        if source in self._index:
+            return
+        self._register_vertex(source)
+        data = SourceData(source=source)
+        data.distance[source] = 0
+        data.sigma[source] = 1
+        data.delta[source] = 0.0
+        self.put(data)
+
+    # ------------------------------------------------------------------ #
+    # Enumeration
+    # ------------------------------------------------------------------ #
+    def sources(self) -> Iterator[Vertex]:
+        self._ensure_open()
+        return iter(self._index.vertices())
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, source: Vertex) -> bool:
+        return source in self._index
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._file.close()
+        if self._owns_file and self._path.exists():
+            self._path.unlink()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError(f"disk store at {self._path} has been closed")
+
+    def _format_file(self) -> None:
+        """(Re)write the whole file as empty records for the current capacity."""
+        empty = empty_record(self._capacity)
+        self._file.seek(0)
+        self._file.truncate()
+        for _ in range(self._capacity):
+            self._file.write(empty)
+        self._file.flush()
+        self._bytes_written += self._capacity * len(empty)
+        # Newly formatted records describe "reaches nothing" sources; make the
+        # already-registered vertices valid sources that reach themselves.
+        for vertex in self._index.vertices():
+            data = SourceData(source=vertex)
+            data.distance[vertex] = 0
+            data.sigma[vertex] = 1
+            data.delta[vertex] = 0.0
+            payload = encode_record(data, self._index, self._capacity)
+            self._write_record(self._index.slot(vertex), payload)
+
+    def _register_vertex(self, vertex: Vertex) -> None:
+        if len(self._index) >= self._capacity:
+            self._grow(vertex)
+        else:
+            self._index.add(vertex)
+
+    def _grow(self, new_vertex: Vertex) -> None:
+        """Rebuild the file with a larger capacity to make room for ``new_vertex``."""
+        old_records = {
+            source: self.get(source) for source in self._index.vertices()
+        }
+        self._index.add(new_vertex)
+        self._capacity = max(
+            int(self._capacity * DEFAULT_GROWTH_FACTOR) + 1, len(self._index)
+        )
+        self._format_file()
+        for source, data in old_records.items():
+            self.put(data)
+
+    def _read_record(self, slot: int) -> bytes:
+        size = record_size(self._capacity)
+        self._file.seek(slot * size)
+        payload = self._file.read(size)
+        self._bytes_read += len(payload)
+        if len(payload) != size:
+            raise StoreCorruptedError(
+                f"short read for slot {slot}: got {len(payload)} of {size} bytes"
+            )
+        return payload
+
+    def _write_record(self, slot: int, payload: bytes) -> None:
+        size = record_size(self._capacity)
+        if len(payload) != size:
+            raise StoreCorruptedError(
+                f"record for slot {slot} has {len(payload)} bytes, expected {size}"
+            )
+        self._file.seek(slot * size)
+        self._file.write(payload)
+        self._bytes_written += size

@@ -1,0 +1,59 @@
+"""Partitioning of the source set across parallel workers.
+
+Section 5.2 of the paper distributes the ``BD[.]`` data structure evenly over
+``p`` shared-nothing machines: each machine owns a contiguous range of
+roughly ``n/p`` sources, processes updates for those sources independently,
+and the partial betweenness scores are summed at the end (the reduce step of
+Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.exceptions import PartitionError
+from repro.types import Vertex
+
+
+@dataclass(frozen=True)
+class SourcePartition:
+    """A contiguous range of sources assigned to one worker.
+
+    ``worker_id`` identifies the mapper; ``sources`` is the tuple of source
+    vertices it is responsible for (kept explicit rather than as an index
+    range so partitions remain valid if the caller reorders vertices).
+    """
+
+    worker_id: int
+    sources: tuple
+
+    def __len__(self) -> int:
+        return len(self.sources)
+
+    def __iter__(self):
+        return iter(self.sources)
+
+
+def partition_sources(
+    sources: Sequence[Vertex], num_workers: int
+) -> List[SourcePartition]:
+    """Split ``sources`` into ``num_workers`` balanced contiguous partitions.
+
+    The first ``len(sources) % num_workers`` partitions receive one extra
+    source, so sizes differ by at most one.  Empty partitions are allowed
+    when there are more workers than sources (they simply do no work), which
+    keeps weak-scaling experiments simple.
+    """
+    if num_workers < 1:
+        raise PartitionError(f"num_workers must be >= 1, got {num_workers}")
+    total = len(sources)
+    base_size, remainder = divmod(total, num_workers)
+    partitions: List[SourcePartition] = []
+    start = 0
+    for worker_id in range(num_workers):
+        size = base_size + (1 if worker_id < remainder else 0)
+        chunk = tuple(sources[start : start + size])
+        partitions.append(SourcePartition(worker_id=worker_id, sources=chunk))
+        start += size
+    return partitions

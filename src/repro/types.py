@@ -1,0 +1,35 @@
+"""Shared type aliases and constants used across the library."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+#: Vertices may be any hashable object (integers, strings, tuples, ...).
+Vertex = Hashable
+
+#: An undirected edge is canonically represented as a sorted 2-tuple so that
+#: ``(u, v)`` and ``(v, u)`` map to the same key in score dictionaries.
+Edge = Tuple[Vertex, Vertex]
+
+#: Mapping from vertex to its betweenness centrality score.
+VertexScores = Dict[Vertex, float]
+
+#: Mapping from (canonical) edge to its betweenness centrality score.
+EdgeScores = Dict[Edge, float]
+
+#: Sentinel distance used for vertices that are unreachable from a source.
+#: The on-disk format stores distances as signed 16-bit integers, hence -1.
+UNREACHABLE: int = -1
+
+
+def canonical_edge(u: Vertex, v: Vertex) -> Edge:
+    """Return the canonical (order-independent) representation of an edge.
+
+    The two endpoints are sorted by ``repr`` when they are not directly
+    comparable (e.g. mixed ``int`` and ``str`` vertices), which keeps the
+    canonical form deterministic for any hashable vertex type.
+    """
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)

@@ -1,0 +1,24 @@
+"""Small shared utilities (timing, statistics, validation, RNG helpers)."""
+
+from repro.utils.rng import ensure_rng
+from repro.utils.stats import (
+    SummaryStats,
+    empirical_cdf,
+    geometric_mean,
+    median,
+    percentile,
+    summarize,
+)
+from repro.utils.timing import Timer, timed
+
+__all__ = [
+    "ensure_rng",
+    "SummaryStats",
+    "empirical_cdf",
+    "geometric_mean",
+    "median",
+    "percentile",
+    "summarize",
+    "Timer",
+    "timed",
+]

@@ -1,0 +1,40 @@
+"""Helpers for deterministic random number generation.
+
+Every stochastic component in the library (graph generators, update-stream
+generators, sampling-based approximations) accepts either a seed or an
+existing :class:`random.Random` instance, and funnels it through
+:func:`ensure_rng` so that experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+RandomLike = Union[int, random.Random, None]
+
+
+def ensure_rng(seed: RandomLike = None) -> random.Random:
+    """Return a :class:`random.Random` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for a fresh non-deterministic generator, an ``int`` seed for
+        a deterministic generator, or an existing :class:`random.Random`
+        instance which is returned unchanged (useful to share one stream
+        across several components).
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def spawn(rng: random.Random) -> random.Random:
+    """Derive an independent child generator from ``rng``.
+
+    The child is seeded from the parent stream, so a single top-level seed
+    still yields a fully deterministic experiment even when sub-components
+    consume a varying number of random draws.
+    """
+    return random.Random(rng.getrandbits(64))

@@ -1,0 +1,75 @@
+"""Lightweight timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    A single :class:`Timer` can time many intervals; it records each lap so
+    callers can later inspect the distribution (used for per-edge update
+    timings in the speedup experiments).
+    """
+
+    laps: List[float] = field(default_factory=list)
+    _started_at: float = field(default=0.0, repr=False)
+    _running: bool = field(default=False, repr=False)
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("timer is already running")
+        self._started_at = time.perf_counter()
+        self._running = True
+
+    def stop(self) -> float:
+        """Stop the current lap and return its duration in seconds."""
+        if not self._running:
+            raise RuntimeError("timer is not running")
+        elapsed = time.perf_counter() - self._started_at
+        self.laps.append(elapsed)
+        self._running = False
+        return elapsed
+
+    @contextmanager
+    def measure(self) -> Iterator["Timer"]:
+        """Context manager that times the enclosed block as one lap."""
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+    @property
+    def total(self) -> float:
+        """Total time across all laps, in seconds."""
+        return sum(self.laps)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded laps."""
+        return len(self.laps)
+
+    @property
+    def mean(self) -> float:
+        """Mean lap duration in seconds (0.0 when no lap was recorded)."""
+        return self.total / self.count if self.laps else 0.0
+
+    def reset(self) -> None:
+        """Forget all recorded laps."""
+        self.laps.clear()
+        self._running = False
+
+
+def timed(func: Callable[..., T], *args: object, **kwargs: object) -> Tuple[T, float]:
+    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,39 @@
+"""Argument-validation helpers shared by the public API."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+
+
+def require_positive(name: str, value: float) -> float:
+    """Raise :class:`ConfigurationError` unless ``value`` is > 0."""
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def require_non_negative(name: str, value: float) -> float:
+    """Raise :class:`ConfigurationError` unless ``value`` is >= 0."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def require_probability(name: str, value: float) -> float:
+    """Raise :class:`ConfigurationError` unless ``value`` is in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def require_in_range(
+    name: str, value: float, low: Optional[float] = None, high: Optional[float] = None
+) -> float:
+    """Raise :class:`ConfigurationError` unless ``low <= value <= high``."""
+    if low is not None and value < low:
+        raise ConfigurationError(f"{name} must be >= {low}, got {value!r}")
+    if high is not None and value > high:
+        raise ConfigurationError(f"{name} must be <= {high}, got {value!r}")
+    return value

@@ -1,0 +1,72 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph import Graph
+
+
+@pytest.fixture
+def path5() -> Graph:
+    """Path graph 0-1-2-3-4."""
+    return Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+
+
+@pytest.fixture
+def cycle6() -> Graph:
+    """Cycle graph on 6 vertices."""
+    return Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+
+
+@pytest.fixture
+def star_graph5() -> Graph:
+    """Star with center 0 and 5 leaves."""
+    return Graph.from_edges([(0, i) for i in range(1, 6)])
+
+
+@pytest.fixture
+def two_triangles_bridge() -> Graph:
+    """Two triangles joined by a single bridge edge (2, 3).
+
+    The bridge has the maximum edge betweenness and its endpoints the
+    maximum vertex betweenness — a canonical "weak tie" configuration.
+    """
+    return Graph.from_edges(
+        [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+    )
+
+
+@pytest.fixture
+def disconnected_graph() -> Graph:
+    """Two separate components: a triangle and a path."""
+    return Graph.from_edges([(0, 1), (1, 2), (0, 2), (10, 11), (11, 12)])
+
+
+def random_connected_graph(n: int, extra_edge_probability: float, seed: int) -> Graph:
+    """Random connected graph: a random spanning tree plus random extra edges."""
+    rng = random.Random(seed)
+    graph = Graph()
+    graph.add_vertex(0)
+    for vertex in range(1, n):
+        graph.add_edge(vertex, rng.randrange(vertex))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not graph.has_edge(u, v) and rng.random() < extra_edge_probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def random_graph(n: int, edge_probability: float, seed: int) -> Graph:
+    """Plain G(n, p) random graph (possibly disconnected)."""
+    rng = random.Random(seed)
+    graph = Graph()
+    for vertex in range(n):
+        graph.add_vertex(vertex)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < edge_probability:
+                graph.add_edge(u, v)
+    return graph

@@ -1,0 +1,50 @@
+"""Assertion helpers shared across test modules."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.algorithms import brandes_betweenness
+from repro.core.framework import IncrementalBetweenness
+from repro.graph import Graph
+
+TOLERANCE = 1e-8
+
+
+def assert_scores_equal(actual: Dict, expected: Dict, tolerance: float = TOLERANCE, label: str = "") -> None:
+    """Assert two score dictionaries agree on every key within ``tolerance``.
+
+    Keys missing from one side are treated as 0.0, which matches the
+    semantics of betweenness scores (absent = never on a shortest path).
+    """
+    for key in set(actual) | set(expected):
+        a = actual.get(key, 0.0)
+        e = expected.get(key, 0.0)
+        assert abs(a - e) <= tolerance, f"{label} score mismatch for {key!r}: {a} != {e}"
+
+
+def assert_framework_matches_recompute(
+    framework: IncrementalBetweenness, tolerance: float = TOLERANCE
+) -> None:
+    """Assert a framework's scores and stored BD match a fresh Brandes run."""
+    reference = brandes_betweenness(
+        framework.graph, keep_predecessors=False, collect_source_data=True
+    )
+    assert_scores_equal(
+        framework.vertex_betweenness(), reference.vertex_scores, tolerance, "vertex"
+    )
+    assert_scores_equal(
+        framework.edge_betweenness(), reference.edge_scores, tolerance, "edge"
+    )
+    for source, expected in reference.source_data.items():
+        stored = framework.store.get(source)
+        assert stored.distance == expected.distance, f"distance mismatch for source {source!r}"
+        assert stored.sigma == expected.sigma, f"sigma mismatch for source {source!r}"
+        assert_scores_equal(stored.delta, expected.delta, tolerance, f"delta[{source!r}]")
+
+
+def graphs_equal(a: Graph, b: Graph) -> bool:
+    """Structural equality of two graphs (same vertices and edges)."""
+    if set(a.vertices()) != set(b.vertices()):
+        return False
+    return set(a.edges()) == set(b.edges())

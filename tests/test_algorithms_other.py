@@ -1,0 +1,102 @@
+"""Tests for the approximation, brute-force oracle and recompute baseline."""
+
+import pytest
+
+from repro.algorithms import (
+    RecomputeBetweenness,
+    approximate_betweenness,
+    brandes_betweenness,
+    brute_force_betweenness,
+)
+from repro.exceptions import ConfigurationError, UpdateError
+from repro.generators import complete_graph, star_graph
+
+from .conftest import random_connected_graph
+from .helpers import assert_scores_equal
+
+
+class TestBruteForce:
+    def test_star_graph(self):
+        vertex_scores, edge_scores = brute_force_betweenness(star_graph(4))
+        assert vertex_scores[0] == pytest.approx(12.0)
+        assert edge_scores[(0, 1)] == pytest.approx(8.0)
+
+    def test_empty_graph(self):
+        from repro.graph import Graph
+
+        vertex_scores, edge_scores = brute_force_betweenness(Graph())
+        assert vertex_scores == {} and edge_scores == {}
+
+
+class TestApproximateBetweenness:
+    def test_full_sampling_is_exact(self):
+        graph = random_connected_graph(12, 0.2, seed=5)
+        exact = brandes_betweenness(graph)
+        approx_vertex, approx_edge = approximate_betweenness(
+            graph, num_sources=graph.num_vertices, rng=0
+        )
+        assert_scores_equal(approx_vertex, exact.vertex_scores)
+        assert_scores_equal(approx_edge, exact.edge_scores)
+
+    def test_partial_sampling_reasonable_on_star(self):
+        graph = star_graph(20)
+        approx_vertex, _ = approximate_betweenness(graph, num_sources=10, rng=1)
+        exact_center = 20 * 19
+        assert approx_vertex[0] == pytest.approx(exact_center, rel=0.35)
+
+    def test_invalid_sample_size(self):
+        graph = complete_graph(4)
+        with pytest.raises(ConfigurationError):
+            approximate_betweenness(graph, num_sources=0)
+        with pytest.raises(ConfigurationError):
+            approximate_betweenness(graph, num_sources=5)
+
+    def test_edges_can_be_skipped(self):
+        graph = complete_graph(4)
+        _, edge_scores = approximate_betweenness(
+            graph, num_sources=2, rng=2, include_edges=False
+        )
+        assert edge_scores is None
+
+    def test_empty_graph(self):
+        from repro.graph import Graph
+
+        vertex_scores, edge_scores = approximate_betweenness(Graph(), num_sources=1)
+        assert vertex_scores == {} and edge_scores == {}
+
+
+class TestRecomputeBaseline:
+    def test_tracks_additions(self, path5):
+        baseline = RecomputeBetweenness(path5)
+        baseline.add_edge(0, 4)
+        reference = brandes_betweenness(baseline.graph)
+        assert_scores_equal(baseline.vertex_betweenness(), reference.vertex_scores)
+        assert_scores_equal(baseline.edge_betweenness(), reference.edge_scores)
+
+    def test_tracks_removals(self, cycle6):
+        baseline = RecomputeBetweenness(cycle6)
+        baseline.remove_edge(0, 1)
+        reference = brandes_betweenness(baseline.graph)
+        assert_scores_equal(baseline.vertex_betweenness(), reference.vertex_scores)
+
+    def test_duplicate_addition_rejected(self, path5):
+        baseline = RecomputeBetweenness(path5)
+        with pytest.raises(UpdateError):
+            baseline.add_edge(0, 1)
+
+    def test_missing_removal_rejected(self, path5):
+        baseline = RecomputeBetweenness(path5)
+        with pytest.raises(UpdateError):
+            baseline.remove_edge(0, 4)
+
+    def test_original_graph_not_mutated(self, path5):
+        baseline = RecomputeBetweenness(path5)
+        baseline.add_edge(0, 4)
+        assert not path5.has_edge(0, 4)
+
+    def test_single_scores(self, star_graph5):
+        baseline = RecomputeBetweenness(star_graph5)
+        assert baseline.vertex_score(0) == pytest.approx(20.0)
+        # Edge (0, 1) carries the pair (0, 1) itself plus (1, t) for the four
+        # other leaves, in both directions: 2 + 8 = 10.
+        assert baseline.edge_score(0, 1) == pytest.approx(10.0)

@@ -1,0 +1,112 @@
+"""Tests for the Girvan–Newman and top-k monitoring applications."""
+
+import pytest
+
+from repro.applications import TopKMonitor, girvan_newman, modularity
+from repro.core import EdgeUpdate
+from repro.exceptions import ConfigurationError
+from repro.generators import synthetic_social_graph
+from repro.graph import Graph
+
+
+@pytest.fixture
+def two_communities():
+    """Two dense 4-cliques joined by a single bridge."""
+    edges = []
+    for base in (0, 4):
+        members = range(base, base + 4)
+        edges.extend(
+            (u, v) for u in members for v in members if u < v
+        )
+    edges.append((3, 4))
+    return Graph.from_edges(edges)
+
+
+class TestModularity:
+    def test_perfect_split_has_positive_modularity(self, two_communities):
+        partition = [{0, 1, 2, 3}, {4, 5, 6, 7}]
+        assert modularity(two_communities, partition) > 0.3
+
+    def test_single_community_modularity_zero_or_negative(self, two_communities):
+        whole = [set(two_communities.vertices())]
+        assert modularity(two_communities, whole) <= 1e-9
+
+    def test_empty_graph(self):
+        assert modularity(Graph(), []) == 0.0
+
+
+class TestGirvanNewman:
+    def test_bridge_removed_first(self, two_communities):
+        result = girvan_newman(two_communities, max_removals=1)
+        assert result.removed_edges[0] == (3, 4)
+        assert result.num_levels == 1
+        assert result.hierarchy.levels[0] == [{0, 1, 2, 3}, {4, 5, 6, 7}] or \
+            sorted(map(sorted, result.hierarchy.levels[0])) == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+    def test_incremental_and_recompute_agree(self, two_communities):
+        incremental = girvan_newman(two_communities, max_removals=6, use_incremental=True)
+        recompute = girvan_newman(two_communities, max_removals=6, use_incremental=False)
+        assert incremental.removed_edges == recompute.removed_edges
+        assert len(incremental.hierarchy.levels) == len(recompute.hierarchy.levels)
+
+    def test_target_communities_stops_early(self, two_communities):
+        result = girvan_newman(two_communities, target_communities=2)
+        assert result.num_levels >= 1
+        assert result.edges_processed < two_communities.num_edges
+
+    def test_full_run_removes_all_edges(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        result = girvan_newman(g)
+        assert result.edges_processed == 3
+
+    def test_best_partition_maximises_modularity(self, two_communities):
+        result = girvan_newman(two_communities, max_removals=8)
+        partition, q = result.hierarchy.best_partition(two_communities)
+        assert q == pytest.approx(
+            modularity(two_communities, partition)
+        )
+        assert q > 0.3
+
+    def test_input_graph_untouched(self, two_communities):
+        before = two_communities.num_edges
+        girvan_newman(two_communities, max_removals=3)
+        assert two_communities.num_edges == before
+
+    def test_invalid_max_removals(self, two_communities):
+        with pytest.raises(ConfigurationError):
+            girvan_newman(two_communities, max_removals=-1)
+
+    def test_larger_social_graph_smoke(self):
+        g = synthetic_social_graph(60, rng=5)
+        result = girvan_newman(g, max_removals=10)
+        assert result.edges_processed == 10
+
+
+class TestTopKMonitor:
+    def test_snapshots_track_updates(self, two_communities):
+        monitor = TopKMonitor(two_communities, k=3)
+        snapshot = monitor.process(EdgeUpdate.addition(0, 5))
+        assert len(snapshot.top_vertices) == 3
+        assert len(monitor.snapshots) == 1
+
+    def test_bridge_endpoints_lead_ranking(self, two_communities):
+        monitor = TopKMonitor(two_communities, k=2)
+        top = monitor.top_vertices()
+        assert {vertex for vertex, _ in top} == {3, 4}
+
+    def test_ranking_churn_counts_changes(self, two_communities):
+        monitor = TopKMonitor(two_communities, k=4)
+        monitor.process(EdgeUpdate.addition(0, 6))
+        monitor.process(EdgeUpdate.removal(3, 4))
+        churn = monitor.ranking_churn()
+        assert len(churn) == 1
+        assert churn[0] >= 0
+
+    def test_top_edges_tracked_when_enabled(self, two_communities):
+        monitor = TopKMonitor(two_communities, k=2, track_edges=True)
+        snapshot = monitor.process(EdgeUpdate.addition(1, 6))
+        assert len(snapshot.top_edges) == 2
+
+    def test_invalid_k(self, two_communities):
+        with pytest.raises(ConfigurationError):
+            TopKMonitor(two_communities, k=0)

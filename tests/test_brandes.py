@@ -1,0 +1,116 @@
+"""Tests for the static Brandes implementations.
+
+The reference values come from Definitions 2.1/2.2 (ordered-pair counting,
+no halving on undirected graphs) and from the brute-force path enumerator.
+"""
+
+import pytest
+
+from repro.algorithms import brandes_betweenness, brandes_vertex_betweenness, brute_force_betweenness, edge_betweenness, vertex_betweenness
+from repro.generators import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graph import Graph
+
+from .conftest import random_graph
+from .helpers import assert_scores_equal
+
+
+class TestKnownValues:
+    def test_path_graph_vertex_scores(self, path5):
+        scores = vertex_betweenness(path5)
+        # Middle vertex of a 5-path lies on 2*(2*3)/... ordered pairs: (0,1,..4)
+        assert scores[2] == pytest.approx(8.0)
+        assert scores[1] == pytest.approx(6.0)
+        assert scores[0] == pytest.approx(0.0)
+
+    def test_star_graph_center(self):
+        g = star_graph(5)
+        scores = vertex_betweenness(g)
+        # Center lies on every ordered pair of distinct leaves: 5*4 = 20.
+        assert scores[0] == pytest.approx(20.0)
+        assert all(scores[leaf] == pytest.approx(0.0) for leaf in range(1, 6))
+
+    def test_complete_graph_all_zero(self):
+        scores = vertex_betweenness(complete_graph(5))
+        assert all(value == pytest.approx(0.0) for value in scores.values())
+
+    def test_cycle_graph_symmetry(self):
+        scores = vertex_betweenness(cycle_graph(6))
+        values = list(scores.values())
+        assert all(value == pytest.approx(values[0]) for value in values)
+
+    def test_path_graph_edge_scores(self, path5):
+        scores = edge_betweenness(path5)
+        # The middle edge (1,2)/(2,3) carries 2*(2*3) = 12 ordered-pair paths.
+        assert scores[(1, 2)] == pytest.approx(12.0)
+        assert scores[(0, 1)] == pytest.approx(8.0)
+
+    def test_bridge_edge_has_maximum_betweenness(self, two_triangles_bridge):
+        scores = edge_betweenness(two_triangles_bridge)
+        assert max(scores, key=scores.get) == (2, 3)
+        # Bridge carries all 2*3*3 = 18 ordered cross pairs.
+        assert scores[(2, 3)] == pytest.approx(18.0)
+
+    def test_disconnected_graph_scores(self, disconnected_graph):
+        scores = vertex_betweenness(disconnected_graph)
+        assert scores[11] == pytest.approx(2.0)
+        assert scores[1] == pytest.approx(0.0)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_random_graphs_match_brute_force(self, seed):
+        graph = random_graph(8, 0.3, seed)
+        expected_vertex, expected_edge = brute_force_betweenness(graph)
+        result = brandes_betweenness(graph)
+        assert_scores_equal(result.vertex_scores, expected_vertex, label="vertex")
+        assert_scores_equal(result.edge_scores, expected_edge, label="edge")
+
+    def test_directed_graph_matches_brute_force(self):
+        g = Graph(directed=True)
+        for u, v in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)]:
+            g.add_edge(u, v)
+        expected_vertex, expected_edge = brute_force_betweenness(g)
+        result = brandes_betweenness(g)
+        assert_scores_equal(result.vertex_scores, expected_vertex, label="vertex")
+        assert_scores_equal(result.edge_scores, expected_edge, label="edge")
+
+
+class TestVariantsAgree:
+    @pytest.mark.parametrize("seed", [10, 11, 12])
+    def test_predecessor_free_matches_predecessor_variant(self, seed):
+        graph = random_graph(15, 0.2, seed)
+        with_preds = brandes_betweenness(graph, keep_predecessors=True)
+        without = brandes_betweenness(graph, keep_predecessors=False)
+        assert_scores_equal(with_preds.vertex_scores, without.vertex_scores)
+        assert_scores_equal(with_preds.edge_scores, without.edge_scores)
+
+    def test_brandes_vertex_betweenness_wrapper(self, path5):
+        assert brandes_vertex_betweenness(path5)[2] == pytest.approx(8.0)
+
+
+class TestSourceData:
+    def test_source_data_collected_on_request(self, path5):
+        result = brandes_betweenness(path5, collect_source_data=True)
+        assert set(result.source_data) == set(path5.vertices())
+        data = result.source_data[0]
+        assert data.distance[4] == 4
+        assert data.sigma[4] == 1
+
+    def test_source_data_absent_by_default(self, path5):
+        assert brandes_betweenness(path5).source_data is None
+
+    def test_dependency_values_on_path(self, path5):
+        data = brandes_betweenness(path5, collect_source_data=True).source_data[0]
+        # From source 0 on a path, delta(1) = 3, delta(2) = 2, delta(3) = 1.
+        assert data.delta[1] == pytest.approx(3.0)
+        assert data.delta[3] == pytest.approx(1.0)
+
+    def test_partial_sources_sum_to_full(self, two_triangles_bridge):
+        vertices = list(two_triangles_bridge.vertices())
+        half_a = brandes_betweenness(two_triangles_bridge, sources=vertices[:3])
+        half_b = brandes_betweenness(two_triangles_bridge, sources=vertices[3:])
+        full = brandes_betweenness(two_triangles_bridge)
+        combined = {
+            v: half_a.vertex_scores[v] + half_b.vertex_scores[v] for v in vertices
+        }
+        assert_scores_equal(combined, full.vertex_scores)

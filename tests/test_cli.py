@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "--dataset", "nope"])
+
+
+class TestCommands:
+    def test_datasets_lists_all_stand_ins(self, capsys):
+        code, out = run_cli(capsys, "datasets")
+        assert code == 0
+        assert "facebook" in out and "synthetic-1k" in out
+
+    def test_related_work_table(self, capsys):
+        code, out = run_cli(capsys, "related-work")
+        assert code == 0
+        assert "This work" in out
+
+    def test_profile_row(self, capsys):
+        code, out = run_cli(capsys, "profile", "--dataset", "synthetic-1k", "--vertices", "60")
+        assert code == 0
+        assert "synthetic-1k" in out
+        assert "AD" in out
+
+    def test_speedup_addition(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "speedup", "--dataset", "synthetic-1k", "--vertices", "60",
+            "--edges", "2", "--kind", "add", "--variant", "MO",
+        )
+        assert code == 0
+        assert "per-edge speedups" in out
+
+    def test_speedup_removal(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "speedup", "--dataset", "synthetic-1k", "--vertices", "60",
+            "--edges", "2", "--kind", "remove",
+        )
+        assert code == 0
+        assert "remove" in out
+
+    def test_online_replay(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "online", "--dataset", "synthetic-1k", "--vertices", "60",
+            "--edges", "4", "--mappers", "1,5",
+        )
+        assert code == 0
+        assert "missed" in out
+        assert out.count("synthetic-1k") >= 2
+
+    def test_communities(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "communities", "--dataset", "synthetic-1k", "--vertices", "50",
+            "--removals", "5",
+        )
+        assert code == 0
+        assert "modularity" in out
+
+    def test_proxies(self, capsys):
+        code, out = run_cli(
+            capsys, "proxies", "--dataset", "synthetic-1k", "--vertices", "50"
+        )
+        assert code == 0
+        assert "degree" in out and "closeness" in out

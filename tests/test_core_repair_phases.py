@@ -1,0 +1,158 @@
+"""Unit tests of the search-phase repairs (addition and removal plans).
+
+These check the intermediate :class:`RepairPlan` artefacts directly —
+distances, shortest-path counts, affected sets, pivots and disconnections —
+against values recomputed from scratch, for each of the paper's structural
+cases.
+"""
+
+import pytest
+
+from repro.algorithms import brandes_betweenness
+from repro.core import EdgeUpdate
+from repro.core.addition import repair_addition_same_level, repair_addition_structural
+from repro.core.removal import find_drop_set, repair_removal_same_level, repair_removal_structural
+from repro.graph import Graph
+
+
+def bd(graph, source):
+    return brandes_betweenness(graph, collect_source_data=True).source_data[source]
+
+
+def fresh(graph, source):
+    return brandes_betweenness(graph, collect_source_data=True).source_data[source]
+
+
+class TestAdditionSameLevel:
+    def test_sigma_updates_in_subdag(self):
+        # 0-1, 0-2, 1-3, 3-4 ; adding (2, 3) creates a second path to 3 and 4.
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 3), (3, 4)])
+        data = bd(g, 0)
+        g2 = g.copy()
+        g2.add_edge(2, 3)
+        plan = repair_addition_same_level(g2, data, high=2, low=3)
+        expected = fresh(g2, 0)
+        assert plan.new_sigma[3] == expected.sigma[3] == 2
+        assert plan.new_sigma[4] == expected.sigma[4] == 2
+        assert plan.new_distance == {}  # no structural change
+        assert plan.affected == {3, 4}
+
+    def test_affected_set_limited_to_descendants(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 3), (2, 4)])
+        data = bd(g, 0)
+        g2 = g.copy()
+        g2.add_edge(1, 4)  # d(1)=1, d(4)=2
+        plan = repair_addition_same_level(g2, data, high=1, low=4)
+        assert plan.affected == {4}
+        assert plan.new_sigma[4] == 2
+
+
+class TestAdditionStructural:
+    def test_distances_and_sigma_match_recompute(self, path5):
+        data = bd(path5, 0)
+        g2 = path5.copy()
+        g2.add_edge(0, 4)
+        plan = repair_addition_structural(g2, data, high=0, low=4)
+        expected = fresh(g2, 0)
+        assert plan.new_distance[4] == expected.distance[4] == 1
+        assert plan.new_distance[3] == expected.distance[3] == 2
+        for vertex in plan.affected:
+            assert plan.new_sigma[vertex] == expected.sigma[vertex]
+
+    def test_connecting_components_discovers_whole_component(self, disconnected_graph):
+        data = bd(disconnected_graph, 0)
+        g2 = disconnected_graph.copy()
+        g2.add_edge(2, 10)
+        plan = repair_addition_structural(g2, data, high=2, low=10)
+        expected = fresh(g2, 0)
+        assert {10, 11, 12} <= plan.affected
+        for vertex in (10, 11, 12):
+            assert plan.new_distance[vertex] == expected.distance[vertex]
+            assert plan.new_sigma[vertex] == expected.sigma[vertex]
+
+    def test_sibling_becomes_child(self):
+        # 0-1-2-3 plus 0-4-3: adding (0, 3) pulls 3 to level 1 and turns its
+        # former siblings/predecessors into successors.
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (0, 4), (4, 3)])
+        data = bd(g, 0)
+        g2 = g.copy()
+        g2.add_edge(0, 3)
+        plan = repair_addition_structural(g2, data, high=0, low=3)
+        expected = fresh(g2, 0)
+        for vertex in plan.affected:
+            assert plan.new_sigma[vertex] == expected.sigma[vertex]
+            assert plan.new_distance.get(vertex, data.distance.get(vertex)) == expected.distance[vertex]
+
+
+class TestRemovalSameLevel:
+    def test_sigma_decreases_in_subdag(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+        data = bd(g, 0)
+        g2 = g.copy()
+        g2.remove_edge(1, 3)
+        plan = repair_removal_same_level(g2, data, high=1, low=3)
+        expected = fresh(g2, 0)
+        assert plan.new_sigma[3] == expected.sigma[3] == 1
+        assert plan.new_sigma[4] == expected.sigma[4] == 1
+        assert plan.removed_edge_dependency == pytest.approx(
+            data.sigma[1] / data.sigma[3] * (1 + data.delta[3])
+        )
+
+
+class TestDropSet:
+    def test_path_drop_set_is_suffix(self, path5):
+        data = bd(path5, 0)
+        g2 = path5.copy()
+        g2.remove_edge(2, 3)
+        drop = find_drop_set(g2, data, low=3)
+        assert drop == {3, 4}
+
+    def test_vertex_with_alternative_parent_not_dropped(self):
+        # 4 is fed both through 3 (dropped) and through 2 (kept).
+        g = Graph.from_edges([(0, 1), (1, 3), (3, 4), (0, 2), (2, 4)])
+        data = bd(g, 0)
+        g2 = g.copy()
+        g2.remove_edge(1, 3)
+        drop = find_drop_set(g2, data, low=3)
+        assert drop == {3}
+
+    def test_cycle_drop_set_single_vertex(self, cycle6):
+        data = bd(cycle6, 0)
+        g2 = cycle6.copy()
+        g2.remove_edge(1, 2)
+        drop = find_drop_set(g2, data, low=2)
+        assert drop == {2}
+
+
+class TestRemovalStructural:
+    def test_distances_repaired_through_pivots(self, cycle6):
+        data = bd(cycle6, 0)
+        g2 = cycle6.copy()
+        g2.remove_edge(0, 1)
+        plan = repair_removal_structural(g2, data, high=0, low=1)
+        expected = fresh(g2, 0)
+        assert plan.new_distance[1] == expected.distance[1] == 5
+        assert not plan.disconnected
+        for vertex in plan.affected:
+            assert plan.new_sigma[vertex] == expected.sigma[vertex]
+
+    def test_disconnection_detected(self, path5):
+        data = bd(path5, 0)
+        g2 = path5.copy()
+        g2.remove_edge(2, 3)
+        plan = repair_removal_structural(g2, data, high=2, low=3)
+        assert sorted(plan.disconnected) == [3, 4]
+        assert plan.affected == set()
+
+    def test_partial_drop_with_reconnection(self):
+        # Removing (1, 3): 3 and 5 must be re-reached through 2-4.
+        g = Graph.from_edges([(0, 1), (1, 3), (3, 5), (0, 2), (2, 4), (4, 5)])
+        data = bd(g, 0)
+        g2 = g.copy()
+        g2.remove_edge(1, 3)
+        plan = repair_removal_structural(g2, data, high=1, low=3)
+        expected = fresh(g2, 0)
+        assert not plan.disconnected
+        assert plan.new_distance[3] == expected.distance[3] == 4
+        for vertex in plan.affected:
+            assert plan.new_sigma[vertex] == expected.sigma[vertex]

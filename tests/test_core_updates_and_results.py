@@ -1,0 +1,72 @@
+"""Tests for the update-stream primitives and result/statistics objects."""
+
+import pytest
+
+from repro.core import EdgeUpdate, UpdateKind, additions, removals
+from repro.core.classification import UpdateCase
+from repro.core.result import SourceUpdateStats, UpdateResult
+from repro.core.updates import interleave_by_timestamp
+
+
+class TestEdgeUpdate:
+    def test_addition_constructor(self):
+        update = EdgeUpdate.addition(1, 2, timestamp=5.0)
+        assert update.is_addition and not update.is_removal
+        assert update.kind is UpdateKind.ADDITION
+        assert update.endpoints == (1, 2)
+        assert update.timestamp == 5.0
+
+    def test_removal_constructor(self):
+        update = EdgeUpdate.removal("a", "b")
+        assert update.is_removal
+        assert update.timestamp is None
+
+    def test_updates_are_hashable_and_frozen(self):
+        update = EdgeUpdate.addition(1, 2)
+        assert update in {update}
+        with pytest.raises(AttributeError):
+            update.u = 9
+
+    def test_additions_and_removals_helpers(self):
+        adds = additions([(1, 2), (3, 4)])
+        rems = removals([(5, 6)])
+        assert all(u.is_addition for u in adds)
+        assert all(u.is_removal for u in rems)
+        assert len(adds) == 2 and len(rems) == 1
+
+
+class TestInterleave:
+    def test_sorted_by_timestamp(self):
+        stream_a = [EdgeUpdate.addition(1, 2, timestamp=3.0)]
+        stream_b = [EdgeUpdate.removal(3, 4, timestamp=1.0)]
+        merged = list(interleave_by_timestamp(stream_a, stream_b))
+        assert merged[0].timestamp == 1.0
+        assert merged[1].timestamp == 3.0
+
+    def test_untimestamped_go_last(self):
+        stream = [EdgeUpdate.addition(1, 2), EdgeUpdate.addition(3, 4, timestamp=0.5)]
+        merged = list(interleave_by_timestamp(stream))
+        assert merged[0].timestamp == 0.5
+        assert merged[1].timestamp is None
+
+
+class TestUpdateResult:
+    def test_record_accumulates_counts(self):
+        result = UpdateResult(update=EdgeUpdate.addition(0, 1))
+        result.record(SourceUpdateStats(case=UpdateCase.SKIP))
+        result.record(
+            SourceUpdateStats(
+                case=UpdateCase.ADD_STRUCTURAL,
+                affected_vertices=3,
+                touched_vertices=5,
+            )
+        )
+        assert result.sources_processed == 2
+        assert result.sources_skipped == 1
+        assert result.affected_vertices == 3
+        assert result.touched_vertices == 5
+        assert result.skip_fraction == pytest.approx(0.5)
+
+    def test_empty_result_skip_fraction(self):
+        result = UpdateResult(update=EdgeUpdate.addition(0, 1))
+        assert result.skip_fraction == 0.0

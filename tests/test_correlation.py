@@ -1,0 +1,136 @@
+"""Tests for the rank-correlation utilities and the proxy-centrality claim."""
+
+import pytest
+
+from repro.algorithms import (
+    approximate_betweenness,
+    brandes_betweenness,
+    closeness_centrality,
+    degree_centrality,
+    vertex_betweenness,
+)
+from repro.analysis import (
+    compare_rankings,
+    kendall_tau,
+    mean_absolute_error,
+    spearman_correlation,
+    top_k_overlap,
+)
+from repro.exceptions import ConfigurationError
+from repro.generators import path_graph, star_graph, synthetic_social_graph
+
+
+class TestSpearman:
+    def test_identical_rankings(self):
+        scores = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert spearman_correlation(scores, scores) == pytest.approx(1.0)
+
+    def test_reversed_rankings(self):
+        a = {"a": 3.0, "b": 2.0, "c": 1.0}
+        b = {"a": 1.0, "b": 2.0, "c": 3.0}
+        assert spearman_correlation(a, b) == pytest.approx(-1.0)
+
+    def test_constant_ranking_gives_zero(self):
+        a = {"a": 1.0, "b": 1.0, "c": 1.0}
+        b = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert spearman_correlation(a, b) == 0.0
+
+    def test_needs_two_common_keys(self):
+        with pytest.raises(ConfigurationError):
+            spearman_correlation({"a": 1.0}, {"a": 2.0})
+
+    def test_only_common_keys_are_used(self):
+        a = {"a": 1.0, "b": 2.0, "z": 99.0}
+        b = {"a": 10.0, "b": 20.0, "y": -5.0}
+        assert spearman_correlation(a, b) == pytest.approx(1.0)
+
+
+class TestKendall:
+    def test_identical_and_reversed(self):
+        a = {i: float(i) for i in range(5)}
+        b = {i: float(-i) for i in range(5)}
+        assert kendall_tau(a, a) == pytest.approx(1.0)
+        assert kendall_tau(a, b) == pytest.approx(-1.0)
+
+    def test_partial_agreement_is_between(self):
+        a = {"a": 1.0, "b": 2.0, "c": 3.0, "d": 4.0}
+        b = {"a": 1.0, "b": 2.0, "c": 4.0, "d": 3.0}
+        tau = kendall_tau(a, b)
+        assert 0.0 < tau < 1.0
+
+    def test_ties_handled(self):
+        a = {"a": 1.0, "b": 1.0, "c": 2.0}
+        b = {"a": 1.0, "b": 2.0, "c": 3.0}
+        assert -1.0 <= kendall_tau(a, b) <= 1.0
+
+
+class TestTopKAndMae:
+    def test_top_k_overlap_full_and_empty(self):
+        a = {"a": 3.0, "b": 2.0, "c": 1.0}
+        b = {"a": 30.0, "b": 20.0, "c": 10.0}
+        assert top_k_overlap(a, b, 2) == pytest.approx(1.0)
+        c = {"a": 1.0, "b": 2.0, "c": 3.0}
+        assert top_k_overlap(a, c, 1) == pytest.approx(0.0)
+
+    def test_top_k_invalid(self):
+        with pytest.raises(ConfigurationError):
+            top_k_overlap({"a": 1.0}, {"a": 1.0}, 0)
+
+    def test_mean_absolute_error(self):
+        assert mean_absolute_error({"a": 1.0, "b": 2.0}, {"a": 2.0}) == pytest.approx(1.5)
+        assert mean_absolute_error({}, {}) == 0.0
+
+    def test_compare_rankings_bundle(self):
+        a = {"a": 3.0, "b": 2.0, "c": 1.0}
+        comparison = compare_rankings(a, a, k=2)
+        assert comparison.spearman == pytest.approx(1.0)
+        assert comparison.as_row()[2] == pytest.approx(1.0)
+
+
+class TestProxiesAgainstBetweenness:
+    def test_approximation_with_all_sources_is_perfectly_correlated(self):
+        graph = synthetic_social_graph(40, rng=3)
+        exact = vertex_betweenness(graph)
+        approx, _ = approximate_betweenness(graph, num_sources=graph.num_vertices, rng=1)
+        assert spearman_correlation(exact, approx) == pytest.approx(1.0)
+
+    def test_sampled_approximation_degrades_gracefully(self):
+        graph = synthetic_social_graph(60, rng=5)
+        exact = vertex_betweenness(graph)
+        few, _ = approximate_betweenness(graph, num_sources=5, rng=2)
+        many, _ = approximate_betweenness(graph, num_sources=40, rng=2)
+        assert spearman_correlation(exact, many) >= spearman_correlation(exact, few) - 0.05
+
+    def test_degree_is_an_imperfect_proxy(self):
+        # On a path the degree ranking is nearly flat while betweenness peaks
+        # in the middle: the correlation must be clearly below 1.
+        graph = path_graph(9)
+        exact = vertex_betweenness(graph)
+        proxy = degree_centrality(graph)
+        assert spearman_correlation(exact, proxy) < 0.9
+
+
+class TestOtherCentralities:
+    def test_degree_centrality_normalisation(self):
+        graph = star_graph(4)
+        scores = degree_centrality(graph)
+        assert scores[0] == pytest.approx(1.0)
+        assert scores[1] == pytest.approx(0.25)
+        raw = degree_centrality(graph, normalized=False)
+        assert raw[0] == pytest.approx(4.0)
+
+    def test_closeness_centrality_center_of_path(self):
+        graph = path_graph(5)
+        scores = closeness_centrality(graph)
+        assert scores[2] == max(scores.values())
+        assert scores[0] == min(scores.values())
+
+    def test_closeness_of_isolated_vertex_is_zero(self):
+        from repro.graph import Graph
+
+        graph = Graph()
+        graph.add_vertex("x")
+        graph.add_edge("a", "b")
+        scores = closeness_centrality(graph)
+        assert scores["x"] == 0.0
+        assert scores["a"] > 0.0

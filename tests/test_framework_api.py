@@ -1,0 +1,137 @@
+"""Tests of the public framework API surface beyond single updates."""
+
+import pytest
+
+from repro.algorithms import brandes_betweenness
+from repro.core import EdgeUpdate, IncrementalBetweenness
+from repro.exceptions import DirectedGraphUnsupportedError
+from repro.graph import Graph
+from repro.storage import DiskBDStore, InMemoryBDStore
+from repro.storage.partition import partition_sources
+
+from .conftest import random_connected_graph
+from .helpers import assert_framework_matches_recompute, assert_scores_equal
+
+
+class TestConstruction:
+    def test_directed_graph_rejected(self):
+        g = Graph(directed=True)
+        g.add_edge(0, 1)
+        with pytest.raises(DirectedGraphUnsupportedError):
+            IncrementalBetweenness(g)
+
+    def test_initial_scores_match_brandes(self, two_triangles_bridge):
+        ibc = IncrementalBetweenness(two_triangles_bridge)
+        reference = brandes_betweenness(two_triangles_bridge)
+        assert_scores_equal(ibc.vertex_betweenness(), reference.vertex_scores)
+        assert_scores_equal(ibc.edge_betweenness(), reference.edge_scores)
+
+    def test_framework_does_not_mutate_input_graph(self, path5):
+        ibc = IncrementalBetweenness(path5)
+        ibc.add_edge(0, 4)
+        assert not path5.has_edge(0, 4)
+
+    def test_num_sources(self, path5):
+        assert IncrementalBetweenness(path5).num_sources == 5
+
+    def test_empty_graph(self):
+        ibc = IncrementalBetweenness(Graph())
+        assert ibc.vertex_betweenness() == {}
+        ibc.add_edge(0, 1)
+        assert ibc.vertex_score(0) == pytest.approx(0.0)
+
+
+class TestQueries:
+    def test_vertex_and_edge_score_accessors(self, path5):
+        ibc = IncrementalBetweenness(path5)
+        assert ibc.vertex_score(2) == pytest.approx(8.0)
+        assert ibc.edge_score(1, 2) == pytest.approx(12.0)
+        assert ibc.edge_score(2, 1) == pytest.approx(12.0)
+
+    def test_score_copies_are_snapshots(self, path5):
+        ibc = IncrementalBetweenness(path5)
+        snapshot = ibc.vertex_betweenness()
+        ibc.add_edge(0, 4)
+        assert snapshot[2] == pytest.approx(8.0)
+        assert ibc.vertex_score(2) != pytest.approx(8.0)
+
+
+class TestStreamProcessing:
+    def test_process_stream_returns_one_result_per_update(self, path5):
+        ibc = IncrementalBetweenness(path5)
+        stream = [EdgeUpdate.addition(0, 2), EdgeUpdate.removal(2, 3)]
+        results = ibc.process_stream(stream)
+        assert len(results) == 2
+        assert all(r.elapsed_seconds is not None and r.elapsed_seconds >= 0 for r in results)
+        assert_framework_matches_recompute(ibc)
+
+
+class TestPartialSources:
+    def test_partial_frameworks_sum_to_exact_scores(self):
+        graph = random_connected_graph(14, 0.15, seed=21)
+        vertices = graph.vertex_list()
+        partitions = partition_sources(vertices, 3)
+        mappers = [
+            IncrementalBetweenness(graph, sources=list(p.sources)) for p in partitions
+        ]
+        updates = [EdgeUpdate.addition(0, 13), EdgeUpdate.removal(*graph.edge_list()[0])]
+        for update in updates:
+            for mapper in mappers:
+                mapper.apply(update)
+        combined_vertex = {}
+        combined_edge = {}
+        for mapper in mappers:
+            for key, value in mapper.vertex_betweenness().items():
+                combined_vertex[key] = combined_vertex.get(key, 0.0) + value
+            for key, value in mapper.edge_betweenness().items():
+                combined_edge[key] = combined_edge.get(key, 0.0) + value
+        final = mappers[0].graph
+        reference = brandes_betweenness(final)
+        assert_scores_equal(combined_vertex, reference.vertex_scores)
+        assert_scores_equal(combined_edge, reference.edge_scores)
+
+    def test_restricted_instance_does_not_adopt_new_vertices(self, path5):
+        ibc = IncrementalBetweenness(path5, sources=[0, 1])
+        ibc.add_edge(4, 77)
+        assert 77 not in list(ibc.store.sources())
+        ibc.add_source(77)
+        assert 77 in list(ibc.store.sources())
+
+
+class TestStoreBackends:
+    def test_disk_store_framework_matches_memory(self, two_triangles_bridge):
+        memory = IncrementalBetweenness(two_triangles_bridge, store=InMemoryBDStore())
+        disk = IncrementalBetweenness(
+            two_triangles_bridge, store=DiskBDStore(two_triangles_bridge.vertex_list())
+        )
+        for framework in (memory, disk):
+            framework.add_edge(0, 4)
+            framework.remove_edge(2, 3)
+        assert_scores_equal(memory.vertex_betweenness(), disk.vertex_betweenness())
+        assert_scores_equal(memory.edge_betweenness(), disk.edge_betweenness())
+        disk.store.close()
+
+    def test_maintain_predecessors_variant_is_consistent(self, cycle6):
+        plain = IncrementalBetweenness(cycle6)
+        with_preds = IncrementalBetweenness(cycle6, maintain_predecessors=True)
+        for framework in (plain, with_preds):
+            framework.add_edge(0, 3)
+            framework.remove_edge(1, 2)
+        assert_scores_equal(plain.vertex_betweenness(), with_preds.vertex_betweenness())
+        assert_scores_equal(plain.edge_betweenness(), with_preds.edge_betweenness())
+        assert_framework_matches_recompute(with_preds)
+
+    def test_predecessor_lists_match_distances(self, path5):
+        ibc = IncrementalBetweenness(path5, maintain_predecessors=True)
+        ibc.add_edge(0, 3)
+        ibc.remove_edge(1, 2)
+        for source in ibc.store.sources():
+            data = ibc.store.get(source)
+            lists = ibc._predecessors[source]
+            for vertex, level in data.distance.items():
+                expected = {
+                    nbr
+                    for nbr in ibc.graph.in_neighbors(vertex)
+                    if data.distance.get(nbr) == level - 1
+                }
+                assert lists.get(vertex, set()) == expected

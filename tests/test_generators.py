@@ -1,0 +1,185 @@
+"""Tests for graph generators, dataset stand-ins and update streams."""
+
+import pytest
+
+from repro.core import UpdateKind
+from repro.exceptions import ConfigurationError
+from repro.generators import (
+    DATASET_SPECS,
+    EvolvingGraph,
+    addition_stream,
+    available_datasets,
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    load_dataset,
+    path_graph,
+    powerlaw_cluster_graph,
+    removal_stream,
+    replay_last_edges,
+    star_graph,
+    synthetic_social_graph,
+    synthetic_suite,
+    timestamped_addition_stream,
+    watts_strogatz_graph,
+)
+from repro.graph import average_degree, clustering_coefficient, is_connected
+
+
+class TestDeterministicGenerators:
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        assert g.num_vertices == 6 and g.num_edges == 15
+
+    def test_path_cycle_star_grid(self):
+        assert path_graph(5).num_edges == 4
+        assert cycle_graph(5).num_edges == 5
+        assert star_graph(7).num_edges == 7
+        grid = grid_graph(3, 4)
+        assert grid.num_vertices == 12 and grid.num_edges == 17
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ConfigurationError):
+            cycle_graph(2)
+
+
+class TestRandomGenerators:
+    def test_erdos_renyi_seeded_reproducible(self):
+        a = erdos_renyi_graph(30, 0.2, rng=5)
+        b = erdos_renyi_graph(30, 0.2, rng=5)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_erdos_renyi_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_barabasi_albert_connected_with_expected_edges(self):
+        g = barabasi_albert_graph(50, 3, rng=1)
+        assert g.num_vertices == 50
+        assert is_connected(g)
+        # m initial star edges + 3 per new vertex.
+        assert g.num_edges == 3 + 3 * (50 - 4)
+
+    def test_barabasi_albert_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            barabasi_albert_graph(3, 5)
+
+    def test_watts_strogatz_degree_preserved_without_rewiring(self):
+        g = watts_strogatz_graph(20, 4, 0.0, rng=2)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_watts_strogatz_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            watts_strogatz_graph(10, 3, 0.1)
+
+    def test_powerlaw_cluster_raises_clustering(self):
+        plain = powerlaw_cluster_graph(120, 4, 0.0, rng=3)
+        clustered = powerlaw_cluster_graph(120, 4, 0.9, rng=3)
+        assert clustering_coefficient(clustered) > clustering_coefficient(plain)
+
+    def test_social_graph_matches_target_statistics(self):
+        g = synthetic_social_graph(300, rng=7)
+        assert is_connected(g)
+        assert average_degree(g) == pytest.approx(11.8, abs=2.5)
+        assert clustering_coefficient(g) > 0.1
+
+    def test_social_graph_too_small(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_social_graph(2)
+
+
+class TestDatasets:
+    def test_all_specs_have_names(self):
+        assert set(available_datasets()) == set(DATASET_SPECS)
+        assert "facebook" in available_datasets(kind="real")
+        assert "synthetic-1k" in available_datasets(kind="synthetic")
+
+    def test_load_dataset_scaled(self):
+        g = load_dataset("wikielections", num_vertices=120, rng=1)
+        assert 40 <= g.num_vertices <= 120
+        assert is_connected(g)
+
+    def test_low_clustering_dataset(self):
+        amazon = load_dataset("amazon", num_vertices=200, rng=2)
+        dblp = load_dataset("dblp", num_vertices=200, rng=2)
+        assert clustering_coefficient(amazon) < clustering_coefficient(dblp)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigurationError):
+            load_dataset("not-a-dataset")
+
+    def test_as_evolving(self):
+        evolving = load_dataset("wikielections", num_vertices=80, rng=3, as_evolving=True)
+        assert isinstance(evolving, EvolvingGraph)
+        assert evolving.num_edges > 0
+
+    def test_synthetic_suite_sizes(self):
+        suite = synthetic_suite(sizes={"synthetic-1k": 60, "synthetic-10k": 80,
+                                       "synthetic-100k": 90, "synthetic-1000k": 100}, rng=1)
+        assert set(suite) == set(available_datasets(kind="synthetic"))
+        assert suite["synthetic-1k"].num_vertices <= 60
+
+
+class TestUpdateStreams:
+    def test_addition_stream_targets_non_edges(self, two_triangles_bridge):
+        updates = addition_stream(two_triangles_bridge, 5, rng=1)
+        assert len(updates) == 5
+        assert all(u.kind is UpdateKind.ADDITION for u in updates)
+        assert all(not two_triangles_bridge.has_edge(u.u, u.v) for u in updates)
+        pairs = {frozenset((u.u, u.v)) for u in updates}
+        assert len(pairs) == 5  # no duplicates
+
+    def test_addition_stream_too_many_for_dense_graph(self):
+        with pytest.raises(ConfigurationError):
+            addition_stream(complete_graph(4), 2, rng=1)
+
+    def test_removal_stream_targets_existing_edges(self, two_triangles_bridge):
+        updates = removal_stream(two_triangles_bridge, 3, rng=2)
+        assert len(updates) == 3
+        assert all(two_triangles_bridge.has_edge(u.u, u.v) for u in updates)
+
+    def test_removal_stream_more_than_edges(self, path5):
+        with pytest.raises(ConfigurationError):
+            removal_stream(path5, 10)
+
+    def test_timestamped_stream_sorted(self):
+        updates = timestamped_addition_stream([(1, 2, 9.0), (3, 4, 2.0)])
+        assert [u.timestamp for u in updates] == [2.0, 9.0]
+
+    def test_replay_last_edges_as_removals(self):
+        history = [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]
+        removals = replay_last_edges(history, 2, as_removals=True)
+        assert [u.endpoints for u in removals] == [(2, 3), (1, 2)]
+        assert all(u.is_removal for u in removals)
+
+
+class TestEvolvingGraph:
+    def test_from_graph_preserves_edges(self, two_triangles_bridge):
+        evolving = EvolvingGraph.from_graph(two_triangles_bridge, rng=1)
+        assert evolving.num_edges == two_triangles_bridge.num_edges
+        rebuilt = evolving.base_graph()
+        assert set(rebuilt.edges()) == set(two_triangles_bridge.edges())
+
+    def test_prefix_and_future_partition_history(self, cycle6):
+        evolving = EvolvingGraph.from_graph(cycle6, rng=2)
+        prefix = 3
+        base = evolving.base_graph(prefix)
+        future = evolving.future_updates(prefix)
+        assert base.num_edges == 3
+        assert len(future) == evolving.num_edges - 3
+        assert all(u.timestamp is not None for u in future)
+
+    def test_timestamps_increase(self, cycle6):
+        evolving = EvolvingGraph.from_graph(cycle6, rng=3)
+        times = [t for _, _, t in evolving.history]
+        assert times == sorted(times)
+        assert all(dt >= 0 for dt in evolving.interarrival_times())
+
+    def test_invalid_prefix(self, cycle6):
+        evolving = EvolvingGraph.from_graph(cycle6, rng=4)
+        with pytest.raises(ConfigurationError):
+            evolving.base_graph(99)
+        with pytest.raises(ConfigurationError):
+            evolving.future_updates(-1)

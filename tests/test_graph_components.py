@@ -1,0 +1,60 @@
+"""Tests for connected components and LCC extraction."""
+
+from repro.graph import Graph, connected_components, is_connected, largest_connected_component
+
+
+class TestConnectedComponents:
+    def test_single_component(self, cycle6):
+        components = connected_components(cycle6)
+        assert len(components) == 1
+        assert components[0] == set(range(6))
+
+    def test_multiple_components(self, disconnected_graph):
+        components = connected_components(disconnected_graph)
+        assert len(components) == 2
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [3, 3]
+
+    def test_isolated_vertices_are_components(self):
+        g = Graph()
+        g.add_vertex("a")
+        g.add_vertex("b")
+        g.add_edge("c", "d")
+        assert len(connected_components(g)) == 3
+
+    def test_empty_graph(self):
+        assert connected_components(Graph()) == []
+
+    def test_directed_uses_weak_connectivity(self):
+        g = Graph(directed=True)
+        g.add_edge(0, 1)
+        g.add_edge(2, 1)
+        assert len(connected_components(g)) == 1
+
+
+class TestIsConnected:
+    def test_connected(self, path5):
+        assert is_connected(path5)
+
+    def test_disconnected(self, disconnected_graph):
+        assert not is_connected(disconnected_graph)
+
+    def test_empty_graph_is_connected(self):
+        assert is_connected(Graph())
+
+
+class TestLargestConnectedComponent:
+    def test_keeps_largest(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (10, 11)])
+        lcc = largest_connected_component(g)
+        assert set(lcc.vertices()) == {0, 1, 2, 3}
+        assert lcc.num_edges == 3
+
+    def test_already_connected_graph_is_unchanged(self, cycle6):
+        lcc = largest_connected_component(cycle6)
+        assert set(lcc.vertices()) == set(cycle6.vertices())
+        assert set(lcc.edges()) == set(cycle6.edges())
+
+    def test_empty_graph(self):
+        lcc = largest_connected_component(Graph())
+        assert lcc.num_vertices == 0

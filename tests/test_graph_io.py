@@ -1,0 +1,71 @@
+"""Tests for edge-list I/O."""
+
+from repro.graph import Graph, read_edge_list, write_edge_list
+from repro.graph.io import iter_edge_records, read_timestamped_edges, write_timestamped_edges
+
+
+class TestEdgeListRoundTrip:
+    def test_write_then_read(self, tmp_path, two_triangles_bridge):
+        path = tmp_path / "graph.txt"
+        write_edge_list(two_triangles_bridge, path, header="two triangles")
+        loaded = read_edge_list(path)
+        assert set(loaded.edges()) == set(two_triangles_bridge.edges())
+
+    def test_header_lines_are_comments(self, tmp_path, path5):
+        path = tmp_path / "graph.txt"
+        write_edge_list(path5, path, header="line one\nline two")
+        content = path.read_text()
+        assert content.startswith("# line one\n# line two\n")
+
+    def test_read_skips_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# comment\n\n1 2\n2 3 123.5\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2
+        assert graph.has_edge(2, 3)
+
+    def test_read_directed(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("1 2\n")
+        graph = read_edge_list(path, directed=True)
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(2, 1)
+
+    def test_duplicate_and_self_loop_lines_ignored(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("1 2\n2 1\n3 3\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 1
+
+    def test_string_vertices_preserved(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("alice bob\n")
+        graph = read_edge_list(path)
+        assert graph.has_edge("alice", "bob")
+
+
+class TestTimestampedRecords:
+    def test_iter_edge_records_with_timestamps(self, tmp_path):
+        path = tmp_path / "stream.txt"
+        path.write_text("1 2 10.0\n2 3 5.0\n")
+        records = list(iter_edge_records(path))
+        assert records == [(1, 2, 10.0), (2, 3, 5.0)]
+
+    def test_read_timestamped_edges_sorted(self, tmp_path):
+        path = tmp_path / "stream.txt"
+        path.write_text("1 2 10.0\n2 3 5.0\n")
+        records = read_timestamped_edges(path)
+        assert [r[2] for r in records] == [5.0, 10.0]
+
+    def test_mixed_timestamps_not_sorted(self, tmp_path):
+        path = tmp_path / "stream.txt"
+        path.write_text("1 2 10.0\n2 3\n")
+        records = read_timestamped_edges(path)
+        assert records[0] == (1, 2, 10.0)
+        assert records[1] == (2, 3, None)
+
+    def test_write_timestamped_round_trip(self, tmp_path):
+        path = tmp_path / "stream.txt"
+        write_timestamped_edges([(1, 2, 1.5), (3, 4, None)], path, header="h")
+        records = list(iter_edge_records(path))
+        assert records == [(1, 2, 1.5), (3, 4, None)]

@@ -1,0 +1,87 @@
+"""Tests for the Table 2 structural metrics."""
+
+import pytest
+
+from repro.exceptions import DirectedGraphUnsupportedError
+from repro.graph import Graph, average_degree, clustering_coefficient, degree_histogram, effective_diameter, profile
+from repro.graph.metrics import local_clustering
+from repro.generators import complete_graph, cycle_graph, path_graph, star_graph
+
+
+class TestAverageDegree:
+    def test_cycle_has_degree_two(self):
+        assert average_degree(cycle_graph(7)) == pytest.approx(2.0)
+
+    def test_complete_graph(self):
+        assert average_degree(complete_graph(5)) == pytest.approx(4.0)
+
+    def test_empty_graph(self):
+        assert average_degree(Graph()) == 0.0
+
+    def test_directed_counts_each_arc_once(self):
+        g = Graph(directed=True)
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        assert average_degree(g) == pytest.approx(1.0)
+
+
+class TestClusteringCoefficient:
+    def test_triangle_is_fully_clustered(self):
+        assert clustering_coefficient(complete_graph(3)) == pytest.approx(1.0)
+
+    def test_star_has_zero_clustering(self):
+        assert clustering_coefficient(star_graph(6)) == pytest.approx(0.0)
+
+    def test_local_clustering_mixed(self):
+        # Vertex 0 has neighbors {1, 2, 3}, only (1, 2) connected: C = 1/3.
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 3), (1, 2)])
+        assert local_clustering(g, 0) == pytest.approx(1.0 / 3.0)
+
+    def test_degree_one_vertex_has_zero_local_clustering(self, path5):
+        assert local_clustering(path5, 0) == 0.0
+
+    def test_directed_unsupported(self):
+        g = Graph(directed=True)
+        g.add_edge(0, 1)
+        with pytest.raises(DirectedGraphUnsupportedError):
+            clustering_coefficient(g)
+
+    def test_sampled_estimate_close_on_complete_graph(self):
+        g = complete_graph(12)
+        estimate = clustering_coefficient(g, sample_size=5, rng=0)
+        assert estimate == pytest.approx(1.0)
+
+
+class TestEffectiveDiameter:
+    def test_path_graph_effective_diameter_below_true_diameter(self):
+        g = path_graph(11)
+        ed = effective_diameter(g, quantile=0.9)
+        assert 7.0 <= ed <= 10.0
+
+    def test_complete_graph(self):
+        assert effective_diameter(complete_graph(6)) <= 1.0
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            effective_diameter(path_graph(4), quantile=1.5)
+
+    def test_tiny_graph(self):
+        g = Graph()
+        g.add_vertex(0)
+        assert effective_diameter(g) == 0.0
+
+    def test_monotone_in_quantile(self):
+        g = path_graph(15)
+        assert effective_diameter(g, 0.5) <= effective_diameter(g, 0.95)
+
+
+class TestDegreeHistogramAndProfile:
+    def test_degree_histogram_star(self):
+        histogram = degree_histogram(star_graph(4))
+        assert histogram == {4: 1, 1: 4}
+
+    def test_profile_row_shape(self, two_triangles_bridge):
+        row = profile(two_triangles_bridge, name="bridge").as_row()
+        assert row[0] == "bridge"
+        assert row[1] == 6 and row[2] == 7
+        assert isinstance(row[3], float)

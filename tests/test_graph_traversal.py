@@ -1,0 +1,87 @@
+"""Tests for BFS traversals and shortest-path DAG construction."""
+
+import pytest
+
+from repro.exceptions import VertexNotFoundError
+from repro.graph import Graph, bfs_distances, bfs_tree, shortest_path_dag
+from repro.graph.traversal import eccentricity, single_source_shortest_paths
+
+
+class TestBfsDistances:
+    def test_path_graph_distances(self, path5):
+        assert bfs_distances(path5, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_unreachable_vertices_absent(self, disconnected_graph):
+        distances = bfs_distances(disconnected_graph, 0)
+        assert 10 not in distances
+        assert distances[2] == 1
+
+    def test_missing_source_raises(self):
+        with pytest.raises(VertexNotFoundError):
+            bfs_distances(Graph(), 0)
+
+    def test_directed_follows_out_links(self):
+        g = Graph(directed=True)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(2, 0)
+        assert bfs_distances(g, 0) == {0: 0, 1: 1, 2: 2}
+
+    def test_bfs_tree_parents(self, path5):
+        parents = bfs_tree(path5, 0)
+        assert parents[0] is None
+        assert parents[3] == 2
+
+
+class TestShortestPathDag:
+    def test_sigma_counts_on_cycle(self, cycle6):
+        dag = shortest_path_dag(cycle6, 0)
+        # The antipodal vertex (3) is reachable by two distinct shortest paths.
+        assert dag.sigma[3] == 2
+        assert dag.sigma[1] == 1
+        assert dag.distance[3] == 3
+
+    def test_predecessors_only_when_requested(self, cycle6):
+        without = shortest_path_dag(cycle6, 0)
+        with_preds = shortest_path_dag(cycle6, 0, keep_predecessors=True)
+        assert without.predecessors is None
+        assert with_preds.predecessors[3] == {2, 4}
+
+    def test_order_is_non_decreasing_distance(self, two_triangles_bridge):
+        dag = shortest_path_dag(two_triangles_bridge, 0)
+        distances = [dag.distance[v] for v in dag.order]
+        assert distances == sorted(distances)
+
+    def test_source_values(self, path5):
+        dag = shortest_path_dag(path5, 2)
+        assert dag.distance[2] == 0
+        assert dag.sigma[2] == 1
+
+    def test_is_reachable(self, disconnected_graph):
+        dag = shortest_path_dag(disconnected_graph, 0)
+        assert dag.is_reachable(1)
+        assert not dag.is_reachable(10)
+
+    def test_sigma_multiplies_along_diamonds(self):
+        # Two stacked diamonds: 4 shortest paths from 0 to 6.
+        g = Graph.from_edges(
+            [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6)]
+        )
+        dag = shortest_path_dag(g, 0)
+        assert dag.sigma[6] == 4
+
+
+class TestPathEnumeration:
+    def test_all_shortest_paths_on_cycle(self, cycle6):
+        paths = single_source_shortest_paths(cycle6, 0, 3)
+        assert sorted(paths) == [[0, 1, 2, 3], [0, 5, 4, 3]]
+
+    def test_no_path_between_components(self, disconnected_graph):
+        assert single_source_shortest_paths(disconnected_graph, 0, 10) == []
+
+    def test_path_to_self(self, path5):
+        assert single_source_shortest_paths(path5, 2, 2) == [[2]]
+
+    def test_eccentricity(self, path5):
+        assert eccentricity(path5, 0) == 4
+        assert eccentricity(path5, 2) == 2

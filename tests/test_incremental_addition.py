@@ -1,0 +1,122 @@
+"""Framework-level tests for edge additions, covering every paper case."""
+
+import pytest
+
+from repro.core import IncrementalBetweenness, UpdateCase
+from repro.exceptions import UpdateError
+from repro.graph import Graph
+
+from .conftest import random_connected_graph, random_graph
+from .helpers import assert_framework_matches_recompute
+
+
+class TestAdditionCases:
+    def test_same_level_addition_is_skipped_for_affected_sources(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+        ibc = IncrementalBetweenness(g)
+        result = ibc.add_edge(1, 2)
+        # From source 0 the two endpoints are at the same level -> skip.
+        assert result.case_counts.get(UpdateCase.SKIP, 0) >= 1
+        assert_framework_matches_recompute(ibc)
+
+    def test_one_level_addition(self):
+        # From source 0, the new edge (2, 3) spans adjacent levels (dd == 1).
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 3)])
+        ibc = IncrementalBetweenness(g)
+        result = ibc.add_edge(2, 3)
+        assert UpdateCase.ADD_NO_STRUCTURE in result.case_counts
+        assert_framework_matches_recompute(ibc)
+
+    def test_multi_level_addition(self, path5):
+        ibc = IncrementalBetweenness(path5)
+        result = ibc.add_edge(0, 4)
+        assert UpdateCase.ADD_STRUCTURAL in result.case_counts
+        assert_framework_matches_recompute(ibc)
+
+    def test_shortcut_in_cycle(self, cycle6):
+        ibc = IncrementalBetweenness(cycle6)
+        ibc.add_edge(0, 3)
+        assert_framework_matches_recompute(ibc)
+
+    def test_addition_between_components(self, disconnected_graph):
+        ibc = IncrementalBetweenness(disconnected_graph)
+        ibc.add_edge(2, 10)
+        assert_framework_matches_recompute(ibc)
+
+    def test_addition_of_new_vertex(self, path5):
+        ibc = IncrementalBetweenness(path5)
+        result = ibc.add_edge(4, 99)
+        assert 99 in ibc.vertex_betweenness()
+        assert ibc.graph.has_vertex(99)
+        assert result.sources_processed == 6  # the new vertex is a source too
+        assert_framework_matches_recompute(ibc)
+
+    def test_addition_of_edge_between_two_new_vertices(self, path5):
+        ibc = IncrementalBetweenness(path5)
+        ibc.add_edge(100, 101)
+        assert_framework_matches_recompute(ibc)
+        # A later edge connecting the new component to the old one.
+        ibc.add_edge(101, 0)
+        assert_framework_matches_recompute(ibc)
+
+    def test_densification_of_star(self, star_graph5):
+        ibc = IncrementalBetweenness(star_graph5)
+        ibc.add_edge(1, 2)
+        ibc.add_edge(3, 4)
+        ibc.add_edge(1, 5)
+        assert_framework_matches_recompute(ibc)
+
+    def test_bridge_then_shortcut(self, two_triangles_bridge):
+        ibc = IncrementalBetweenness(two_triangles_bridge)
+        ibc.add_edge(0, 5)
+        assert_framework_matches_recompute(ibc)
+        ibc.add_edge(1, 4)
+        assert_framework_matches_recompute(ibc)
+
+
+class TestAdditionErrors:
+    def test_duplicate_edge_rejected(self, path5):
+        ibc = IncrementalBetweenness(path5)
+        with pytest.raises(UpdateError):
+            ibc.add_edge(0, 1)
+
+    def test_self_loop_rejected(self, path5):
+        ibc = IncrementalBetweenness(path5)
+        with pytest.raises(UpdateError):
+            ibc.add_edge(2, 2)
+
+    def test_failed_update_leaves_graph_unchanged(self, path5):
+        ibc = IncrementalBetweenness(path5)
+        with pytest.raises(UpdateError):
+            ibc.add_edge(0, 1)
+        assert ibc.graph.num_edges == 4
+        assert_framework_matches_recompute(ibc)
+
+
+class TestAdditionSequences:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_growing_random_graph(self, seed):
+        graph = random_graph(12, 0.12, seed)
+        ibc = IncrementalBetweenness(graph)
+        candidates = [
+            (u, v)
+            for u in range(12)
+            for v in range(u + 1, 12)
+            if not graph.has_edge(u, v)
+        ]
+        for u, v in candidates[: 8]:
+            ibc.add_edge(u, v)
+        assert_framework_matches_recompute(ibc)
+
+    def test_updates_report_skip_fraction(self):
+        graph = random_connected_graph(25, 0.1, seed=3)
+        ibc = IncrementalBetweenness(graph)
+        candidates = [
+            (u, v)
+            for u in range(25)
+            for v in range(u + 1, 25)
+            if not graph.has_edge(u, v)
+        ]
+        result = ibc.add_edge(*candidates[0])
+        assert 0.0 <= result.skip_fraction <= 1.0
+        assert result.sources_processed == 25

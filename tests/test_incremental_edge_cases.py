@@ -1,0 +1,165 @@
+"""Edge-case topologies for the incremental framework.
+
+Each test targets a structural situation called out in Section 4 / Figure 3
+of the paper (sibling-to-predecessor flips, multi-level rises and drops,
+pivot discovery through long detours, repeated component surgery) on a
+hand-built graph where the expected behaviour is easy to reason about.  The
+oracle is always a from-scratch Brandes run on the final graph.
+"""
+
+import pytest
+
+from repro.core import IncrementalBetweenness, UpdateCase
+from repro.generators import complete_graph, cycle_graph, grid_graph, path_graph, star_graph
+from repro.graph import Graph
+
+from .helpers import assert_framework_matches_recompute
+
+
+class TestDiamondAndLatticeTopologies:
+    def test_addition_across_a_diamond_chain(self):
+        # Stacked diamonds multiply shortest-path counts; the shortcut makes
+        # sigma bookkeeping with large counts visible.
+        g = Graph.from_edges(
+            [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6), (6, 7)]
+        )
+        ibc = IncrementalBetweenness(g)
+        ibc.add_edge(0, 7)
+        assert_framework_matches_recompute(ibc)
+
+    def test_removal_inside_a_diamond_keeps_alternative_paths(self):
+        g = Graph.from_edges(
+            [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6)]
+        )
+        ibc = IncrementalBetweenness(g)
+        ibc.remove_edge(1, 3)
+        ibc.remove_edge(4, 6)
+        assert_framework_matches_recompute(ibc)
+
+    def test_grid_shortcut_and_removal(self):
+        g = grid_graph(3, 4)
+        ibc = IncrementalBetweenness(g)
+        ibc.add_edge((0, 0), (2, 3))
+        assert_framework_matches_recompute(ibc)
+        ibc.remove_edge((1, 1), (1, 2))
+        assert_framework_matches_recompute(ibc)
+
+
+class TestMultiLevelStructuralChanges:
+    def test_long_path_shortcut_rises_many_levels(self):
+        g = path_graph(10)
+        ibc = IncrementalBetweenness(g)
+        result = ibc.add_edge(0, 9)
+        assert UpdateCase.ADD_STRUCTURAL in result.case_counts
+        assert_framework_matches_recompute(ibc)
+
+    def test_long_cycle_removal_drops_many_levels(self):
+        g = cycle_graph(12)
+        ibc = IncrementalBetweenness(g)
+        result = ibc.remove_edge(0, 11)
+        assert UpdateCase.REMOVE_STRUCTURAL in result.case_counts
+        assert_framework_matches_recompute(ibc)
+
+    def test_shortcut_then_remove_original_route(self):
+        g = path_graph(8)
+        ibc = IncrementalBetweenness(g)
+        ibc.add_edge(0, 7)          # ring
+        ibc.add_edge(2, 6)          # chord
+        ibc.remove_edge(3, 4)       # cut the original middle
+        ibc.remove_edge(0, 7)       # cut the ring closure again
+        assert_framework_matches_recompute(ibc)
+
+    def test_pivot_reached_through_long_detour(self):
+        # Removing (0, 1) forces the whole 1-2-3 branch to be re-reached
+        # through the 0-4-5-6-7 detour; the only pivot is vertex 7.
+        g = Graph.from_edges(
+            [(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (5, 6), (6, 7), (7, 3)]
+        )
+        ibc = IncrementalBetweenness(g)
+        ibc.remove_edge(0, 1)
+        assert_framework_matches_recompute(ibc)
+
+
+class TestComponentSurgery:
+    def test_disconnect_large_subtree_then_reattach_elsewhere(self):
+        # A star of paths: cutting near the hub disconnects a long chain.
+        g = Graph.from_edges(
+            [(0, 1), (1, 2), (2, 3), (3, 4), (0, 5), (5, 6), (0, 7)]
+        )
+        ibc = IncrementalBetweenness(g)
+        ibc.remove_edge(0, 1)       # chain 1-2-3-4 disconnected
+        assert_framework_matches_recompute(ibc)
+        ibc.add_edge(4, 7)          # reattached from its far end
+        assert_framework_matches_recompute(ibc)
+
+    def test_merge_three_components_one_edge_at_a_time(self):
+        g = Graph.from_edges([(0, 1), (2, 3), (4, 5)])
+        ibc = IncrementalBetweenness(g)
+        ibc.add_edge(1, 2)
+        assert_framework_matches_recompute(ibc)
+        ibc.add_edge(3, 4)
+        assert_framework_matches_recompute(ibc)
+
+    def test_isolate_a_hub_vertex_edge_by_edge(self):
+        g = star_graph(6)
+        ibc = IncrementalBetweenness(g)
+        for leaf in range(1, 7):
+            ibc.remove_edge(0, leaf)
+            assert_framework_matches_recompute(ibc)
+        assert all(v == pytest.approx(0.0) for v in ibc.vertex_betweenness().values())
+
+    def test_bridge_replacement_swaps_central_edge(self):
+        # Two cliques joined by bridge (2, 3); add a second bridge then
+        # remove the first: the new bridge inherits the betweenness.
+        edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+        g = Graph.from_edges(edges)
+        ibc = IncrementalBetweenness(g)
+        ibc.add_edge(0, 5)
+        ibc.remove_edge(2, 3)
+        assert_framework_matches_recompute(ibc)
+        scores = ibc.edge_betweenness()
+        assert max(scores, key=scores.get) == (0, 5)
+
+
+class TestUpdatesTouchingSpecialVertices:
+    def test_update_incident_to_every_source(self):
+        # In a complete graph every vertex is adjacent to the update, and
+        # every source classifies it as a same-level (skip) case.
+        g = complete_graph(6)
+        ibc = IncrementalBetweenness(g)
+        result = ibc.remove_edge(0, 1)
+        assert result.case_counts.get(UpdateCase.SKIP, 0) >= 4
+        assert_framework_matches_recompute(ibc)
+        ibc.add_edge(0, 1)
+        assert_framework_matches_recompute(ibc)
+
+    def test_pendant_chain_growth(self):
+        # Repeatedly extend a pendant path hanging off a cycle.
+        g = cycle_graph(5)
+        ibc = IncrementalBetweenness(g)
+        previous = 0
+        for new_vertex in (10, 11, 12, 13):
+            anchor = previous if previous else 0
+            ibc.add_edge(anchor, new_vertex)
+            previous = new_vertex
+            assert_framework_matches_recompute(ibc)
+
+    def test_self_edge_between_degree_one_vertices(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (3, 4)])
+        ibc = IncrementalBetweenness(g)
+        ibc.add_edge(2, 3)   # joins the two paths end to end
+        ibc.add_edge(0, 4)   # closes the ring
+        assert_framework_matches_recompute(ibc)
+
+    def test_two_parallel_bridges_removed_in_sequence(self):
+        # Two bridges between the same pair of communities: removing the
+        # first is non-structural (the second keeps distances), removing the
+        # second disconnects.
+        edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3), (2, 4)]
+        g = Graph.from_edges(edges)
+        ibc = IncrementalBetweenness(g)
+        ibc.remove_edge(2, 3)
+        assert_framework_matches_recompute(ibc)
+        result = ibc.remove_edge(2, 4)
+        assert result.disconnected_vertices > 0
+        assert_framework_matches_recompute(ibc)

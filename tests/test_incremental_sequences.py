@@ -1,0 +1,103 @@
+"""Differential tests of long mixed add/remove sequences (metamorphic oracle).
+
+After every update the framework's scores and stored per-source data must
+equal a from-scratch Brandes recomputation.  These sequences exercise the
+interaction between cases (structural change followed by reconnection,
+repeated disconnection, churn on the same region of the graph) that the
+per-case unit tests cannot reach.
+"""
+
+import random
+
+import pytest
+
+from repro.core import IncrementalBetweenness
+from repro.graph import Graph
+
+from .conftest import random_graph
+from .helpers import assert_framework_matches_recompute
+
+
+def run_random_sequence(n, p, seed, steps, check_every=1, removal_bias=0.5):
+    """Drive a framework with a random update sequence, checking periodically."""
+    rng = random.Random(seed)
+    graph = random_graph(n, p, seed)
+    ibc = IncrementalBetweenness(graph)
+    shadow = graph.copy()
+    for step in range(steps):
+        do_removal = rng.random() < removal_bias and shadow.num_edges > 1
+        if do_removal:
+            u, v = rng.choice(shadow.edge_list())
+            ibc.remove_edge(u, v)
+            shadow.remove_edge(u, v)
+        else:
+            for _ in range(200):
+                u = rng.randrange(n + 2)
+                v = rng.randrange(n + 2)
+                if u == v:
+                    continue
+                if shadow.has_vertex(u) and shadow.has_vertex(v) and shadow.has_edge(u, v):
+                    continue
+                break
+            ibc.add_edge(u, v)
+            if not shadow.has_vertex(u):
+                shadow.add_vertex(u)
+            if not shadow.has_vertex(v):
+                shadow.add_vertex(v)
+            shadow.add_edge(u, v)
+        if (step + 1) % check_every == 0:
+            assert_framework_matches_recompute(ibc)
+    assert_framework_matches_recompute(ibc)
+    return ibc
+
+
+class TestMixedSequences:
+    @pytest.mark.parametrize("seed", [11, 23, 35, 47])
+    def test_small_dense_graphs(self, seed):
+        run_random_sequence(n=9, p=0.3, seed=seed, steps=20)
+
+    @pytest.mark.parametrize("seed", [101, 202])
+    def test_medium_sparse_graphs(self, seed):
+        run_random_sequence(n=18, p=0.1, seed=seed, steps=16, check_every=2)
+
+    def test_removal_heavy_sequence(self):
+        run_random_sequence(n=12, p=0.35, seed=7, steps=20, removal_bias=0.8)
+
+    def test_addition_heavy_sequence(self):
+        run_random_sequence(n=12, p=0.05, seed=9, steps=20, removal_bias=0.2)
+
+    def test_churn_on_same_edge(self, two_triangles_bridge):
+        ibc = IncrementalBetweenness(two_triangles_bridge)
+        for _ in range(4):
+            ibc.remove_edge(2, 3)
+            assert_framework_matches_recompute(ibc)
+            ibc.add_edge(2, 3)
+            assert_framework_matches_recompute(ibc)
+
+    def test_component_split_and_merge_cycle(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+        ibc = IncrementalBetweenness(g)
+        ibc.remove_edge(2, 3)      # split
+        ibc.add_edge(0, 5)         # merge the two halves the other way round
+        ibc.remove_edge(4, 5)      # split again
+        ibc.add_edge(2, 3)         # restore the original bridge
+        assert_framework_matches_recompute(ibc)
+
+    def test_rebuild_graph_edge_by_edge(self, two_triangles_bridge):
+        # Start from the empty graph on the same vertices and stream all edges.
+        empty = Graph()
+        for vertex in two_triangles_bridge.vertices():
+            empty.add_vertex(vertex)
+        ibc = IncrementalBetweenness(empty)
+        for u, v in two_triangles_bridge.edges():
+            ibc.add_edge(u, v)
+        assert_framework_matches_recompute(ibc)
+
+    def test_tear_down_then_rebuild(self, cycle6):
+        ibc = IncrementalBetweenness(cycle6)
+        edges = cycle6.edge_list()
+        for u, v in edges:
+            ibc.remove_edge(u, v)
+        for u, v in edges:
+            ibc.add_edge(u, v)
+        assert_framework_matches_recompute(ibc)

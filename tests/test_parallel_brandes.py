@@ -1,0 +1,39 @@
+"""Tests for the multiprocess static Brandes baseline."""
+
+import pytest
+
+from repro.algorithms import brandes_betweenness, parallel_brandes_betweenness
+from repro.exceptions import ConfigurationError
+from repro.generators import synthetic_social_graph
+
+from .conftest import random_connected_graph
+from .helpers import assert_scores_equal
+
+
+class TestParallelBrandes:
+    def test_single_worker_matches_sequential(self, two_triangles_bridge):
+        sequential = brandes_betweenness(two_triangles_bridge)
+        parallel = parallel_brandes_betweenness(two_triangles_bridge, num_workers=1)
+        assert_scores_equal(parallel.vertex_scores, sequential.vertex_scores)
+        assert_scores_equal(parallel.edge_scores, sequential.edge_scores)
+
+    def test_two_workers_match_sequential(self):
+        graph = random_connected_graph(20, 0.15, seed=8)
+        sequential = brandes_betweenness(graph)
+        parallel = parallel_brandes_betweenness(graph, num_workers=2)
+        assert_scores_equal(parallel.vertex_scores, sequential.vertex_scores)
+        assert_scores_equal(parallel.edge_scores, sequential.edge_scores)
+
+    def test_chunked_dispatch_matches_sequential(self):
+        graph = synthetic_social_graph(50, rng=4)
+        sequential = brandes_betweenness(graph)
+        parallel = parallel_brandes_betweenness(
+            graph, num_workers=2, chunks_per_worker=3
+        )
+        assert_scores_equal(parallel.vertex_scores, sequential.vertex_scores)
+
+    def test_invalid_arguments(self, path5):
+        with pytest.raises(ConfigurationError):
+            parallel_brandes_betweenness(path5, num_workers=0)
+        with pytest.raises(ConfigurationError):
+            parallel_brandes_betweenness(path5, num_workers=2, chunks_per_worker=0)

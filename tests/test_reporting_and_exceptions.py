@@ -1,0 +1,108 @@
+"""Tests for JSON experiment reports and the exception hierarchy."""
+
+import pytest
+
+from repro.analysis.reporting import ExperimentReport, compare_payload_keys, load_report
+from repro.exceptions import (
+    ConfigurationError,
+    EdgeExistsError,
+    EdgeNotFoundError,
+    GraphError,
+    PartitionError,
+    ReproError,
+    SelfLoopError,
+    StorageError,
+    StoreClosedError,
+    StoreCorruptedError,
+    UpdateError,
+    VertexNotFoundError,
+)
+from repro.utils.stats import summarize
+
+
+class TestExperimentReport:
+    def test_round_trip(self, tmp_path):
+        report = ExperimentReport(
+            experiment="table4", parameters={"edges": 10, "dataset": "facebook"}
+        )
+        report.add("summary", summarize([1.0, 2.0, 3.0]))
+        report.add("speedups", (1.0, 2.0, 3.0))
+        path = report.save(tmp_path / "nested" / "table4.json")
+        loaded = load_report(path)
+        assert loaded.experiment == "table4"
+        assert loaded.parameters["dataset"] == "facebook"
+        assert loaded.payload["summary"]["median"] == 2.0
+        assert loaded.payload["speedups"] == [1.0, 2.0, 3.0]
+
+    def test_dataclass_and_exotic_values_are_serialisable(self, tmp_path):
+        report = ExperimentReport(experiment="x")
+        report.add("mapping", {("a", "b"): 1.0})
+        report.add("set", {3, 1, 2})
+        path = report.save(tmp_path / "x.json")
+        loaded = load_report(path)
+        assert "('a', 'b')" in loaded.payload["mapping"]
+        assert sorted(loaded.payload["set"]) == [1, 2, 3]
+
+    def test_malformed_report_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"parameters": {}}')
+        with pytest.raises(ConfigurationError):
+            load_report(bad)
+
+    def test_compare_payload_keys(self):
+        before = ExperimentReport(experiment="e", payload={"a": 1, "b": 2, "c": 3})
+        after = ExperimentReport(experiment="e", payload={"b": 2, "c": 30, "d": 4})
+        verdicts = compare_payload_keys(before, after)
+        assert verdicts == {
+            "a": "removed",
+            "b": "unchanged",
+            "c": "changed",
+            "d": "added",
+        }
+
+    def test_compare_different_experiments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compare_payload_keys(
+                ExperimentReport(experiment="a"), ExperimentReport(experiment="b")
+            )
+
+    def test_version_metadata_present(self):
+        report = ExperimentReport(experiment="meta")
+        data = report.to_dict()
+        assert data["library_version"]
+        assert data["python_version"]
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            GraphError,
+            VertexNotFoundError,
+            EdgeNotFoundError,
+            EdgeExistsError,
+            SelfLoopError,
+            StorageError,
+            StoreClosedError,
+            StoreCorruptedError,
+            PartitionError,
+            UpdateError,
+            ConfigurationError,
+        ],
+    )
+    def test_all_errors_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_lookup_errors_are_key_errors(self):
+        assert issubclass(VertexNotFoundError, KeyError)
+        assert issubclass(EdgeNotFoundError, KeyError)
+
+    def test_value_style_errors_are_value_errors(self):
+        assert issubclass(EdgeExistsError, ValueError)
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(UpdateError, ValueError)
+
+    def test_messages_mention_the_offending_elements(self):
+        assert "42" in str(VertexNotFoundError(42))
+        assert "'a'" in str(EdgeExistsError("a", "b"))
+        assert "7" in str(SelfLoopError(7))

@@ -1,0 +1,207 @@
+"""Tests for the betweenness-data stores (memory, disk, codec, index, partition)."""
+
+import pytest
+
+from repro.algorithms import brandes_betweenness
+from repro.algorithms.brandes import SourceData
+from repro.exceptions import PartitionError, StoreClosedError, StoreCorruptedError, VertexNotFoundError
+from repro.storage import DiskBDStore, InMemoryBDStore, VertexIndex, partition_sources
+from repro.storage.codec import (
+    BYTES_PER_VERTEX,
+    decode_record,
+    empty_record,
+    encode_record,
+    record_size,
+)
+
+
+def make_data(source, entries):
+    """Build a SourceData from {vertex: (d, sigma, delta)}."""
+    data = SourceData(source=source)
+    for vertex, (d, sigma, delta) in entries.items():
+        data.distance[vertex] = d
+        data.sigma[vertex] = sigma
+        data.delta[vertex] = delta
+    return data
+
+
+class TestVertexIndex:
+    def test_slots_are_dense_and_stable(self):
+        index = VertexIndex(["a", "b"])
+        assert index.slot("a") == 0 and index.slot("b") == 1
+        assert index.add("c") == 2
+        assert index.add("a") == 0  # idempotent
+        assert len(index) == 3
+        assert index.vertex(2) == "c"
+
+    def test_unknown_vertex_raises(self):
+        index = VertexIndex()
+        with pytest.raises(VertexNotFoundError):
+            index.slot("missing")
+        with pytest.raises(IndexError):
+            index.vertex(0)
+
+    def test_iteration_in_slot_order(self):
+        index = VertexIndex([3, 1, 2])
+        assert list(index) == [3, 1, 2]
+        assert index.vertices() == [3, 1, 2]
+
+
+class TestCodec:
+    def test_round_trip(self):
+        index = VertexIndex([0, 1, 2, 3])
+        data = make_data(1, {0: (1, 2, 0.5), 1: (0, 1, 0.0), 3: (2, 4, 1.25)})
+        payload = encode_record(data, index, capacity=6)
+        assert len(payload) == record_size(6) == 6 * BYTES_PER_VERTEX
+        decoded = decode_record(payload, 1, index, capacity=6)
+        assert decoded.distance == data.distance
+        assert decoded.sigma == data.sigma
+        assert decoded.delta == data.delta
+
+    def test_unreachable_vertices_omitted(self):
+        index = VertexIndex([0, 1])
+        data = make_data(0, {0: (0, 1, 0.0)})
+        decoded = decode_record(encode_record(data, index, 4), 0, index, 4)
+        assert 1 not in decoded.distance
+
+    def test_empty_record_decodes_to_nothing(self):
+        index = VertexIndex([0, 1])
+        decoded = decode_record(empty_record(4), 0, index, 4)
+        assert decoded.distance == {}
+
+    def test_capacity_too_small_raises(self):
+        index = VertexIndex([0, 1, 2])
+        data = make_data(0, {0: (0, 1, 0.0)})
+        with pytest.raises(StoreCorruptedError):
+            encode_record(data, index, capacity=2)
+
+    def test_wrong_payload_size_raises(self):
+        index = VertexIndex([0])
+        with pytest.raises(StoreCorruptedError):
+            decode_record(b"\x00" * 5, 0, index, capacity=4)
+
+
+class TestInMemoryStore:
+    def test_put_get_and_contains(self):
+        store = InMemoryBDStore()
+        data = make_data("s", {"s": (0, 1, 0.0), "t": (1, 1, 0.0)})
+        store.put(data)
+        assert "s" in store and len(store) == 1
+        assert store.get("s") is data
+
+    def test_endpoint_distances(self):
+        store = InMemoryBDStore()
+        store.put(make_data(0, {0: (0, 1, 0.0), 1: (2, 1, 0.0)}))
+        assert store.endpoint_distances(0, 1, 99) == (2, None)
+
+    def test_add_source_initialises_self_reaching_record(self):
+        store = InMemoryBDStore()
+        store.add_source("new")
+        data = store.get("new")
+        assert data.distance == {"new": 0}
+        assert data.sigma == {"new": 1}
+
+    def test_closed_store_raises(self):
+        store = InMemoryBDStore()
+        store.close()
+        with pytest.raises(StoreClosedError):
+            store.add_source(0)
+
+    def test_context_manager(self):
+        with InMemoryBDStore() as store:
+            store.add_source(1)
+        with pytest.raises(StoreClosedError):
+            store.get(1)
+
+
+class TestDiskStore:
+    def test_round_trip_matches_brandes_data(self, two_triangles_bridge, tmp_path):
+        result = brandes_betweenness(two_triangles_bridge, collect_source_data=True)
+        store = DiskBDStore(
+            two_triangles_bridge.vertex_list(), path=tmp_path / "bd.bin"
+        )
+        for data in result.source_data.values():
+            store.put(data)
+        for source, expected in result.source_data.items():
+            loaded = store.get(source)
+            assert loaded.distance == expected.distance
+            assert loaded.sigma == expected.sigma
+            assert loaded.delta == pytest.approx(expected.delta)
+        store.close()
+
+    def test_endpoint_distances_reads_only_two_values(self, path5, tmp_path):
+        result = brandes_betweenness(path5, collect_source_data=True)
+        store = DiskBDStore(path5.vertex_list(), path=tmp_path / "bd.bin")
+        for data in result.source_data.values():
+            store.put(data)
+        read_before = store.bytes_read
+        assert store.endpoint_distances(0, 2, 4) == (2, 4)
+        assert store.bytes_read - read_before == 4  # two int16 values
+
+    def test_unknown_endpoint_distance_is_none(self, path5):
+        store = DiskBDStore(path5.vertex_list())
+        assert store.endpoint_distances(0, 0, 777) == (0, None)
+        store.close()
+
+    def test_grow_beyond_capacity_rebuilds_file(self):
+        store = DiskBDStore([0, 1], capacity=2)
+        store.put(make_data(0, {0: (0, 1, 0.0), 1: (1, 1, 0.0)}))
+        store.add_source(2)  # exceeds capacity of 2 -> grow
+        assert store.capacity > 2
+        assert store.get(0).distance == {0: 0, 1: 1}
+        assert store.get(2).distance == {2: 0}
+        store.close()
+
+    def test_capacity_smaller_than_vertices_rejected(self):
+        with pytest.raises(StoreCorruptedError):
+            DiskBDStore([0, 1, 2], capacity=2)
+
+    def test_temporary_file_removed_on_close(self):
+        store = DiskBDStore([0, 1])
+        path = store.path
+        assert path.exists()
+        store.close()
+        assert not path.exists()
+
+    def test_named_file_kept_on_close(self, tmp_path):
+        target = tmp_path / "persist.bin"
+        store = DiskBDStore([0, 1], path=target)
+        store.close()
+        assert target.exists()
+
+    def test_closed_store_raises(self):
+        store = DiskBDStore([0])
+        store.close()
+        with pytest.raises(StoreClosedError):
+            store.get(0)
+
+    def test_io_accounting_increases(self, path5):
+        store = DiskBDStore(path5.vertex_list())
+        written_after_init = store.bytes_written
+        store.put(make_data(0, {0: (0, 1, 0.0)}))
+        assert store.bytes_written > written_after_init
+        store.get(0)
+        assert store.bytes_read > 0
+        store.close()
+
+
+class TestPartition:
+    def test_balanced_sizes(self):
+        partitions = partition_sources(list(range(10)), 3)
+        assert [len(p) for p in partitions] == [4, 3, 3]
+        assert [p.worker_id for p in partitions] == [0, 1, 2]
+
+    def test_union_is_disjoint_and_complete(self):
+        sources = list(range(17))
+        partitions = partition_sources(sources, 4)
+        seen = [v for p in partitions for v in p]
+        assert sorted(seen) == sources
+
+    def test_more_workers_than_sources(self):
+        partitions = partition_sources([1, 2], 5)
+        assert sum(len(p) for p in partitions) == 2
+        assert len(partitions) == 5
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(PartitionError):
+            partition_sources([1], 0)

@@ -1,0 +1,76 @@
+"""Property tests: the MP / MO / DO configurations are interchangeable.
+
+The three configurations of the framework (in-memory with predecessor
+lists, in-memory without, on-disk without) trade memory and I/O for speed
+but must produce bit-for-bit the same betweenness trajectories on any update
+script.  These hypothesis tests drive all three with the same random scripts
+used by the core metamorphic tests.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import IncrementalBetweenness
+from repro.graph import Graph
+from repro.storage import DiskBDStore
+
+from .helpers import assert_scores_equal
+from .test_incremental_properties import apply_script, graph_and_updates
+
+settings.register_profile(
+    "repro-variants",
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestVariantEquivalence:
+    @given(graph_and_updates())
+    @settings(parent=settings.get_profile("repro-variants"))
+    def test_memory_and_disk_stores_agree(self, data):
+        graph, script = data
+        memory = IncrementalBetweenness(graph)
+        disk = IncrementalBetweenness(graph, store=DiskBDStore(graph.vertex_list()))
+        try:
+            apply_script(memory, script)
+            apply_script(disk, script)
+            assert_scores_equal(memory.vertex_betweenness(), disk.vertex_betweenness())
+            assert_scores_equal(memory.edge_betweenness(), disk.edge_betweenness())
+        finally:
+            disk.store.close()
+
+    @given(graph_and_updates())
+    @settings(parent=settings.get_profile("repro-variants"))
+    def test_predecessor_tracking_does_not_change_scores(self, data):
+        graph, script = data
+        plain = IncrementalBetweenness(graph)
+        tracked = IncrementalBetweenness(graph, maintain_predecessors=True)
+        apply_script(plain, script)
+        apply_script(tracked, script)
+        assert_scores_equal(plain.vertex_betweenness(), tracked.vertex_betweenness())
+        assert_scores_equal(plain.edge_betweenness(), tracked.edge_betweenness())
+
+    @given(graph_and_updates())
+    @settings(parent=settings.get_profile("repro-variants"))
+    def test_partitioned_execution_matches_single_instance(self, data):
+        graph, script = data
+        vertices = graph.vertex_list()
+        if len(vertices) < 2:
+            return
+        single = IncrementalBetweenness(graph)
+        half = len(vertices) // 2
+        left = IncrementalBetweenness(graph, sources=vertices[:half])
+        right = IncrementalBetweenness(graph, sources=vertices[half:])
+        apply_script(single, script)
+        for kind, u, v in script:
+            for mapper in (left, right):
+                if kind == "add":
+                    mapper.add_edge(u, v)
+                else:
+                    mapper.remove_edge(u, v)
+        combined = {}
+        for mapper in (left, right):
+            for key, value in mapper.vertex_betweenness().items():
+                combined[key] = combined.get(key, 0.0) + value
+        assert_scores_equal(single.vertex_betweenness(), combined)
