@@ -1,0 +1,98 @@
+"""Batched update pipeline — per-update cost and I/O vs batch size.
+
+The batched engine (``IncrementalBetweenness.apply_updates``) sweeps the
+source store once per *batch* instead of once per update, so each non-skip
+``BD[s]`` record is loaded and saved at most once however many updates the
+batch carries.  This benchmark replays the same update stream at batch
+sizes {1, 8, 64} for the in-memory (MO) and out-of-core (DO) configurations
+and reports, per update: wall-clock time, record loads, and (for DO) disk
+bytes moved.  Expected shape: record loads per update drop monotonically as
+the batch grows, and the DO configuration — whose per-update cost is
+dominated by those loads — gets the larger wall-clock win.
+"""
+
+from repro.analysis import Variant, build_framework, format_table
+from repro.core.updates import batches
+from repro.generators import addition_stream
+
+BATCH_SIZES = [1, 8, 64]
+STREAM_EDGES = 64  # enough to fill the largest batch exactly once
+
+
+def _measure(graph, variant, size):
+    """Replay the stream in batches of ``size``; return per-update metrics."""
+    framework = build_framework(graph, variant)
+    updates = addition_stream(graph, STREAM_EDGES, rng=23)
+    total_seconds = 0.0
+    total_loads = 0
+    total_peeks = 0
+    try:
+        for chunk in batches(updates, size):
+            result = framework.apply_updates(chunk)
+            total_seconds += result.elapsed_seconds or 0.0
+            total_loads += result.sources_loaded
+            total_peeks += result.sources_peek_skipped
+        store = framework.store
+        bytes_moved = (
+            store.bytes_read + store.bytes_written
+            if hasattr(store, "bytes_read")
+            else None
+        )
+    finally:
+        framework.store.close()
+    count = len(updates)
+    return {
+        "seconds_per_update": total_seconds / count,
+        "loads_per_update": total_loads / count,
+        "peeks_per_update": total_peeks / count,
+        "bytes_per_update": None if bytes_moved is None else bytes_moved / count,
+    }
+
+
+def bench_batched_updates(benchmark, datasets, report):
+    def run():
+        output = {}
+        for name in ("synthetic-10k", "facebook"):
+            graph = datasets.graph(name)
+            for variant in (Variant.MO, Variant.DO):
+                for size in BATCH_SIZES:
+                    output[(name, variant, size)] = _measure(graph, variant, size)
+        return output
+
+    output = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for (name, variant, size), metrics in output.items():
+        rows.append(
+            [
+                name,
+                variant.value,
+                size,
+                f"{metrics['seconds_per_update'] * 1000:.2f}",
+                f"{metrics['loads_per_update']:.1f}",
+                f"{metrics['peeks_per_update']:.1f}",
+                (
+                    "-"
+                    if metrics["bytes_per_update"] is None
+                    else f"{metrics['bytes_per_update'] / 1024:.0f}"
+                ),
+            ]
+        )
+    table = format_table(
+        ["dataset", "variant", "batch", "ms / update", "BD loads / update",
+         "peek-skipped / update", "KiB I/O / update"],
+        rows,
+    )
+    report("batched_updates", table)
+
+    # Shape check: one sweep per batch can only merge record loads, so the
+    # per-update load count must fall (weakly) as the batch size grows.
+    for name in ("synthetic-10k", "facebook"):
+        for variant in (Variant.MO, Variant.DO):
+            loads = [
+                output[(name, variant, size)]["loads_per_update"]
+                for size in BATCH_SIZES
+            ]
+            assert all(
+                later <= earlier + 1e-9 for earlier, later in zip(loads, loads[1:])
+            ), (name, variant, loads)

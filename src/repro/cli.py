@@ -37,7 +37,7 @@ from repro.generators import (
     removal_stream,
 )
 from repro.graph import profile
-from repro.parallel import simulate_online_updates
+from repro.parallel import replay_online_updates_parallel, simulate_online_updates
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,6 +70,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=Variant.MO.value,
         help="framework configuration (MP, MO or DO)",
     )
+    speedup_parser.add_argument(
+        "--batch-size", type=int, default=1,
+        help="apply the stream in batches of this many updates "
+             "(one source sweep per batch)",
+    )
 
     online_parser = subparsers.add_parser(
         "online", help="online replay: missed deadlines vs number of mappers"
@@ -77,11 +82,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_arguments(online_parser)
     online_parser.add_argument("--edges", type=int, default=10, help="replayed arrivals")
     online_parser.add_argument(
-        "--mappers", default="1,10", help="comma-separated mapper counts"
+        "--mappers", default="1,10", help="comma-separated mapper counts "
+        "(simulated through the capacity model)"
     )
     online_parser.add_argument(
         "--time-scale", type=float, default=0.002,
         help="compression factor applied to inter-arrival times",
+    )
+    online_parser.add_argument(
+        "--batch-size", type=int, default=1,
+        help="process arrivals in batches of this many updates",
+    )
+    online_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="replay on this many REAL worker processes instead of the "
+             "capacity-model simulation (ignores --mappers)",
+    )
+    online_parser.add_argument(
+        "--store", choices=["memory", "disk"], default="memory",
+        help="per-worker BD store used with --workers",
     )
 
     communities_parser = subparsers.add_parser(
@@ -161,15 +180,17 @@ def _run_speedup(args) -> str:
     else:
         updates = removal_stream(graph, args.edges, rng=args.seed)
     series = measure_stream_speedups(
-        graph, updates, Variant(args.variant), label=args.dataset
+        graph, updates, Variant(args.variant), label=args.dataset,
+        batch_size=args.batch_size,
     )
     stats = series.summary()
-    header = ["dataset", "kind", "variant", "edges", "min", "median", "max",
-              "avg skip fraction"]
+    header = ["dataset", "kind", "variant", "batch", "edges", "min", "median",
+              "max", "avg skip fraction"]
     row = [
         args.dataset,
         args.kind,
         args.variant,
+        args.batch_size,
         len(series.speedups),
         round(stats.minimum, 1),
         round(stats.median, 1),
@@ -187,24 +208,42 @@ def _run_online(args) -> str:
     prefix = max(0, evolving.num_edges - args.edges)
     base = evolving.base_graph(prefix)
     future = evolving.future_updates(prefix)
-    mapper_counts = [int(token) for token in args.mappers.split(",") if token]
     rows = []
-    for mappers in mapper_counts:
-        result = simulate_online_updates(
-            base, future, num_mappers=mappers, time_scale=args.time_scale
+    if args.workers is not None:
+        result = replay_online_updates_parallel(
+            base,
+            future,
+            num_workers=args.workers,
+            batch_size=args.batch_size,
+            time_scale=args.time_scale,
+            store=args.store,
         )
-        rows.append(
-            [
-                args.dataset,
-                mappers,
-                result.num_updates,
-                f"{100 * result.missed_fraction:.1f}%",
-                f"{result.average_delay:.4f}",
-            ]
-        )
+        rows.append(_online_row(args.dataset, f"{args.workers} (real)", result))
+    else:
+        mapper_counts = [int(token) for token in args.mappers.split(",") if token]
+        for mappers in mapper_counts:
+            result = simulate_online_updates(
+                base,
+                future,
+                num_mappers=mappers,
+                time_scale=args.time_scale,
+                batch_size=args.batch_size,
+            )
+            rows.append(_online_row(args.dataset, mappers, result))
     return format_table(
-        ["dataset", "mappers", "edges", "missed", "avg delay (s)"], rows
+        ["dataset", "mappers", "batch", "edges", "missed", "avg delay (s)"], rows
     )
+
+
+def _online_row(dataset: str, mappers, result) -> list:
+    return [
+        dataset,
+        mappers,
+        result.batch_size,
+        result.num_updates,
+        f"{100 * result.missed_fraction:.1f}%",
+        f"{result.average_delay:.4f}",
+    ]
 
 
 def _run_communities(args) -> str:

@@ -9,17 +9,19 @@ accumulation) and are exposed for tests, experiments and advanced users.
 from repro.core.classification import SourceClassification, UpdateCase, classify
 from repro.core.framework import IncrementalBetweenness
 from repro.core.repair import RepairPlan
-from repro.core.result import SourceUpdateStats, UpdateResult
+from repro.core.result import BatchResult, SourceUpdateStats, UpdateResult
 from repro.core.source_update import update_source
-from repro.core.updates import EdgeUpdate, UpdateKind, additions, removals
+from repro.core.updates import EdgeUpdate, UpdateKind, additions, batches, removals
 
 __all__ = [
     "IncrementalBetweenness",
     "EdgeUpdate",
     "UpdateKind",
     "additions",
+    "batches",
     "removals",
     "UpdateResult",
+    "BatchResult",
     "SourceUpdateStats",
     "UpdateCase",
     "SourceClassification",

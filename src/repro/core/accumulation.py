@@ -132,9 +132,18 @@ def accumulate_dependencies(
     # Removal seeding: the removed edge (high, low) no longer exists, so the
     # dependency it carried must be subtracted from ``high`` explicitly and
     # propagated upwards from there (Alg. 2 lines 11-13, Alg. 7 line 16).
+    # The same dependency is subtracted from the edge's own score entry:
+    # after every source is processed the entry nets out to ~0 and is either
+    # dropped with the edge, or — when the edge reappears later in a batch —
+    # becomes the clean base the re-addition accumulates onto.
     if plan.removed_edge_dependency is not None and plan.high is not None:
         touch(plan.high)
         new_delta[plan.high] -= plan.removed_edge_dependency
+        if plan.low is not None:
+            key = edge_key(plan.high, plan.low)
+            edge_scores[key] = (
+                edge_scores.get(key, 0.0) - plan.removed_edge_dependency
+            )
 
     processed: Set[Vertex] = set()
     max_level = max(buckets) if buckets else 0

@@ -22,10 +22,11 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.algorithms.brandes import brandes_betweenness
-from repro.core.result import UpdateResult
+from repro.algorithms.brandes import SourceData, brandes_betweenness
+from repro.core.classification import UpdateCase
+from repro.core.result import BatchResult, SourceUpdateStats, UpdateResult
 from repro.core.source_update import update_source
-from repro.core.updates import EdgeUpdate, UpdateKind
+from repro.core.updates import EdgeUpdate, UpdateKind, batches, validate_batch
 from repro.exceptions import DirectedGraphUnsupportedError, UpdateError
 from repro.graph.graph import Graph
 from repro.storage.base import BDStore
@@ -98,6 +99,60 @@ class IncrementalBetweenness:
             self._edge_key(u, v): 0.0 for u, v in self._graph.edges()
         }
         self._initialize(source_list)
+
+    @classmethod
+    def from_source_data(
+        cls,
+        graph: Graph,
+        source_data: Dict[Vertex, SourceData],
+        store: Optional[BDStore] = None,
+        restricted: bool = True,
+    ) -> "IncrementalBetweenness":
+        """Build an instance from existing ``BD[.]`` records, skipping Brandes.
+
+        The (partial) vertex scores are rebuilt from the stored dependencies
+        (``score[v] = sum_s delta_s[v]``) and the edge scores from the
+        shortest-path DAG each record encodes, so the result is exactly the
+        instance that running Brandes over ``source_data``'s sources would
+        produce.  This is how a parallel worker is seeded from a picklable
+        snapshot of an existing store
+        (:meth:`~repro.storage.base.BDStore.snapshot`) instead of
+        re-running the bootstrap.
+        """
+        if graph.directed:
+            raise DirectedGraphUnsupportedError(
+                "the incremental framework supports undirected graphs"
+            )
+        self = cls.__new__(cls)
+        self._graph = graph.copy()
+        self._store = store if store is not None else InMemoryBDStore()
+        self._restricted = restricted
+        self._maintain_predecessors = False
+        self._predecessors = {}
+        self._vertex_scores = {v: 0.0 for v in self._graph.vertices()}
+        self._edge_scores = {
+            self._edge_key(u, v): 0.0 for u, v in self._graph.edges()
+        }
+        self._store.load_snapshot(source_data.values())
+        for source, data in source_data.items():
+            for vertex, dependency in data.delta.items():
+                if vertex != source:
+                    self._vertex_scores[vertex] += dependency
+            # Every DAG edge (parent -> child) carries the dependency
+            # sigma[parent]/sigma[child] * (1 + delta[child]).  Only edges
+            # between vertices the record reaches can be DAG edges, so the
+            # scan is proportional to the record, not the whole graph.
+            for parent, parent_distance in data.distance.items():
+                for child in self._graph.out_neighbors(parent):
+                    if data.distance.get(child) != parent_distance + 1:
+                        continue
+                    contribution = (
+                        data.sigma[parent]
+                        / data.sigma[child]
+                        * (1.0 + data.delta[child])
+                    )
+                    self._edge_scores[self._edge_key(parent, child)] += contribution
+        return self
 
     # ------------------------------------------------------------------ #
     # Step 1: offline bootstrap
@@ -173,6 +228,49 @@ class IncrementalBetweenness:
         """Apply a whole update stream, returning one result per update."""
         return [self.apply(update) for update in updates]
 
+    def apply_updates(
+        self,
+        updates: Iterable[EdgeUpdate],
+        adopt: Optional[Iterable[Vertex]] = None,
+    ) -> BatchResult:
+        """Apply a batch of consecutive edge updates in a single source sweep.
+
+        The one-at-a-time path (:meth:`apply`) sweeps the whole source store
+        once per update, so a stream of ``k`` updates loads and saves every
+        non-skipped ``BD[s]`` record up to ``k`` times — the dominant cost of
+        the out-of-core configuration.  This method inverts the loop nest:
+        every source is visited *once* and the batch is replayed against it
+        in order, so each record is loaded and saved at most once per batch
+        while the scores remain exactly those of the one-at-a-time path
+        (each (source, update) repair sees the same graph state and the
+        per-source corrections are additive, hence order-independent across
+        sources).
+
+        Parameters
+        ----------
+        updates:
+            The batch, in application order.  The whole batch is validated
+            against the current graph before any state is touched, so an
+            invalid update leaves the framework unchanged.
+        adopt:
+            Only for restricted (partial) instances: vertices created by this
+            batch that *this* instance adopts as new sources.  Unrestricted
+            instances adopt every new vertex automatically and must leave
+            this ``None``.  Mirrors :meth:`add_source` for the batched path:
+            the parallel driver decides which worker owns each new vertex.
+        """
+        timer = Timer()
+        with timer.measure():
+            result = self._apply_batch(list(updates), adopt)
+        result.elapsed_seconds = timer.total
+        return result
+
+    def process_stream_batched(
+        self, updates: Iterable[EdgeUpdate], batch_size: int
+    ) -> List[BatchResult]:
+        """Apply a stream in consecutive batches of at most ``batch_size``."""
+        return [self.apply_updates(chunk) for chunk in batches(updates, batch_size)]
+
     def add_source(self, vertex: Vertex) -> None:
         """Adopt ``vertex`` as a source maintained by this (partial) instance."""
         if not self._graph.has_vertex(vertex):
@@ -214,9 +312,6 @@ class IncrementalBetweenness:
             else:
                 data = self._store.get(source)
             if data is None:
-                from repro.core.classification import UpdateCase
-                from repro.core.result import SourceUpdateStats
-
                 result.record(SourceUpdateStats(case=UpdateCase.SKIP))
                 continue
             stats = update_source(
@@ -239,6 +334,185 @@ class IncrementalBetweenness:
             self._edge_scores.pop(self._edge_key(u, v), None)
         return result
 
+    # ------------------------------------------------------------------ #
+    # Batched pipeline internals
+    # ------------------------------------------------------------------ #
+    def _apply_batch(
+        self, batch: List[EdgeUpdate], adopt: Optional[Iterable[Vertex]]
+    ) -> BatchResult:
+        if adopt is not None and not self._restricted:
+            raise UpdateError(
+                "adopt is only meaningful for restricted instances; "
+                "unrestricted instances adopt new vertices automatically"
+            )
+        if not batch:
+            return BatchResult()
+
+        births = validate_batch(self._graph, batch)
+        if self._restricted:
+            adopted = self._resolve_adoptions(adopt, births)
+        else:
+            adopted = dict(births)
+
+        results = [UpdateResult(update=update) for update in batch]
+        batch_result = BatchResult(updates=list(batch), results=results)
+
+        # Existing sources may start reaching the batch's new vertices, so
+        # the store needs slots for all of them before any record is saved.
+        for vertex in births:
+            self._store.register_vertex(vertex)
+
+        # Sweep the existing sources once each (Step 2, loop inverted).
+        for source in list(self._store.sources()):
+            if self._peek_all_skip(source, batch):
+                for result in results:
+                    result.record(SourceUpdateStats(case=UpdateCase.SKIP))
+                batch_result.sources_peek_skipped += 1
+                continue
+            data = self._store.get(source)
+            batch_result.sources_loaded += 1
+            self._replay_batch_for_source(source, data, 0, batch, results)
+            self._store.put(data)
+
+        # Sources born inside the batch replay only their suffix of it.
+        for vertex, birth in sorted(adopted.items(), key=lambda item: item[1]):
+            data = SourceData(source=vertex)
+            data.distance[vertex] = 0
+            data.sigma[vertex] = 1
+            data.delta[vertex] = 0.0
+            self._replay_batch_for_source(vertex, data, birth, batch, results)
+            self._store.put(data)
+            batch_result.sources_loaded += 1
+
+        self._finalize_batch(batch, births)
+        return batch_result
+
+    def _resolve_adoptions(
+        self, adopt: Optional[Iterable[Vertex]], births: Dict[Vertex, int]
+    ) -> Dict[Vertex, int]:
+        """Map the vertices this restricted instance adopts to birth indices."""
+        adopted: Dict[Vertex, int] = {}
+        for vertex in adopt or ():
+            if vertex in self._store:
+                raise UpdateError(f"{vertex!r} is already a source of this instance")
+            if vertex in births:
+                adopted[vertex] = births[vertex]
+            elif (
+                self._graph.has_vertex(vertex)
+                and not self._graph.neighbors(vertex)
+            ):
+                # An isolated pre-existing vertex is exactly what a fresh
+                # self-only record describes, so adopting it mid-stream and
+                # replaying the whole batch matches add_source() + apply().
+                adopted[vertex] = 0
+            else:
+                raise UpdateError(
+                    f"cannot adopt {vertex!r}: a batch can only adopt "
+                    "vertices it creates or isolated pre-existing vertices "
+                    "(a connected vertex needs a real BD record, not the "
+                    "self-only seed)"
+                )
+        return adopted
+
+    def _peek_all_skip(self, source: Vertex, batch: List[EdgeUpdate]) -> bool:
+        """Decide, from stored distances alone, that the batch skips ``source``.
+
+        The check is exact: a skipped update leaves ``BD[source]`` untouched,
+        so as long as every prefix of the batch consists of skips, the stored
+        (pre-batch) distances are the live distances and Proposition 3.1
+        applies to the next update too.  The first update that fails the
+        check invalidates the induction, and the caller falls back to loading
+        the record and replaying the batch against it.
+        """
+        for update in batch:
+            u, v = update.endpoints
+            du, dv = self._store.endpoint_distances(source, u, v)
+            if du is None and dv is None:
+                continue
+            if du is None or dv is None or du != dv:
+                return False
+        return True
+
+    def _replay_batch_for_source(
+        self,
+        source: Vertex,
+        data: SourceData,
+        start_index: int,
+        batch: List[EdgeUpdate],
+        results: List[UpdateResult],
+    ) -> None:
+        """Replay the batch in order against one source's betweenness data.
+
+        The graph is rolled forward through the batch so that each repair
+        sees exactly the state the one-at-a-time path would, and rewound
+        afterwards so the next source starts from the pre-batch graph.
+        Updates before ``start_index`` (the source's birth) mutate the graph
+        but are not repaired, matching the serial path where the source did
+        not exist yet.
+        """
+        predecessors = (
+            self._predecessors.setdefault(source, {})
+            if self._maintain_predecessors
+            else None
+        )
+        applied: List[Tuple[EdgeUpdate, Tuple[Vertex, ...]]] = []
+        try:
+            for index, update in enumerate(batch):
+                u, v = update.endpoints
+                if update.kind is UpdateKind.ADDITION:
+                    added = tuple(
+                        w for w in (u, v) if not self._graph.has_vertex(w)
+                    )
+                    self._graph.add_edge(u, v)
+                else:
+                    added = ()
+                    self._graph.remove_edge(u, v)
+                applied.append((update, added))
+                if index < start_index:
+                    continue
+                stats = update_source(
+                    self._graph,
+                    data,
+                    update,
+                    self._vertex_scores,
+                    self._edge_scores,
+                    self._edge_key,
+                    predecessors=predecessors,
+                )
+                results[index].record(stats)
+        finally:
+            for update, added in reversed(applied):
+                u, v = update.endpoints
+                if update.kind is UpdateKind.ADDITION:
+                    self._graph.remove_edge(u, v)
+                    for vertex in added:
+                        self._graph.remove_vertex(vertex)
+                else:
+                    self._graph.add_edge(u, v)
+
+    def _finalize_batch(
+        self, batch: List[EdgeUpdate], births: Dict[Vertex, int]
+    ) -> None:
+        """Advance the graph to the post-batch state and fix score keys."""
+        for update in batch:
+            u, v = update.endpoints
+            if update.kind is UpdateKind.ADDITION:
+                self._graph.add_edge(u, v)
+            else:
+                self._graph.remove_edge(u, v)
+        for vertex in births:
+            self._vertex_scores.setdefault(vertex, 0.0)
+        # An edge's score entry exists exactly while the edge does; within a
+        # batch only the final state matters (net-zero contributions of an
+        # edge added and removed in the same batch disappear with its key).
+        for update in batch:
+            u, v = update.endpoints
+            key = self._edge_key(u, v)
+            if self._graph.has_edge(u, v):
+                self._edge_scores.setdefault(key, 0.0)
+            else:
+                self._edge_scores.pop(key, None)
+
     def _can_skip(self, source: Vertex, u: Vertex, v: Vertex) -> bool:
         """Cheap pre-check of Proposition 3.1 using only two stored distances."""
         du, dv = self._store.endpoint_distances(source, u, v)
@@ -256,6 +530,9 @@ class IncrementalBetweenness:
         self._edge_scores[self._edge_key(u, v)] = 0.0
         for vertex in new_vertices:
             self._vertex_scores.setdefault(vertex, 0.0)
+            # Existing sources may start reaching the new vertex, so the
+            # store needs a slot for it even when another instance owns it.
+            self._store.register_vertex(vertex)
             if not self._restricted:
                 self._store.add_source(vertex)
 

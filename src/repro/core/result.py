@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.core.classification import UpdateCase
 from repro.core.updates import EdgeUpdate
@@ -74,3 +74,67 @@ class UpdateResult:
         if self.sources_processed == 0:
             return 0.0
         return self.sources_skipped / self.sources_processed
+
+
+@dataclass
+class BatchResult:
+    """Outcome of applying a whole batch of edge updates in one source sweep.
+
+    The batched pipeline visits every source once, replaying the batch in
+    order against its betweenness data, instead of sweeping the whole store
+    once per update.  The scores it produces are identical to applying the
+    updates one at a time; what changes is the I/O profile, captured here:
+
+    Attributes
+    ----------
+    updates:
+        The batch, in application order.
+    results:
+        One :class:`UpdateResult` per update, aggregating the per-source
+        statistics exactly as the one-at-a-time path would (their
+        ``elapsed_seconds`` is ``None``; only the batch as a whole is timed).
+    elapsed_seconds:
+        Wall-clock time for the whole batch (None when not timed).
+    sources_loaded:
+        Sources whose full ``BD[s]`` record was loaded and saved back —
+        exactly once each, however long the batch.
+    sources_peek_skipped:
+        Sources dismissed by the distance peek alone, without ever
+        materialising their record.
+    """
+
+    updates: List[EdgeUpdate] = field(default_factory=list)
+    results: List[UpdateResult] = field(default_factory=list)
+    elapsed_seconds: Optional[float] = None
+    sources_loaded: int = 0
+    sources_peek_skipped: int = 0
+
+    @property
+    def num_updates(self) -> int:
+        """Number of updates in the batch."""
+        return len(self.updates)
+
+    @property
+    def sources_processed(self) -> int:
+        """Total (source, update) pairs examined, summed over the batch."""
+        return sum(result.sources_processed for result in self.results)
+
+    @property
+    def sources_skipped(self) -> int:
+        """Total (source, update) pairs skipped, summed over the batch."""
+        return sum(result.sources_skipped for result in self.results)
+
+    @property
+    def skip_fraction(self) -> float:
+        """Fraction of (source, update) pairs skipped across the batch."""
+        processed = self.sources_processed
+        if processed == 0:
+            return 0.0
+        return self.sources_skipped / processed
+
+    @property
+    def seconds_per_update(self) -> float:
+        """Average wall-clock seconds per update in the batch."""
+        if not self.updates or self.elapsed_seconds is None:
+            return 0.0
+        return self.elapsed_seconds / len(self.updates)

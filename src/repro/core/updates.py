@@ -9,9 +9,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.types import Vertex
+from repro.exceptions import UpdateError
+from repro.types import Vertex, canonical_edge
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.graph.graph import Graph
 
 
 class UpdateKind(enum.Enum):
@@ -75,6 +79,86 @@ def additions(edges: Iterable[Tuple[Vertex, Vertex]]) -> List[EdgeUpdate]:
 def removals(edges: Iterable[Tuple[Vertex, Vertex]]) -> List[EdgeUpdate]:
     """Wrap plain ``(u, v)`` pairs as removal updates."""
     return [EdgeUpdate.removal(u, v) for u, v in edges]
+
+
+def batches(
+    updates: Iterable[EdgeUpdate], size: int
+) -> Iterator[List[EdgeUpdate]]:
+    """Chunk an update stream into consecutive batches of at most ``size``.
+
+    Order is preserved both across and within batches, so feeding the chunks
+    to :meth:`~repro.core.framework.IncrementalBetweenness.apply_updates`
+    yields the same scores as applying the stream one update at a time.
+    """
+    if size < 1:
+        raise ValueError(f"batch size must be >= 1, got {size}")
+    chunk: List[EdgeUpdate] = []
+    for update in updates:
+        chunk.append(update)
+        if len(chunk) == size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def validate_batch(
+    graph: "Graph", batch: Sequence[EdgeUpdate]
+) -> Dict[Vertex, int]:
+    """Check a batch is applicable to ``graph``, without mutating anything.
+
+    Raises :class:`~repro.exceptions.UpdateError` on the first invalid
+    update (self loop, duplicate addition, removal of a missing edge), and
+    returns the vertices the batch creates mapped to the index of the
+    update that creates them.  Used by both the batched framework pipeline
+    and the parallel driver, so the two always accept the same batches.
+
+    Later updates may depend on earlier ones (re-add a removed edge, touch
+    a just-born vertex), so the walk tracks the batch's net effect in an
+    O(batch)-sized overlay on top of the untouched graph — no graph copy.
+    """
+    births: Dict[Vertex, int] = {}
+    added = set()
+    removed = set()
+
+    def edge_key(u: Vertex, v: Vertex) -> Tuple[Vertex, Vertex]:
+        return (u, v) if graph.directed else canonical_edge(u, v)
+
+    def edge_exists(u: Vertex, v: Vertex) -> bool:
+        key = edge_key(u, v)
+        if key in added:
+            return True
+        if key in removed:
+            return False
+        return graph.has_edge(u, v)
+
+    for index, update in enumerate(batch):
+        u, v = update.endpoints
+        key = edge_key(u, v)
+        if update.kind is UpdateKind.ADDITION:
+            if u == v:
+                raise UpdateError("self loops are not supported")
+            if edge_exists(u, v):
+                raise UpdateError(
+                    f"edge ({u!r}, {v!r}) is already in the graph "
+                    f"at batch position {index}"
+                )
+            for vertex in (u, v):
+                if vertex not in births and not graph.has_vertex(vertex):
+                    births[vertex] = index
+            added.add(key)
+            removed.discard(key)
+        elif update.kind is UpdateKind.REMOVAL:
+            if not edge_exists(u, v):
+                raise UpdateError(
+                    f"edge ({u!r}, {v!r}) is not in the graph "
+                    f"at batch position {index}"
+                )
+            removed.add(key)
+            added.discard(key)
+        else:  # pragma: no cover - defensive, enum is closed
+            raise UpdateError(f"unknown update kind {update.kind!r}")
+    return births
 
 
 def interleave_by_timestamp(*streams: Iterable[EdgeUpdate]) -> Iterator[EdgeUpdate]:

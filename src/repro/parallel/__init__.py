@@ -8,13 +8,20 @@ reducer (the MapReduce embodiment of Figure 4).  Section 5.3 derives the
 online-capacity model ``tU = tS * n / p + tM`` that predicts how many
 workers are needed to keep up with a given edge-arrival rate.
 
-No Hadoop cluster is available in this environment, so the package provides
-a faithful in-process simulation: the map phase really runs the per-source
-incremental updates partition by partition (optionally in separate
-processes), per-partition wall-clock times are measured, and cluster
-wall-clock is derived exactly as the paper's model prescribes.
+Two embodiments are provided.  :class:`MapReduceBetweenness` is a faithful
+in-process simulation: the map phase really runs the per-source incremental
+updates partition by partition, per-partition times are measured, and
+cluster wall-clock is derived exactly as the paper's model prescribes.
+:class:`ProcessParallelBetweenness` replaces the simulation with real OS
+worker processes — each owns one partition's restricted framework, the
+initial Brandes phase and every update batch run concurrently, and the
+reduce step merges the measured partial scores.
 """
 
+from repro.parallel.executor import (
+    ParallelBatchReport,
+    ProcessParallelBetweenness,
+)
 from repro.parallel.mapreduce import (
     MapReduceBetweenness,
     MapReduceUpdateReport,
@@ -30,6 +37,7 @@ from repro.parallel.scaling import (
 from repro.parallel.online import (
     OnlineReplayResult,
     OnlineUpdateRecord,
+    replay_online_updates_parallel,
     simulate_online_updates,
 )
 
@@ -37,6 +45,8 @@ __all__ = [
     "MapReduceBetweenness",
     "MapReduceUpdateReport",
     "merge_partial_scores",
+    "ProcessParallelBetweenness",
+    "ParallelBatchReport",
     "OnlineCapacityModel",
     "ScalingMeasurement",
     "required_workers",
@@ -45,4 +55,5 @@ __all__ = [
     "OnlineReplayResult",
     "OnlineUpdateRecord",
     "simulate_online_updates",
+    "replay_online_updates_parallel",
 ]

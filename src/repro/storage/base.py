@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import abc
-from typing import Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 from repro.algorithms.brandes import SourceData
 from repro.types import Vertex
@@ -43,6 +43,45 @@ class BDStore(abc.ABC):
     @abc.abstractmethod
     def add_source(self, source: Vertex) -> None:
         """Create the record of a brand-new vertex (reaching only itself)."""
+
+    def register_vertex(self, vertex: Vertex) -> None:
+        """Make the store aware of a vertex *without* making it a source.
+
+        Records of existing sources may reference a newly arrived vertex
+        (its distance, path count and dependency) even when another worker
+        owns it as a source.  Positional stores (the on-disk columnar layout)
+        need to allocate a column slot before such a record can be saved;
+        dictionary-backed stores need to do nothing, which is the default.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Snapshots
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[Vertex, SourceData]:
+        """Materialise every record as a picklable ``{source: BD[s]}`` dict.
+
+        Used to ship a partition of the store to a worker process (the
+        distributed-cache step of the parallel embodiment) and to clone
+        framework instances without re-running Brandes.  The returned
+        records are independent copies: in-memory stores hand out live
+        references from :meth:`get`, and a snapshot that aliased them would
+        couple the clone's repairs to the original's.
+        """
+        result: Dict[Vertex, SourceData] = {}
+        for source in self.sources():
+            data = self.get(source)
+            result[source] = SourceData(
+                source=data.source,
+                distance=dict(data.distance),
+                sigma=dict(data.sigma),
+                delta=dict(data.delta),
+            )
+        return result
+
+    def load_snapshot(self, records: Iterable[SourceData]) -> None:
+        """Bulk-insert records previously produced by :meth:`snapshot`."""
+        for data in records:
+            self.put(data)
 
     # ------------------------------------------------------------------ #
     # Enumeration

@@ -60,6 +60,10 @@ class DiskBDStore(BDStore):
         Number of vertex slots to pre-allocate.  Defaults to the initial
         vertex count padded by ``DEFAULT_GROWTH_FACTOR`` so that a modest
         number of new vertices can arrive without rebuilding the file.
+    sources:
+        Vertices that are sources of this store.  Defaults to all of
+        ``vertices``; a parallel worker restricted to a partition passes its
+        partition here while still giving every graph vertex a column slot.
     """
 
     def __init__(
@@ -67,8 +71,22 @@ class DiskBDStore(BDStore):
         vertices: Iterable[Vertex],
         path: Optional[PathLike] = None,
         capacity: Optional[int] = None,
+        sources: Optional[Iterable[Vertex]] = None,
     ) -> None:
         self._index = VertexIndex(vertices)
+        # Every vertex gets a column slot; only sources get a meaningful
+        # record.  Vertices registered later (e.g. owned by another worker's
+        # partition) get a column slot only.
+        if sources is None:
+            self._source_set = set(self._index.vertices())
+        else:
+            self._source_set = set(sources)
+            unknown = self._source_set - set(self._index.vertices())
+            if unknown:
+                raise StoreCorruptedError(
+                    f"sources {sorted(map(repr, unknown))} are not among the "
+                    "store's vertices"
+                )
         initial = len(self._index)
         if capacity is None:
             capacity = max(initial, int(initial * DEFAULT_GROWTH_FACTOR), 16)
@@ -123,6 +141,7 @@ class DiskBDStore(BDStore):
         self._ensure_open()
         if data.source not in self._index:
             self._register_vertex(data.source)
+        self._source_set.add(data.source)
         payload = encode_record(data, self._index, self._capacity)
         self._write_record(self._index.slot(data.source), payload)
 
@@ -159,27 +178,41 @@ class DiskBDStore(BDStore):
 
     def add_source(self, source: Vertex) -> None:
         self._ensure_open()
-        if source in self._index:
+        if source in self._source_set:
             return
-        self._register_vertex(source)
+        if source not in self._index:
+            self._register_vertex(source)
         data = SourceData(source=source)
         data.distance[source] = 0
         data.sigma[source] = 1
         data.delta[source] = 0.0
         self.put(data)
 
+    def register_vertex(self, vertex: Vertex) -> None:
+        """Allocate a column slot for ``vertex`` without making it a source."""
+        self._ensure_open()
+        if vertex not in self._index:
+            self._register_vertex(vertex)
+
+    def snapshot(self):
+        """Materialise every record; decoding already yields fresh objects,
+        so no defensive copy is needed (unlike the in-memory store)."""
+        return {source: self.get(source) for source in self.sources()}
+
     # ------------------------------------------------------------------ #
     # Enumeration
     # ------------------------------------------------------------------ #
     def sources(self) -> Iterator[Vertex]:
         self._ensure_open()
-        return iter(self._index.vertices())
+        return iter(
+            [v for v in self._index.vertices() if v in self._source_set]
+        )
 
     def __len__(self) -> int:
-        return len(self._index)
+        return len(self._source_set)
 
     def __contains__(self, source: Vertex) -> bool:
-        return source in self._index
+        return source in self._source_set
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -209,8 +242,8 @@ class DiskBDStore(BDStore):
         self._file.flush()
         self._bytes_written += self._capacity * len(empty)
         # Newly formatted records describe "reaches nothing" sources; make the
-        # already-registered vertices valid sources that reach themselves.
-        for vertex in self._index.vertices():
+        # already-registered sources valid records that reach themselves.
+        for vertex in [v for v in self._index.vertices() if v in self._source_set]:
             data = SourceData(source=vertex)
             data.distance[vertex] = 0
             data.sigma[vertex] = 1
@@ -227,7 +260,7 @@ class DiskBDStore(BDStore):
     def _grow(self, new_vertex: Vertex) -> None:
         """Rebuild the file with a larger capacity to make room for ``new_vertex``."""
         old_records = {
-            source: self.get(source) for source in self._index.vertices()
+            source: self.get(source) for source in self.sources()
         }
         self._index.add(new_vertex)
         self._capacity = max(

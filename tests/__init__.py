@@ -1,0 +1,7 @@
+"""Test suite package.
+
+Making ``tests`` a package lets the shared helpers in
+:mod:`tests.helpers` be imported with absolute imports under any pytest
+rootdir, which is what broke collection when test modules used relative
+``from .conftest import ...`` imports.
+"""

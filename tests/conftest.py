@@ -1,8 +1,10 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+Plain (non-fixture) helpers live in :mod:`tests.helpers`; import them from
+there, never from this module.
+"""
 
 from __future__ import annotations
-
-import random
 
 import pytest
 
@@ -43,30 +45,3 @@ def two_triangles_bridge() -> Graph:
 def disconnected_graph() -> Graph:
     """Two separate components: a triangle and a path."""
     return Graph.from_edges([(0, 1), (1, 2), (0, 2), (10, 11), (11, 12)])
-
-
-def random_connected_graph(n: int, extra_edge_probability: float, seed: int) -> Graph:
-    """Random connected graph: a random spanning tree plus random extra edges."""
-    rng = random.Random(seed)
-    graph = Graph()
-    graph.add_vertex(0)
-    for vertex in range(1, n):
-        graph.add_edge(vertex, rng.randrange(vertex))
-    for u in range(n):
-        for v in range(u + 1, n):
-            if not graph.has_edge(u, v) and rng.random() < extra_edge_probability:
-                graph.add_edge(u, v)
-    return graph
-
-
-def random_graph(n: int, edge_probability: float, seed: int) -> Graph:
-    """Plain G(n, p) random graph (possibly disconnected)."""
-    rng = random.Random(seed)
-    graph = Graph()
-    for vertex in range(n):
-        graph.add_vertex(vertex)
-    for u in range(n):
-        for v in range(u + 1, n):
-            if rng.random() < edge_probability:
-                graph.add_edge(u, v)
-    return graph

@@ -1,7 +1,13 @@
-"""Assertion helpers shared across test modules."""
+"""Assertion helpers and graph builders shared across test modules.
+
+Import from here (``from tests.helpers import ...``) rather than from
+``conftest`` — conftest modules are loaded by pytest for fixtures and are
+not importable under rootdir collection.
+"""
 
 from __future__ import annotations
 
+import random
 from typing import Dict
 
 from repro.algorithms import brandes_betweenness
@@ -9,6 +15,33 @@ from repro.core.framework import IncrementalBetweenness
 from repro.graph import Graph
 
 TOLERANCE = 1e-8
+
+
+def random_connected_graph(n: int, extra_edge_probability: float, seed: int) -> Graph:
+    """Random connected graph: a random spanning tree plus random extra edges."""
+    rng = random.Random(seed)
+    graph = Graph()
+    graph.add_vertex(0)
+    for vertex in range(1, n):
+        graph.add_edge(vertex, rng.randrange(vertex))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not graph.has_edge(u, v) and rng.random() < extra_edge_probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def random_graph(n: int, edge_probability: float, seed: int) -> Graph:
+    """Plain G(n, p) random graph (possibly disconnected)."""
+    rng = random.Random(seed)
+    graph = Graph()
+    for vertex in range(n):
+        graph.add_vertex(vertex)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < edge_probability:
+                graph.add_edge(u, v)
+    return graph
 
 
 def assert_scores_equal(actual: Dict, expected: Dict, tolerance: float = TOLERANCE, label: str = "") -> None:

@@ -11,8 +11,8 @@ from repro.algorithms import (
 from repro.exceptions import ConfigurationError, UpdateError
 from repro.generators import complete_graph, star_graph
 
-from .conftest import random_connected_graph
-from .helpers import assert_scores_equal
+from tests.helpers import random_connected_graph
+from tests.helpers import assert_scores_equal
 
 
 class TestBruteForce:

@@ -18,7 +18,7 @@ from repro.exceptions import ConfigurationError
 from repro.generators import addition_stream, removal_stream, synthetic_social_graph
 from repro.graph import profile
 
-from .helpers import assert_framework_matches_recompute
+from tests.helpers import assert_framework_matches_recompute
 
 
 @pytest.fixture(scope="module")

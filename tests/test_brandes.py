@@ -10,8 +10,8 @@ from repro.algorithms import brandes_betweenness, brandes_vertex_betweenness, br
 from repro.generators import complete_graph, cycle_graph, path_graph, star_graph
 from repro.graph import Graph
 
-from .conftest import random_graph
-from .helpers import assert_scores_equal
+from tests.helpers import random_graph
+from tests.helpers import assert_scores_equal
 
 
 class TestKnownValues:

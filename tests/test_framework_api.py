@@ -9,8 +9,8 @@ from repro.graph import Graph
 from repro.storage import DiskBDStore, InMemoryBDStore
 from repro.storage.partition import partition_sources
 
-from .conftest import random_connected_graph
-from .helpers import assert_framework_matches_recompute, assert_scores_equal
+from tests.helpers import random_connected_graph
+from tests.helpers import assert_framework_matches_recompute, assert_scores_equal
 
 
 class TestConstruction:

@@ -6,8 +6,8 @@ from repro.core import IncrementalBetweenness, UpdateCase
 from repro.exceptions import UpdateError
 from repro.graph import Graph
 
-from .conftest import random_connected_graph, random_graph
-from .helpers import assert_framework_matches_recompute
+from tests.helpers import random_connected_graph, random_graph
+from tests.helpers import assert_framework_matches_recompute
 
 
 class TestAdditionCases:

@@ -13,7 +13,7 @@ from repro.core import IncrementalBetweenness, UpdateCase
 from repro.generators import complete_graph, cycle_graph, grid_graph, path_graph, star_graph
 from repro.graph import Graph
 
-from .helpers import assert_framework_matches_recompute
+from tests.helpers import assert_framework_matches_recompute
 
 
 class TestDiamondAndLatticeTopologies:

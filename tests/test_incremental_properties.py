@@ -18,7 +18,7 @@ from repro.algorithms import brandes_betweenness
 from repro.core import IncrementalBetweenness
 from repro.graph import Graph
 
-from .helpers import assert_framework_matches_recompute, assert_scores_equal
+from tests.helpers import assert_framework_matches_recompute, assert_scores_equal
 
 MAX_VERTICES = 8
 

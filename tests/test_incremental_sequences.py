@@ -14,8 +14,8 @@ import pytest
 from repro.core import IncrementalBetweenness
 from repro.graph import Graph
 
-from .conftest import random_graph
-from .helpers import assert_framework_matches_recompute
+from tests.helpers import random_graph
+from tests.helpers import assert_framework_matches_recompute
 
 
 def run_random_sequence(n, p, seed, steps, check_every=1, removal_bias=0.5):

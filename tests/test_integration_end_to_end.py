@@ -22,7 +22,7 @@ from repro.generators.streams import EvolvingGraph
 from repro.parallel import MapReduceBetweenness, simulate_online_updates
 from repro.storage import DiskBDStore
 
-from .helpers import assert_framework_matches_recompute, assert_scores_equal
+from tests.helpers import assert_framework_matches_recompute, assert_scores_equal
 
 
 @pytest.fixture(scope="module")

@@ -17,8 +17,8 @@ from repro.parallel import (
     weak_scaling,
 )
 
-from .conftest import random_connected_graph
-from .helpers import assert_scores_equal
+from tests.helpers import random_connected_graph
+from tests.helpers import assert_scores_equal
 
 
 class TestMergePartialScores:

@@ -6,8 +6,8 @@ from repro.algorithms import brandes_betweenness, parallel_brandes_betweenness
 from repro.exceptions import ConfigurationError
 from repro.generators import synthetic_social_graph
 
-from .conftest import random_connected_graph
-from .helpers import assert_scores_equal
+from tests.helpers import random_connected_graph
+from tests.helpers import assert_scores_equal
 
 
 class TestParallelBrandes:

@@ -14,8 +14,8 @@ from repro.core import IncrementalBetweenness
 from repro.graph import Graph
 from repro.storage import DiskBDStore
 
-from .helpers import assert_scores_equal
-from .test_incremental_properties import apply_script, graph_and_updates
+from tests.helpers import assert_scores_equal
+from tests.test_incremental_properties import apply_script, graph_and_updates
 
 settings.register_profile(
     "repro-variants",
