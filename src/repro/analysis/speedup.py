@@ -46,7 +46,16 @@ def build_framework(
     variant: Variant = Variant.MO,
     disk_path: Optional[Path] = None,
 ) -> IncrementalBetweenness:
-    """Instantiate the framework in one of the paper's three configurations."""
+    """Instantiate the framework in one of the paper's three configurations.
+
+    For the DO variant, ``disk_path`` must be empty or absent: the store is
+    created fresh there (and refuses — via
+    :class:`~repro.exceptions.StoreExistsError` — to truncate an existing
+    one).  Resuming from an existing store needs the graph state its records
+    describe, which only a checkpoint records; use
+    :meth:`IncrementalBetweenness.resume
+    <repro.core.framework.IncrementalBetweenness.resume>` for that.
+    """
     if variant is Variant.MP:
         return IncrementalBetweenness(graph, maintain_predecessors=True)
     if variant is Variant.MO:
@@ -106,6 +115,7 @@ def measure_stream_speedups(
     baseline_repeats: int = 1,
     disk_path: Optional[Path] = None,
     batch_size: int = 1,
+    checkpoint_path: Optional[Path] = None,
 ) -> SpeedupSeries:
     """Apply ``updates`` with the chosen variant and record per-edge speedups.
 
@@ -133,6 +143,10 @@ def measure_stream_speedups(
         (:meth:`~repro.core.framework.IncrementalBetweenness.apply_updates`)
         in chunks of this size; each update in a chunk is charged an equal
         share of the chunk's wall-clock time.
+    checkpoint_path:
+        When given, write a framework checkpoint sidecar here after the
+        whole stream has been applied (before the store is closed), so a
+        later run can resume from the post-stream state.
     """
     if batch_size < 1:
         raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
@@ -163,6 +177,8 @@ def measure_stream_speedups(
                         if per_update > 0
                         else float("inf")
                     )
+        if checkpoint_path is not None:
+            framework.checkpoint(checkpoint_path)
     finally:
         framework.store.close()
     return series

@@ -6,6 +6,9 @@ explored without writing Python::
     repro datasets                               # list dataset stand-ins
     repro profile --dataset facebook             # Table 2 row
     repro speedup --dataset synthetic-10k --edges 20 --kind add --variant MO
+    repro speedup --dataset facebook --variant DO \
+        --store-path bd.bin --checkpoint ck.bin   # durable DO store + checkpoint
+    repro resume --checkpoint ck.bin --edges 10 --verify
     repro online --dataset facebook --mappers 1,10,50
     repro communities --dataset synthetic-1k --removals 25
     repro proxies --dataset wikielections        # degree/closeness vs betweenness
@@ -18,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.algorithms import brandes_betweenness
@@ -30,6 +34,7 @@ from repro.analysis import (
 )
 from repro.analysis.correlation import compare_rankings
 from repro.applications import girvan_newman, modularity
+from repro.core import IncrementalBetweenness
 from repro.generators import (
     addition_stream,
     available_datasets,
@@ -38,6 +43,7 @@ from repro.generators import (
 )
 from repro.graph import profile
 from repro.parallel import replay_online_updates_parallel, simulate_online_updates
+from repro.utils.timing import Timer
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,6 +81,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="apply the stream in batches of this many updates "
              "(one source sweep per batch)",
     )
+    speedup_parser.add_argument(
+        "--store-path", type=Path, default=None,
+        help="DO variant only: durable location for a freshly created BD "
+             "store (an existing store file is refused, never truncated; "
+             "continue from one with `repro resume`)",
+    )
+    speedup_parser.add_argument(
+        "--checkpoint", type=Path, default=None,
+        help="write a framework checkpoint here after the stream, for a "
+             "later `repro resume`",
+    )
+
+    resume_parser = subparsers.add_parser(
+        "resume",
+        help="resume a framework from a checkpoint and apply more updates",
+    )
+    resume_parser.add_argument(
+        "--checkpoint", type=Path, required=True,
+        help="checkpoint sidecar written by `repro speedup --checkpoint`",
+    )
+    resume_parser.add_argument("--edges", type=int, default=10, help="stream length")
+    resume_parser.add_argument(
+        "--kind", choices=["add", "remove"], default="add", help="update kind"
+    )
+    resume_parser.add_argument("--seed", type=int, default=7, help="random seed")
+    resume_parser.add_argument(
+        "--batch-size", type=int, default=1,
+        help="apply the stream in batches of this many updates",
+    )
+    resume_parser.add_argument(
+        "--verify", action="store_true",
+        help="recompute betweenness from scratch afterwards and check the "
+             "resumed scores match",
+    )
 
     online_parser = subparsers.add_parser(
         "online", help="online replay: missed deadlines vs number of mappers"
@@ -101,6 +141,11 @@ def build_parser() -> argparse.ArgumentParser:
     online_parser.add_argument(
         "--store", choices=["memory", "disk"], default="memory",
         help="per-worker BD store used with --workers",
+    )
+    online_parser.add_argument(
+        "--store-path", type=Path, default=None,
+        help="with --workers: durable BD store file each worker reopens to "
+             "seed its partition (skips the parallel Brandes bootstrap)",
     )
 
     communities_parser = subparsers.add_parser(
@@ -144,6 +189,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(_run_profile(args))
     elif command == "speedup":
         print(_run_speedup(args))
+    elif command == "resume":
+        text, code = _run_resume(args)
+        print(text)
+        return code
     elif command == "online":
         print(_run_online(args))
     elif command == "communities":
@@ -175,6 +224,8 @@ def _run_profile(args) -> str:
 
 def _run_speedup(args) -> str:
     graph = _load(args)
+    if args.store_path is not None and Variant(args.variant) is not Variant.DO:
+        raise SystemExit("--store-path only applies to the DO variant")
     if args.kind == "add":
         updates = addition_stream(graph, args.edges, rng=args.seed)
     else:
@@ -182,6 +233,8 @@ def _run_speedup(args) -> str:
     series = measure_stream_speedups(
         graph, updates, Variant(args.variant), label=args.dataset,
         batch_size=args.batch_size,
+        disk_path=args.store_path,
+        checkpoint_path=args.checkpoint,
     )
     stats = series.summary()
     header = ["dataset", "kind", "variant", "batch", "edges", "min", "median",
@@ -201,6 +254,61 @@ def _run_speedup(args) -> str:
     return format_table(header, [row]) + f"\nper-edge speedups: {per_edge}"
 
 
+def _run_resume(args) -> tuple:
+    framework = IncrementalBetweenness.resume(args.checkpoint)
+    graph = framework.graph
+    lines = [
+        f"resumed from {args.checkpoint}: {graph.num_vertices} vertices, "
+        f"{graph.num_edges} edges, {framework.num_sources} sources",
+    ]
+    verified = True
+    try:
+        if args.kind == "add":
+            updates = addition_stream(graph, args.edges, rng=args.seed)
+        else:
+            updates = removal_stream(graph, args.edges, rng=args.seed)
+        timer = Timer()
+        with timer.measure():
+            if args.batch_size > 1:
+                framework.process_stream_batched(updates, args.batch_size)
+            else:
+                framework.process_stream(updates)
+        lines.append(
+            f"applied {len(updates)} {args.kind} updates in "
+            f"{timer.total:.4f}s ({timer.total / max(1, len(updates)):.4f}s "
+            "per update)"
+        )
+        if args.verify:
+            reference = brandes_betweenness(framework.graph)
+            deviation = max(
+                (
+                    abs(framework.vertex_betweenness().get(v, 0.0) - score)
+                    for v, score in reference.vertex_scores.items()
+                ),
+                default=0.0,
+            )
+            verified = deviation <= 1e-8
+            lines.append(
+                f"verification vs from-scratch Brandes: "
+                f"{'match' if verified else 'MISMATCH'} "
+                f"(max |Δ| = {deviation:.2e})"
+            )
+        if verified:
+            # The updates just mutated the durable store, so the old sidecar
+            # no longer describes it; refresh it for the next resume.
+            framework.checkpoint(args.checkpoint)
+            lines.append(f"checkpoint refreshed: {args.checkpoint}")
+        else:
+            lines.append(
+                "verification failed — checkpoint NOT refreshed (the store "
+                "was modified, so the old sidecar is now stale by design; "
+                "investigate before resuming again)"
+            )
+    finally:
+        framework.store.close()
+    return "\n".join(lines), 0 if verified else 1
+
+
 def _run_online(args) -> str:
     evolving = load_dataset(
         args.dataset, num_vertices=args.vertices, rng=args.seed, as_evolving=True
@@ -208,6 +316,8 @@ def _run_online(args) -> str:
     prefix = max(0, evolving.num_edges - args.edges)
     base = evolving.base_graph(prefix)
     future = evolving.future_updates(prefix)
+    if args.store_path is not None and args.workers is None:
+        raise SystemExit("--store-path requires --workers (real executor)")
     rows = []
     if args.workers is not None:
         result = replay_online_updates_parallel(
@@ -217,6 +327,7 @@ def _run_online(args) -> str:
             batch_size=args.batch_size,
             time_scale=args.time_scale,
             store=args.store,
+            source_store_path=args.store_path,
         )
         rows.append(_online_row(args.dataset, f"{args.workers} (real)", result))
     else:

@@ -6,6 +6,11 @@ search-phase repairs for additions and removals, and the shared dependency
 accumulation) and are exposed for tests, experiments and advanced users.
 """
 
+from repro.core.checkpoint import (
+    FrameworkCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.core.classification import SourceClassification, UpdateCase, classify
 from repro.core.framework import IncrementalBetweenness
 from repro.core.repair import RepairPlan
@@ -15,6 +20,9 @@ from repro.core.updates import EdgeUpdate, UpdateKind, additions, batches, remov
 
 __all__ = [
     "IncrementalBetweenness",
+    "FrameworkCheckpoint",
+    "save_checkpoint",
+    "load_checkpoint",
     "EdgeUpdate",
     "UpdateKind",
     "additions",

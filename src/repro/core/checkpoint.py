@@ -1,0 +1,90 @@
+"""Sidecar checkpoints of an :class:`IncrementalBetweenness` instance.
+
+The per-source data ``BD[.]`` already lives in a (possibly durable) store;
+what the store cannot express is the *global* state of the framework: the
+current graph, the maintained vertex/edge betweenness scores and whether the
+instance is restricted to a source partition.  A checkpoint is a small
+sidecar file holding exactly that, framed with the same magic/version/CRC
+scheme as the store header (:mod:`repro.storage.header`).
+
+Two resume paths exist, both exposed on the framework:
+
+* **fast** — ``IncrementalBetweenness.resume(checkpoint)``: scores come from
+  the sidecar, records from the reopened store (or an embedded snapshot when
+  the store had no durable file); nothing is recomputed.
+* **reconstructive** — ``IncrementalBetweenness.from_store(graph, store)``:
+  no sidecar needed; the global scores are rebuilt by scanning the store's
+  records (``score[v] = Σ_s δ_s[v]`` and the DAG-edge contributions), which
+  yields exactly the scores a from-scratch bootstrap would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.algorithms.brandes import SourceData
+from repro.storage.header import read_sidecar, write_sidecar
+from repro.types import Edge, EdgeScores, Vertex, VertexScores
+
+#: Magic number of a framework checkpoint sidecar ("Repro Betweenness ChecKpoint").
+CHECKPOINT_MAGIC = b"RBCK"
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class FrameworkCheckpoint:
+    """Picklable global state of one framework instance.
+
+    Exactly one of ``store_path`` (the durable store to reopen) and
+    ``snapshot`` (embedded ``BD[.]`` records, used when the instance ran on
+    an in-memory or temporary store) is set.
+    """
+
+    vertices: List[Vertex]
+    edges: List[Edge]
+    vertex_scores: VertexScores
+    edge_scores: EdgeScores
+    restricted: bool
+    store_path: Optional[str] = None
+    snapshot: Optional[Dict[Vertex, SourceData]] = field(default=None, repr=False)
+    #: Generation of the durable store at checkpoint time; resume refuses a
+    #: store whose generation has moved on (the sidecar would be stale).
+    store_generation: Optional[int] = None
+
+
+def save_checkpoint(path: PathLike, checkpoint: FrameworkCheckpoint) -> Path:
+    """Write ``checkpoint`` to ``path`` (overwriting any previous checkpoint)."""
+    path = Path(path)
+    write_sidecar(
+        path,
+        CHECKPOINT_MAGIC,
+        {
+            "vertices": checkpoint.vertices,
+            "edges": checkpoint.edges,
+            "vertex_scores": checkpoint.vertex_scores,
+            "edge_scores": checkpoint.edge_scores,
+            "restricted": checkpoint.restricted,
+            "store_path": checkpoint.store_path,
+            "snapshot": checkpoint.snapshot,
+            "store_generation": checkpoint.store_generation,
+        },
+    )
+    return path
+
+
+def load_checkpoint(path: PathLike) -> FrameworkCheckpoint:
+    """Read a checkpoint written by :func:`save_checkpoint` (CRC-validated)."""
+    payload = read_sidecar(path, CHECKPOINT_MAGIC)
+    return FrameworkCheckpoint(
+        vertices=payload["vertices"],
+        edges=payload["edges"],
+        vertex_scores=payload["vertex_scores"],
+        edge_scores=payload["edge_scores"],
+        restricted=payload["restricted"],
+        store_path=payload["store_path"],
+        snapshot=payload["snapshot"],
+        store_generation=payload.get("store_generation"),
+    )

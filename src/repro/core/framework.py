@@ -20,19 +20,32 @@ scores across instances.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.algorithms.brandes import SourceData, brandes_betweenness
+from repro.core.checkpoint import (
+    FrameworkCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.core.classification import UpdateCase
 from repro.core.result import BatchResult, SourceUpdateStats, UpdateResult
 from repro.core.source_update import update_source
 from repro.core.updates import EdgeUpdate, UpdateKind, batches, validate_batch
-from repro.exceptions import DirectedGraphUnsupportedError, UpdateError
+from repro.exceptions import (
+    ConfigurationError,
+    DirectedGraphUnsupportedError,
+    UpdateError,
+)
 from repro.graph.graph import Graph
 from repro.storage.base import BDStore
+from repro.storage.disk import DiskBDStore
 from repro.storage.memory import InMemoryBDStore
 from repro.types import Edge, EdgeScores, Vertex, VertexScores, canonical_edge
 from repro.utils.timing import Timer
+
+PathLike = Union[str, Path]
 
 
 class IncrementalBetweenness:
@@ -119,6 +132,62 @@ class IncrementalBetweenness:
         (:meth:`~repro.storage.base.BDStore.snapshot`) instead of
         re-running the bootstrap.
         """
+        self = cls._bare(graph, store, restricted)
+        self._store.load_snapshot(source_data.values())
+        for data in source_data.values():
+            self._accumulate_record(data)
+        return self
+
+    @classmethod
+    def from_store(
+        cls,
+        graph: Graph,
+        store: BDStore,
+        restricted: Optional[bool] = None,
+    ) -> "IncrementalBetweenness":
+        """Resume from a store that *already* holds ``BD[.]`` records.
+
+        This is the reconstruction path of checkpoint/resume: a durable
+        :class:`~repro.storage.disk.DiskBDStore` written by a previous
+        process is reopened by path and handed here together with the
+        current graph; the global vertex/edge scores are rebuilt by scanning
+        every stored record once (one record in memory at a time — no
+        snapshot dict is materialised), yielding exactly the scores a
+        from-scratch bootstrap over the same sources would produce.
+
+        **Contract:** ``graph`` must be the graph state the store's records
+        describe.  The store persists no edge list, so a mismatched graph
+        cannot generally be detected and would yield silently wrong scores —
+        use :meth:`checkpoint`/:meth:`resume` when the graph itself needs to
+        be persisted alongside the records.  Sources referencing vertices
+        the graph lacks *are* detected and rejected.
+
+        ``restricted`` defaults to auto-detection: an instance whose store
+        covers every graph vertex as a source is unrestricted (it will adopt
+        stream-born vertices automatically), anything less is treated as a
+        partition worker.
+        """
+        graph_vertices = set(graph.vertices())
+        stray = set(store.sources()) - graph_vertices
+        if stray:
+            raise ConfigurationError(
+                f"store sources {sorted(map(repr, stray))} are not vertices "
+                "of the given graph — the store describes a different graph "
+                "state (resume from a checkpoint to restore the matching "
+                "graph)"
+            )
+        if restricted is None:
+            restricted = set(store.sources()) != graph_vertices
+        self = cls._bare(graph, store, restricted)
+        for source in store.sources():
+            self._accumulate_record(store.get(source))
+        return self
+
+    @classmethod
+    def _bare(
+        cls, graph: Graph, store: Optional[BDStore], restricted: bool
+    ) -> "IncrementalBetweenness":
+        """Instance with zeroed scores and no bootstrap (shared by resume paths)."""
         if graph.directed:
             raise DirectedGraphUnsupportedError(
                 "the incremental framework supports undirected graphs"
@@ -133,25 +202,117 @@ class IncrementalBetweenness:
         self._edge_scores = {
             self._edge_key(u, v): 0.0 for u, v in self._graph.edges()
         }
-        self._store.load_snapshot(source_data.values())
-        for source, data in source_data.items():
-            for vertex, dependency in data.delta.items():
-                if vertex != source:
-                    self._vertex_scores[vertex] += dependency
-            # Every DAG edge (parent -> child) carries the dependency
-            # sigma[parent]/sigma[child] * (1 + delta[child]).  Only edges
-            # between vertices the record reaches can be DAG edges, so the
-            # scan is proportional to the record, not the whole graph.
-            for parent, parent_distance in data.distance.items():
-                for child in self._graph.out_neighbors(parent):
-                    if data.distance.get(child) != parent_distance + 1:
-                        continue
-                    contribution = (
-                        data.sigma[parent]
-                        / data.sigma[child]
-                        * (1.0 + data.delta[child])
+        return self
+
+    def _accumulate_record(self, data: SourceData) -> None:
+        """Fold one ``BD[s]`` record into the global vertex/edge scores."""
+        source = data.source
+        for vertex, dependency in data.delta.items():
+            if vertex != source:
+                self._vertex_scores[vertex] += dependency
+        # Every DAG edge (parent -> child) carries the dependency
+        # sigma[parent]/sigma[child] * (1 + delta[child]).  Only edges
+        # between vertices the record reaches can be DAG edges, so the
+        # scan is proportional to the record, not the whole graph.
+        for parent, parent_distance in data.distance.items():
+            for child in self._graph.out_neighbors(parent):
+                if data.distance.get(child) != parent_distance + 1:
+                    continue
+                contribution = (
+                    data.sigma[parent]
+                    / data.sigma[child]
+                    * (1.0 + data.delta[child])
+                )
+                self._edge_scores[self._edge_key(parent, child)] += contribution
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / resume
+    # ------------------------------------------------------------------ #
+    def checkpoint(self, path: PathLike) -> Path:
+        """Write a sidecar checkpoint so a later process can :meth:`resume`.
+
+        The sidecar holds the graph, the global vertex/edge scores and the
+        restriction flag.  When the backing store is a durable
+        :class:`~repro.storage.disk.DiskBDStore` (caller-named path) only
+        its *path* is recorded — the records stay in the store file, which
+        is flushed here; otherwise (in-memory or temporary store) a full
+        ``BD[.]`` snapshot is embedded in the sidecar.
+
+        Predecessor lists (the MP configuration) are not checkpointed; a
+        resumed instance runs without them, which never changes scores.
+        """
+        store_path: Optional[str] = None
+        snapshot: Optional[Dict[Vertex, SourceData]] = None
+        store_generation: Optional[int] = None
+        if isinstance(self._store, DiskBDStore) and self._store.persistent:
+            self._store.flush()
+            # Resolve to an absolute path: the sidecar may be loaded from a
+            # different working directory than the one that wrote it.
+            store_path = str(Path(self._store.path).resolve())
+            store_generation = self._store.generation
+        else:
+            snapshot = self._store.snapshot()
+        return save_checkpoint(
+            path,
+            FrameworkCheckpoint(
+                vertices=self._graph.vertex_list(),
+                edges=self._graph.edge_list(),
+                vertex_scores=dict(self._vertex_scores),
+                edge_scores=dict(self._edge_scores),
+                restricted=self._restricted,
+                store_path=store_path,
+                snapshot=snapshot,
+                store_generation=store_generation,
+            ),
+        )
+
+    @classmethod
+    def resume(
+        cls, checkpoint_path: PathLike, store: Optional[BDStore] = None
+    ) -> "IncrementalBetweenness":
+        """Rebuild an instance from a :meth:`checkpoint` sidecar — no Brandes.
+
+        The graph and the global scores come straight from the sidecar;
+        the ``BD[.]`` records come from (in order of precedence) the
+        explicitly passed ``store``, the durable store file recorded in the
+        checkpoint (reopened via :meth:`DiskBDStore.open
+        <repro.storage.disk.DiskBDStore.open>`), or the snapshot embedded in
+        the sidecar (loaded into a fresh in-memory store).
+        """
+        ckpt = load_checkpoint(checkpoint_path)
+        graph = Graph()
+        for vertex in ckpt.vertices:
+            graph.add_vertex(vertex)
+        for u, v in ckpt.edges:
+            graph.add_edge(u, v)
+        if store is None:
+            if ckpt.store_path is not None:
+                store = DiskBDStore.open(ckpt.store_path)
+                if (
+                    ckpt.store_generation is not None
+                    and store.generation != ckpt.store_generation
+                ):
+                    generation = store.generation
+                    store.close()
+                    raise ConfigurationError(
+                        f"store {ckpt.store_path} is at generation "
+                        f"{generation} but the checkpoint was written at "
+                        f"generation {ckpt.store_generation}: the store was "
+                        "modified after checkpointing, so the sidecar's "
+                        "scores no longer describe it — re-checkpoint after "
+                        "every session that writes to the store"
                     )
-                    self._edge_scores[self._edge_key(parent, child)] += contribution
+            elif ckpt.snapshot is not None:
+                store = InMemoryBDStore()
+                store.load_snapshot(ckpt.snapshot.values())
+            else:
+                raise ConfigurationError(
+                    f"checkpoint {checkpoint_path} records neither a store "
+                    "path nor an embedded snapshot; pass a store explicitly"
+                )
+        self = cls._bare(graph, store, ckpt.restricted)
+        self._vertex_scores = dict(ckpt.vertex_scores)
+        self._edge_scores = dict(ckpt.edge_scores)
         return self
 
     # ------------------------------------------------------------------ #

@@ -66,6 +66,18 @@ class StoreCorruptedError(StorageError, ValueError):
     """On-disk betweenness data does not match the expected layout."""
 
 
+class StoreExistsError(StorageError, FileExistsError):
+    """Creating a store would clobber an existing non-empty file.
+
+    Raised instead of silently truncating; reopen the file with
+    :meth:`repro.storage.disk.DiskBDStore.open` to keep its data.
+    """
+
+
+class StoreVersionError(StoreCorruptedError):
+    """The on-disk store was written by an unsupported format version."""
+
+
 class PartitionError(ReproError, ValueError):
     """Invalid partitioning of the source set across workers."""
 

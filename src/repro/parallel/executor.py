@@ -29,7 +29,8 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.algorithms.brandes import SourceData
 from repro.core.framework import IncrementalBetweenness
@@ -43,6 +44,8 @@ from repro.storage.memory import InMemoryBDStore
 from repro.storage.partition import partition_sources
 from repro.types import EdgeScores, Vertex, VertexScores
 from repro.utils.timing import Timer
+
+PathLike = Union[str, Path]
 
 #: Store kinds a worker can build for its partition.
 WORKER_STORES = ("memory", "disk")
@@ -69,6 +72,20 @@ def _build_worker_framework(payload: dict) -> IncrementalBetweenness:
         raise ConfigurationError(f"unknown worker store {store_kind!r}")
 
     snapshot = payload["snapshot"]
+    store_path = payload.get("store_path")
+    if store_path is not None:
+        # File-seeded bootstrap: every worker reopens the shared durable
+        # store read-only-in-practice (records are only loaded, never
+        # written) and pulls just its own partition's records, so nothing
+        # crosses the driver→worker pipe but the path string.
+        with DiskBDStore.open(store_path) as seed:
+            missing = [s for s in sources if s not in seed]
+            if missing:
+                raise ConfigurationError(
+                    f"store file {store_path} lacks records for sources "
+                    f"{sorted(map(repr, missing))}"
+                )
+            snapshot = {s: seed.get(s) for s in sources}
     if snapshot is not None:
         return IncrementalBetweenness.from_source_data(
             graph, snapshot, store=store, restricted=True
@@ -208,6 +225,12 @@ class ProcessParallelBetweenness:
         ``framework.store.snapshot()`` of an existing serial instance).
         When given, workers are seeded from their slice of the snapshot
         instead of re-running the Brandes bootstrap.
+    source_store_path:
+        Path to a durable :class:`~repro.storage.disk.DiskBDStore` file
+        covering every source.  Each worker reopens the file itself and
+        loads only its partition's records, so — unlike ``source_data`` —
+        no pickled snapshot crosses the process boundary.  Mutually
+        exclusive with ``source_data``.
 
     Examples
     --------
@@ -225,12 +248,18 @@ class ProcessParallelBetweenness:
         store: str = "memory",
         start_method: Optional[str] = None,
         source_data: Optional[Dict[Vertex, SourceData]] = None,
+        source_store_path: Optional[PathLike] = None,
     ) -> None:
         if num_workers < 1:
             raise ConfigurationError(f"num_workers must be >= 1, got {num_workers}")
         if store not in WORKER_STORES:
             raise ConfigurationError(
                 f"store must be one of {WORKER_STORES}, got {store!r}"
+            )
+        if source_data is not None and source_store_path is not None:
+            raise ConfigurationError(
+                "source_data and source_store_path are mutually exclusive "
+                "seeding mechanisms"
             )
         if start_method is None:
             available = multiprocessing.get_all_start_methods()
@@ -257,6 +286,11 @@ class ProcessParallelBetweenness:
                 "snapshot": (
                     {s: source_data[s] for s in sources}
                     if source_data is not None
+                    else None
+                ),
+                "store_path": (
+                    str(source_store_path)
+                    if source_store_path is not None
                     else None
                 ),
             }

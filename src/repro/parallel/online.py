@@ -161,6 +161,7 @@ def replay_online_updates_parallel(
     time_scale: float = 1.0,
     store: str = "memory",
     use_cpu_time: bool = True,
+    source_store_path=None,
 ) -> OnlineReplayResult:
     """Measured online replay on the real process-parallel executor.
 
@@ -183,11 +184,18 @@ def replay_online_updates_parallel(
         paper's shared-nothing cluster — even when this host timeshares the
         workers over fewer physical cores.  Pass ``False`` to account raw
         worker wall-clock instead.
+    source_store_path:
+        Optional durable :class:`~repro.storage.disk.DiskBDStore` file each
+        worker reopens to seed its partition's records, skipping the Brandes
+        bootstrap (see :class:`ProcessParallelBetweenness`).
     """
     _check_batch_size(batch_size)
     arrivals = _relative_arrivals(updates, time_scale)
     with ProcessParallelBetweenness(
-        graph, num_workers=num_workers, store=store
+        graph,
+        num_workers=num_workers,
+        store=store,
+        source_store_path=source_store_path,
     ) as cluster:
 
         def measure(chunk: Sequence[EdgeUpdate]) -> float:

@@ -18,6 +18,7 @@ Two interchangeable backends implement the same :class:`BDStore` interface:
 from repro.storage.base import BDStore
 from repro.storage.memory import InMemoryBDStore
 from repro.storage.disk import DiskBDStore
+from repro.storage.header import STORE_MAGIC, STORE_VERSION, StoreLayout
 from repro.storage.index import VertexIndex
 from repro.storage.partition import SourcePartition, partition_sources
 
@@ -28,4 +29,7 @@ __all__ = [
     "VertexIndex",
     "SourcePartition",
     "partition_sources",
+    "StoreLayout",
+    "STORE_MAGIC",
+    "STORE_VERSION",
 ]

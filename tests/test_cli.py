@@ -81,3 +81,56 @@ class TestCommands:
         )
         assert code == 0
         assert "degree" in out and "closeness" in out
+
+    def test_speedup_do_with_store_and_resume(self, capsys, tmp_path):
+        store = tmp_path / "bd.bin"
+        checkpoint = tmp_path / "ck.bin"
+        code, out = run_cli(
+            capsys,
+            "speedup", "--dataset", "synthetic-1k", "--vertices", "40",
+            "--edges", "2", "--variant", "DO",
+            "--store-path", str(store), "--checkpoint", str(checkpoint),
+        )
+        assert code == 0
+        assert store.exists() and checkpoint.exists()
+
+        code, out = run_cli(
+            capsys,
+            "resume", "--checkpoint", str(checkpoint), "--edges", "2",
+            "--verify",
+        )
+        assert code == 0
+        assert "resumed from" in out
+        assert "match" in out and "MISMATCH" not in out
+        assert "checkpoint refreshed" in out
+
+    def test_speedup_store_path_requires_do(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            run_cli(
+                capsys,
+                "speedup", "--dataset", "synthetic-1k", "--vertices", "40",
+                "--edges", "2", "--variant", "MO",
+                "--store-path", str(tmp_path / "bd.bin"),
+            )
+
+    def test_speedup_refuses_existing_store_file(self, capsys, tmp_path):
+        from repro.exceptions import StoreExistsError
+
+        store = tmp_path / "bd.bin"
+        args = (
+            "speedup", "--dataset", "synthetic-1k", "--vertices", "40",
+            "--edges", "2", "--variant", "DO", "--store-path", str(store),
+        )
+        code, _ = run_cli(capsys, *args)
+        assert code == 0 and store.exists()
+        with pytest.raises(StoreExistsError):
+            run_cli(capsys, *args)
+
+    def test_online_store_path_requires_workers(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            run_cli(
+                capsys,
+                "online", "--dataset", "synthetic-1k", "--vertices", "40",
+                "--edges", "2", "--mappers", "1",
+                "--store-path", str(tmp_path / "bd.bin"),
+            )

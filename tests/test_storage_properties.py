@@ -82,8 +82,19 @@ class TestCodecProperties:
 
 
 class TestFailureInjection:
-    def test_truncated_file_is_detected(self, tmp_path):
+    def test_truncated_file_is_detected_on_reopen(self, tmp_path):
         store = DiskBDStore([0, 1, 2], path=tmp_path / "bd.bin", capacity=4)
+        store.put(_simple_record(0, [0, 1, 2]))
+        store.close()
+        with open(tmp_path / "bd.bin", "r+b") as handle:
+            handle.truncate(record_size(4) // 2)
+        with pytest.raises(StoreCorruptedError):
+            DiskBDStore.open(tmp_path / "bd.bin")
+
+    def test_truncated_file_is_detected_by_buffered_reads(self, tmp_path):
+        store = DiskBDStore(
+            [0, 1, 2], path=tmp_path / "bd.bin", capacity=4, use_mmap=False
+        )
         store.put(_simple_record(0, [0, 1, 2]))
         # Truncate the backing file behind the store's back.
         with open(store.path, "r+b") as handle:
@@ -92,10 +103,12 @@ class TestFailureInjection:
             store.get(2)
         store.close()
 
-    def test_record_of_wrong_size_rejected_on_write(self, tmp_path):
+    def test_out_of_range_values_rejected_on_write(self, tmp_path):
         store = DiskBDStore([0, 1], path=tmp_path / "bd.bin")
+        overflowing = _simple_record(0, [0, 1])
+        overflowing.distance[1] = 2**15  # one past the int16 maximum
         with pytest.raises(StoreCorruptedError):
-            store._write_record(0, b"too short")
+            store.put(overflowing)
         store.close()
 
 
