@@ -72,5 +72,10 @@ def approximate_betweenness(
                 vertex_scores[vertex] += dependency * scale
         if edge_scores is not None:
             for edge, contribution in edge_contrib.items():
-                edge_scores[edge] = edge_scores.get(edge, 0.0) + contribution * scale
+                # Every key produced by single_source_brandes is a canonical
+                # edge of the graph, and edge_scores was prefilled with all
+                # of them — index directly so that a non-canonical or stale
+                # key surfaces as a KeyError instead of being silently
+                # absorbed by a .get(..., 0.0) fallback into a fresh entry.
+                edge_scores[edge] = edge_scores[edge] + contribution * scale
     return vertex_scores, edge_scores

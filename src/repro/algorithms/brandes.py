@@ -25,8 +25,16 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.exceptions import ConfigurationError
 from repro.graph.graph import Graph
-from repro.types import Edge, EdgeScores, Vertex, VertexScores, canonical_edge
+from repro.types import (
+    Edge,
+    EdgeScores,
+    Vertex,
+    VertexScores,
+    canonical_edge,
+    validate_backend,
+)
 
 
 @dataclass
@@ -147,6 +155,7 @@ def brandes_betweenness(
     sources: Optional[Iterable[Vertex]] = None,
     keep_predecessors: bool = False,
     collect_source_data: bool = False,
+    backend: str = "dicts",
 ) -> BrandesResult:
     """Compute vertex and edge betweenness centrality.
 
@@ -164,7 +173,25 @@ def brandes_betweenness(
     collect_source_data:
         When ``True``, return ``BD[s]`` for every processed source; this is
         Step 1 of the framework (Figure 1).
+    backend:
+        ``"dicts"`` (default) runs the scalar dictionary implementation;
+        ``"arrays"`` delegates to the vectorized CSR kernel
+        (:func:`repro.core.kernel.brandes_betweenness_arrays`), which
+        returns bit-identical scores on undirected graphs without
+        predecessor lists (its only supported configuration).
     """
+    if validate_backend(backend) == "arrays":
+        if keep_predecessors:
+            raise ConfigurationError(
+                "the arrays backend implements only the predecessor-free "
+                "variant (keep_predecessors=False)"
+            )
+        # Imported lazily: core.kernel depends on this module's SourceData.
+        from repro.core.kernel import brandes_betweenness_arrays
+
+        return brandes_betweenness_arrays(
+            graph, sources=sources, collect_source_data=collect_source_data
+        )
     vertex_scores: VertexScores = {v: 0.0 for v in graph.vertices()}
     edge_scores: EdgeScores = {_edge_key(graph, u, v): 0.0 for u, v in graph.edges()}
     all_source_data: Optional[Dict[Vertex, SourceData]] = (

@@ -12,7 +12,12 @@ from repro.core.checkpoint import (
     save_checkpoint,
 )
 from repro.core.classification import SourceClassification, UpdateCase, classify
-from repro.core.framework import IncrementalBetweenness
+from repro.core.framework import BACKENDS, IncrementalBetweenness
+from repro.core.kernel import (
+    ArrayKernel,
+    FlatSourceData,
+    brandes_betweenness_arrays,
+)
 from repro.core.repair import RepairPlan
 from repro.core.result import BatchResult, SourceUpdateStats, UpdateResult
 from repro.core.source_update import update_source
@@ -20,6 +25,10 @@ from repro.core.updates import EdgeUpdate, UpdateKind, additions, batches, remov
 
 __all__ = [
     "IncrementalBetweenness",
+    "BACKENDS",
+    "ArrayKernel",
+    "FlatSourceData",
+    "brandes_betweenness_arrays",
     "FrameworkCheckpoint",
     "save_checkpoint",
     "load_checkpoint",

@@ -30,6 +30,7 @@ from repro.core.checkpoint import (
     save_checkpoint,
 )
 from repro.core.classification import UpdateCase
+from repro.core.kernel import ArrayKernel
 from repro.core.result import BatchResult, SourceUpdateStats, UpdateResult
 from repro.core.source_update import update_source
 from repro.core.updates import EdgeUpdate, UpdateKind, batches, validate_batch
@@ -39,10 +40,19 @@ from repro.exceptions import (
     UpdateError,
 )
 from repro.graph.graph import Graph
+from repro.storage.arrays import ArrayBDStore
 from repro.storage.base import BDStore
 from repro.storage.disk import DiskBDStore
 from repro.storage.memory import InMemoryBDStore
-from repro.types import Edge, EdgeScores, Vertex, VertexScores, canonical_edge
+from repro.types import (
+    BACKENDS,
+    Edge,
+    EdgeScores,
+    Vertex,
+    VertexScores,
+    canonical_edge,
+    validate_backend,
+)
 from repro.utils.timing import Timer
 
 PathLike = Union[str, Path]
@@ -94,6 +104,7 @@ class IncrementalBetweenness:
         store: Optional[BDStore] = None,
         sources: Optional[Sequence[Vertex]] = None,
         maintain_predecessors: bool = False,
+        backend: str = "dicts",
     ) -> None:
         if graph.directed:
             raise DirectedGraphUnsupportedError(
@@ -101,16 +112,37 @@ class IncrementalBetweenness:
                 "use repro.algorithms.brandes_betweenness for directed graphs"
             )
         self._graph = graph.copy()
-        self._store: BDStore = store if store is not None else InMemoryBDStore()
+        self._backend = validate_backend(backend)
+        self._kernel: Optional[ArrayKernel] = None
         self._restricted = sources is not None
         self._maintain_predecessors = maintain_predecessors
         self._predecessors: Dict[Vertex, Dict[Vertex, set]] = {}
         source_list = list(sources) if sources is not None else self._graph.vertex_list()
 
-        self._vertex_scores: VertexScores = {v: 0.0 for v in self._graph.vertices()}
-        self._edge_scores: EdgeScores = {
-            self._edge_key(u, v): 0.0 for u, v in self._graph.edges()
-        }
+        if self._backend == "arrays":
+            if maintain_predecessors:
+                raise ConfigurationError(
+                    "maintain_predecessors (the MP configuration) is only "
+                    "supported by the dicts backend"
+                )
+            self._store = (
+                store if store is not None
+                else ArrayBDStore(
+                    self._graph.vertex_list(),
+                    row_capacity=len(source_list),
+                )
+            )
+            self._kernel = ArrayKernel(self._graph, self._store)
+            self._vertex_scores = self._kernel.vertex_score_view()
+            self._edge_scores = self._kernel.edge_score_view()
+        else:
+            self._store = store if store is not None else InMemoryBDStore()
+            self._vertex_scores: VertexScores = {
+                v: 0.0 for v in self._graph.vertices()
+            }
+            self._edge_scores: EdgeScores = {
+                self._edge_key(u, v): 0.0 for u, v in self._graph.edges()
+            }
         self._initialize(source_list)
 
     @classmethod
@@ -120,6 +152,7 @@ class IncrementalBetweenness:
         source_data: Dict[Vertex, SourceData],
         store: Optional[BDStore] = None,
         restricted: bool = True,
+        backend: str = "dicts",
     ) -> "IncrementalBetweenness":
         """Build an instance from existing ``BD[.]`` records, skipping Brandes.
 
@@ -132,7 +165,7 @@ class IncrementalBetweenness:
         (:meth:`~repro.storage.base.BDStore.snapshot`) instead of
         re-running the bootstrap.
         """
-        self = cls._bare(graph, store, restricted)
+        self = cls._bare(graph, store, restricted, backend)
         self._store.load_snapshot(source_data.values())
         for data in source_data.values():
             self._accumulate_record(data)
@@ -144,6 +177,7 @@ class IncrementalBetweenness:
         graph: Graph,
         store: BDStore,
         restricted: Optional[bool] = None,
+        backend: str = "dicts",
     ) -> "IncrementalBetweenness":
         """Resume from a store that *already* holds ``BD[.]`` records.
 
@@ -178,14 +212,18 @@ class IncrementalBetweenness:
             )
         if restricted is None:
             restricted = set(store.sources()) != graph_vertices
-        self = cls._bare(graph, store, restricted)
+        self = cls._bare(graph, store, restricted, backend)
         for source in store.sources():
             self._accumulate_record(store.get(source))
         return self
 
     @classmethod
     def _bare(
-        cls, graph: Graph, store: Optional[BDStore], restricted: bool
+        cls,
+        graph: Graph,
+        store: Optional[BDStore],
+        restricted: bool,
+        backend: str = "dicts",
     ) -> "IncrementalBetweenness":
         """Instance with zeroed scores and no bootstrap (shared by resume paths)."""
         if graph.directed:
@@ -194,14 +232,27 @@ class IncrementalBetweenness:
             )
         self = cls.__new__(cls)
         self._graph = graph.copy()
-        self._store = store if store is not None else InMemoryBDStore()
+        self._backend = validate_backend(backend)
+        self._kernel = None
         self._restricted = restricted
         self._maintain_predecessors = False
         self._predecessors = {}
-        self._vertex_scores = {v: 0.0 for v in self._graph.vertices()}
-        self._edge_scores = {
-            self._edge_key(u, v): 0.0 for u, v in self._graph.edges()
-        }
+        if self._backend == "arrays":
+            self._store = (
+                store if store is not None
+                else ArrayBDStore(self._graph.vertex_list())
+            )
+            self._kernel = ArrayKernel(self._graph, self._store)
+            self._vertex_scores = self._kernel.vertex_score_view()
+            self._edge_scores = self._kernel.edge_score_view()
+            for u, v in self._graph.edges():
+                self._edge_scores[self._edge_key(u, v)] = 0.0
+        else:
+            self._store = store if store is not None else InMemoryBDStore()
+            self._vertex_scores = {v: 0.0 for v in self._graph.vertices()}
+            self._edge_scores = {
+                self._edge_key(u, v): 0.0 for u, v in self._graph.edges()
+            }
         return self
 
     def _accumulate_record(self, data: SourceData) -> None:
@@ -268,7 +319,10 @@ class IncrementalBetweenness:
 
     @classmethod
     def resume(
-        cls, checkpoint_path: PathLike, store: Optional[BDStore] = None
+        cls,
+        checkpoint_path: PathLike,
+        store: Optional[BDStore] = None,
+        backend: str = "dicts",
     ) -> "IncrementalBetweenness":
         """Rebuild an instance from a :meth:`checkpoint` sidecar — no Brandes.
 
@@ -303,22 +357,39 @@ class IncrementalBetweenness:
                         "every session that writes to the store"
                     )
             elif ckpt.snapshot is not None:
-                store = InMemoryBDStore()
+                if backend == "arrays":
+                    store = ArrayBDStore(graph.vertex_list())
+                else:
+                    store = InMemoryBDStore()
                 store.load_snapshot(ckpt.snapshot.values())
             else:
                 raise ConfigurationError(
                     f"checkpoint {checkpoint_path} records neither a store "
                     "path nor an embedded snapshot; pass a store explicitly"
                 )
-        self = cls._bare(graph, store, ckpt.restricted)
-        self._vertex_scores = dict(ckpt.vertex_scores)
-        self._edge_scores = dict(ckpt.edge_scores)
+        self = cls._bare(graph, store, ckpt.restricted, backend)
+        if self._backend == "arrays":
+            # The facades stay in place; the checkpointed values are loaded
+            # into the kernel's flat score structures verbatim.
+            for vertex, score in ckpt.vertex_scores.items():
+                self._vertex_scores[vertex] = score
+            for key, score in ckpt.edge_scores.items():
+                self._edge_scores[key] = score
+        else:
+            self._vertex_scores = dict(ckpt.vertex_scores)
+            self._edge_scores = dict(ckpt.edge_scores)
         return self
 
     # ------------------------------------------------------------------ #
     # Step 1: offline bootstrap
     # ------------------------------------------------------------------ #
     def _initialize(self, sources: Sequence[Vertex]) -> None:
+        if self._backend == "arrays":
+            # Vectorized Brandes over the CSR mirror; records land in the
+            # column store and the scores in the kernel's flat structures
+            # (already exposed through the facades).
+            self._kernel.bootstrap(sources)
+            return
         result = brandes_betweenness(
             self._graph,
             sources=sources,
@@ -344,6 +415,11 @@ class IncrementalBetweenness:
     def store(self) -> BDStore:
         """The backing betweenness-data store."""
         return self._store
+
+    @property
+    def backend(self) -> str:
+        """The compute backend: ``"dicts"`` or ``"arrays"``."""
+        return self._backend
 
     @property
     def num_sources(self) -> int:
@@ -436,6 +512,7 @@ class IncrementalBetweenness:
         """Adopt ``vertex`` as a source maintained by this (partial) instance."""
         if not self._graph.has_vertex(vertex):
             self._graph.add_vertex(vertex)
+        self._register_vertex(vertex)
         self._vertex_scores.setdefault(vertex, 0.0)
         if vertex not in self._store:
             self._store.add_source(vertex)
@@ -445,6 +522,67 @@ class IncrementalBetweenness:
     # ------------------------------------------------------------------ #
     def _edge_key(self, u: Vertex, v: Vertex) -> Edge:
         return canonical_edge(u, v)
+
+    # -- backend engine: graph mutation mirroring ----------------------- #
+    def _graph_add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add an edge to the label graph and, for arrays, its CSR mirror."""
+        self._graph.add_edge(u, v)
+        if self._kernel is not None:
+            self._kernel.add_edge(u, v)
+
+    def _graph_remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove an edge from the label graph and its CSR mirror."""
+        self._graph.remove_edge(u, v)
+        if self._kernel is not None:
+            self._kernel.remove_edge(u, v)
+
+    def _graph_remove_vertex(self, vertex: Vertex) -> None:
+        """Remove an (isolated) vertex from the label graph.
+
+        The CSR mirror keeps the slot — slots are permanent, exactly like
+        the store's column slots — which is harmless: an isolated slot is
+        never reached by any traversal.
+        """
+        self._graph.remove_vertex(vertex)
+
+    def _register_vertex(self, vertex: Vertex) -> None:
+        """Give a stream-born vertex a store slot (and CSR/score slots)."""
+        if self._kernel is not None:
+            self._kernel.register_vertex(vertex)
+        else:
+            self._store.register_vertex(vertex)
+
+    # -- backend engine: record load / repair / save -------------------- #
+    def _load_record(self, source: Vertex):
+        """Load ``BD[source]`` for repair — flat columns or a dict record."""
+        if self._kernel is not None:
+            return self._kernel.load(source)
+        return self._store.get(source)
+
+    def _repair_record(self, source: Vertex, data, update: EdgeUpdate):
+        """Run one (source, update) repair on the loaded record."""
+        if self._kernel is not None:
+            return self._kernel.repair(data, update)
+        return update_source(
+            self._graph,
+            data,
+            update,
+            self._vertex_scores,
+            self._edge_scores,
+            self._edge_key,
+            predecessors=(
+                self._predecessors.setdefault(source, {})
+                if self._maintain_predecessors
+                else None
+            ),
+        )
+
+    def _save_record(self, source: Vertex, data) -> None:
+        """Persist a repaired record back into the store."""
+        if self._kernel is not None:
+            self._kernel.save(source, data)
+        else:
+            self._store.put(data)
 
     def _build_predecessors(self, data) -> Dict[Vertex, set]:
         """Predecessor lists of one source, derived from its distances."""
@@ -467,29 +605,20 @@ class IncrementalBetweenness:
             raise UpdateError(f"unknown update kind {update.kind!r}")
 
         result = UpdateResult(update=update)
-        for source in self._store.sources():
-            if self._can_skip(source, u, v):
-                data = None
+        sources = list(self._store.sources())
+        to_load = self._sources_to_load(sources, [update])
+        for source in sources:
+            if to_load is not None:
+                skip = source not in to_load
             else:
-                data = self._store.get(source)
-            if data is None:
+                skip = self._can_skip(source, u, v)
+            if skip:
                 result.record(SourceUpdateStats(case=UpdateCase.SKIP))
                 continue
-            stats = update_source(
-                self._graph,
-                data,
-                update,
-                self._vertex_scores,
-                self._edge_scores,
-                self._edge_key,
-                predecessors=(
-                    self._predecessors.setdefault(source, {})
-                    if self._maintain_predecessors
-                    else None
-                ),
-            )
+            data = self._load_record(source)
+            stats = self._repair_record(source, data, update)
             result.record(stats)
-            self._store.put(data)
+            self._save_record(source, data)
 
         if update.kind is UpdateKind.REMOVAL:
             self._edge_scores.pop(self._edge_key(u, v), None)
@@ -521,28 +650,41 @@ class IncrementalBetweenness:
         # Existing sources may start reaching the batch's new vertices, so
         # the store needs slots for all of them before any record is saved.
         for vertex in births:
-            self._store.register_vertex(vertex)
+            self._register_vertex(vertex)
 
         # Sweep the existing sources once each (Step 2, loop inverted).
-        for source in list(self._store.sources()):
-            if self._peek_all_skip(source, batch):
+        sources = list(self._store.sources())
+        to_load = self._sources_to_load(sources, batch)
+        for source in sources:
+            if to_load is not None:
+                skip = source not in to_load
+            else:
+                skip = self._peek_all_skip(source, batch)
+            if skip:
                 for result in results:
                     result.record(SourceUpdateStats(case=UpdateCase.SKIP))
                 batch_result.sources_peek_skipped += 1
                 continue
-            data = self._store.get(source)
+            data = self._load_record(source)
             batch_result.sources_loaded += 1
             self._replay_batch_for_source(source, data, 0, batch, results)
-            self._store.put(data)
+            self._save_record(source, data)
 
         # Sources born inside the batch replay only their suffix of it.
         for vertex, birth in sorted(adopted.items(), key=lambda item: item[1]):
-            data = SourceData(source=vertex)
-            data.distance[vertex] = 0
-            data.sigma[vertex] = 1
-            data.delta[vertex] = 0.0
+            if self._kernel is not None:
+                # The identity record goes into the column store first and
+                # is then repaired in place — same final state as the dict
+                # path's build-then-put, with no intermediate dict record.
+                self._store.add_source(vertex)
+                data = self._kernel.load(vertex)
+            else:
+                data = SourceData(source=vertex)
+                data.distance[vertex] = 0
+                data.sigma[vertex] = 1
+                data.delta[vertex] = 0.0
             self._replay_batch_for_source(vertex, data, birth, batch, results)
-            self._store.put(data)
+            self._save_record(vertex, data)
             batch_result.sources_loaded += 1
 
         self._finalize_batch(batch, births)
@@ -574,6 +716,23 @@ class IncrementalBetweenness:
                     "self-only seed)"
                 )
         return adopted
+
+    def _sources_to_load(
+        self, sources: List[Vertex], batch: List[EdgeUpdate]
+    ) -> Optional[set]:
+        """Vectorized Proposition 3.1 peek over the whole source set.
+
+        Arrays backend only: one fancy-indexed gather over the stored
+        distance columns decides, for every source at once, whether the
+        batch can possibly affect it — the same decision the scalar
+        per-source peek makes, without a Python loop over sources.
+        Returns ``None`` when unavailable (dicts backend, or a store that
+        cannot serve distance blocks), in which case the caller falls back
+        to the scalar peek.
+        """
+        if self._kernel is None or not sources:
+            return None
+        return self._kernel.sources_to_load(sources, batch)
 
     def _peek_all_skip(self, source: Vertex, batch: List[EdgeUpdate]) -> bool:
         """Decide, from stored distances alone, that the batch skips ``source``.
@@ -611,11 +770,6 @@ class IncrementalBetweenness:
         but are not repaired, matching the serial path where the source did
         not exist yet.
         """
-        predecessors = (
-            self._predecessors.setdefault(source, {})
-            if self._maintain_predecessors
-            else None
-        )
         applied: List[Tuple[EdgeUpdate, Tuple[Vertex, ...]]] = []
         try:
             for index, update in enumerate(batch):
@@ -624,32 +778,24 @@ class IncrementalBetweenness:
                     added = tuple(
                         w for w in (u, v) if not self._graph.has_vertex(w)
                     )
-                    self._graph.add_edge(u, v)
+                    self._graph_add_edge(u, v)
                 else:
                     added = ()
-                    self._graph.remove_edge(u, v)
+                    self._graph_remove_edge(u, v)
                 applied.append((update, added))
                 if index < start_index:
                     continue
-                stats = update_source(
-                    self._graph,
-                    data,
-                    update,
-                    self._vertex_scores,
-                    self._edge_scores,
-                    self._edge_key,
-                    predecessors=predecessors,
-                )
+                stats = self._repair_record(source, data, update)
                 results[index].record(stats)
         finally:
             for update, added in reversed(applied):
                 u, v = update.endpoints
                 if update.kind is UpdateKind.ADDITION:
-                    self._graph.remove_edge(u, v)
+                    self._graph_remove_edge(u, v)
                     for vertex in added:
-                        self._graph.remove_vertex(vertex)
+                        self._graph_remove_vertex(vertex)
                 else:
-                    self._graph.add_edge(u, v)
+                    self._graph_add_edge(u, v)
 
     def _finalize_batch(
         self, batch: List[EdgeUpdate], births: Dict[Vertex, int]
@@ -658,9 +804,9 @@ class IncrementalBetweenness:
         for update in batch:
             u, v = update.endpoints
             if update.kind is UpdateKind.ADDITION:
-                self._graph.add_edge(u, v)
+                self._graph_add_edge(u, v)
             else:
-                self._graph.remove_edge(u, v)
+                self._graph_remove_edge(u, v)
         for vertex in births:
             self._vertex_scores.setdefault(vertex, 0.0)
         # An edge's score entry exists exactly while the edge does; within a
@@ -687,17 +833,19 @@ class IncrementalBetweenness:
         if self._graph.has_edge(u, v):
             raise UpdateError(f"edge ({u!r}, {v!r}) is already in the graph")
         new_vertices = [w for w in (u, v) if not self._graph.has_vertex(w)]
-        self._graph.add_edge(u, v)
+        self._graph_add_edge(u, v)
         self._edge_scores[self._edge_key(u, v)] = 0.0
         for vertex in new_vertices:
-            self._vertex_scores.setdefault(vertex, 0.0)
             # Existing sources may start reaching the new vertex, so the
-            # store needs a slot for it even when another instance owns it.
-            self._store.register_vertex(vertex)
+            # store needs a slot for it even when another instance owns it
+            # (and the arrays backend needs the slot before the score
+            # facade can address the vertex).
+            self._register_vertex(vertex)
+            self._vertex_scores.setdefault(vertex, 0.0)
             if not self._restricted:
                 self._store.add_source(vertex)
 
     def _apply_graph_removal(self, u: Vertex, v: Vertex) -> None:
         if not self._graph.has_edge(u, v):
             raise UpdateError(f"edge ({u!r}, {v!r}) is not in the graph")
-        self._graph.remove_edge(u, v)
+        self._graph_remove_edge(u, v)

@@ -1,0 +1,747 @@
+"""Array-native compute kernel: CSR graph + flat slot-indexed BD records.
+
+This module is the compute side of the columnar storage layout: where the
+classic (``dicts``) backend of :class:`~repro.core.framework.\
+IncrementalBetweenness` keeps ``BD[s]`` as Python dictionaries keyed by
+arbitrary vertex labels, the array backend works directly on the three
+fixed-width columns the stores persist (int16 distance / int64 sigma /
+float64 delta), indexed by dense integer *slots*:
+
+* the **bootstrap** (Step 1) is a vectorized, level-synchronous Brandes:
+  per source, BFS frontiers and dependency accumulation are whole-level
+  numpy operations over the compiled CSR arrays, with edge-betweenness
+  contributions folded into a flat per-edge array via ``np.add.at``;
+* the **update sweep** (Step 2) reuses the per-source repair machinery of
+  :mod:`repro.core` verbatim, but runs it in slot space: the record is the
+  store's own column arrays (zero-copy views for the mmap disk store and
+  the RAM array store — no dictionary is ever materialised), the graph is
+  the :class:`~repro.graph.csr.CSRGraph` mirror, and the global scores are
+  a flat float64 array plus a slot-pair edge dict;
+* the **skip test** (Proposition 3.1) is evaluated for a whole batch and
+  every source with one fancy-indexed gather over the distance columns.
+
+Bit-identity with the dict backend is by construction, not by accident:
+the label graph's insertion-ordered adjacency is mirrored slot for slot by
+the CSR structure, every repair runs the *same* control flow over the same
+neighbor orders, and the vectorized bootstrap arranges its ``np.add.at``
+operands in exactly the order the scalar loops would visit them — so every
+floating-point operation happens on the same operands in the same
+sequence, and the two backends return byte-for-byte equal scores.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.algorithms.brandes import BrandesResult, SourceData
+from repro.core.result import SourceUpdateStats
+from repro.core.source_update import update_source
+from repro.core.updates import EdgeUpdate
+from repro.exceptions import ConfigurationError, StoreCorruptedError
+from repro.graph.csr import CSRGraph
+from repro.graph.graph import Graph
+from repro.storage.codec import (
+    DELTA_DTYPE,
+    DISTANCE_DTYPE,
+    MAX_DISTANCE,
+    SIGMA_DTYPE,
+    decode_record_arrays,
+)
+from repro.storage.index import VertexIndex
+from repro.types import UNREACHABLE, Vertex, canonical_edge
+
+__all__ = [
+    "ArrayKernel",
+    "FlatSourceData",
+    "brandes_betweenness_arrays",
+]
+
+
+def _slot_edge_key(i: int, j: int) -> Tuple[int, int]:
+    """Canonical slot-pair key — the slot-space twin of ``canonical_edge``."""
+    return (i, j) if i <= j else (j, i)
+
+
+# --------------------------------------------------------------------------- #
+# Flat (slot-indexed) BD records
+# --------------------------------------------------------------------------- #
+def _indexable(arr: np.ndarray):
+    """Fastest scalar-indexable face of a column array.
+
+    A :class:`memoryview` reads and writes native Python scalars at
+    dictionary speed (no numpy scalar boxing) and range-checks writes, so
+    it is preferred.  Memoryview scalar indexing however requires a
+    natively aligned buffer — an mmap-mapped record whose column happens
+    to start off-alignment exports a ``'=q'``-style format that raises
+    ``NotImplementedError`` on indexing — so the array itself (numpy
+    scalar access, bit-identical arithmetic, somewhat slower) is the
+    fallback.  Probed once per record load, off the hot path.
+    """
+    try:
+        view = memoryview(arr)
+        if len(view):
+            view[0]  # probe: unaligned/non-native formats raise here
+        return view
+    except (NotImplementedError, TypeError, ValueError):
+        return arr
+
+
+class _DistanceColumn:
+    """Dict-like view of an int16 distance column (``-1`` = absent).
+
+    Implements exactly the mapping subset the repair machinery uses, so
+    the shared repair code runs unmodified on column arrays.
+    """
+
+    __slots__ = ("_mv",)
+
+    def __init__(self, arr: np.ndarray) -> None:
+        self._mv = _indexable(arr)
+
+    def get(self, slot: int, default=None):
+        value = self._mv[slot]
+        return default if value == -1 else value
+
+    def __getitem__(self, slot: int) -> int:
+        value = self._mv[slot]
+        if value == -1:
+            raise KeyError(slot)
+        return value
+
+    def __setitem__(self, slot: int, value: int) -> None:
+        self._mv[slot] = value
+
+    def __contains__(self, slot: int) -> bool:
+        return self._mv[slot] != -1
+
+    def pop(self, slot: int, default=None):
+        value = self._mv[slot]
+        self._mv[slot] = -1
+        return default if value == -1 else value
+
+
+class _ValueColumn:
+    """Dict-like view of a sigma/delta column gated by the distance column.
+
+    A slot "has a key" exactly while its distance entry is reachable, which
+    reproduces the dict records' invariant that the three dictionaries
+    share one key set.
+    """
+
+    __slots__ = ("_mv", "_dist_mv", "_zero")
+
+    def __init__(self, arr: np.ndarray, distance: "_DistanceColumn", zero) -> None:
+        self._mv = _indexable(arr)
+        self._dist_mv = distance._mv
+        self._zero = zero
+
+    def get(self, slot: int, default=None):
+        if self._dist_mv[slot] == -1:
+            return default
+        return self._mv[slot]
+
+    def __getitem__(self, slot: int):
+        if self._dist_mv[slot] == -1:
+            raise KeyError(slot)
+        return self._mv[slot]
+
+    def __setitem__(self, slot: int, value) -> None:
+        self._mv[slot] = value
+
+    def __contains__(self, slot: int) -> bool:
+        return self._dist_mv[slot] != -1
+
+    def pop(self, slot: int, default=None):
+        value = self._mv[slot]
+        self._mv[slot] = self._zero
+        return value
+
+
+class FlatSourceData:
+    """Slot-indexed ``BD[s]`` record over three column arrays.
+
+    Duck-types :class:`~repro.algorithms.brandes.SourceData` for the repair
+    machinery: ``source`` is the source *slot* and ``distance`` / ``sigma``
+    / ``delta`` are dict-like column views keyed by vertex slot.  When the
+    arrays are store views (``in_place``), mutating the record *is*
+    persisting it.
+    """
+
+    __slots__ = (
+        "source",
+        "distance",
+        "sigma",
+        "delta",
+        "distance_array",
+        "sigma_array",
+        "delta_array",
+        "in_place",
+    )
+
+    def __init__(
+        self,
+        source_slot: int,
+        distance: np.ndarray,
+        sigma: np.ndarray,
+        delta: np.ndarray,
+        in_place: bool,
+    ) -> None:
+        self.source = source_slot
+        self.distance_array = distance
+        self.sigma_array = sigma
+        self.delta_array = delta
+        self.in_place = in_place
+        self.distance = _DistanceColumn(distance)
+        self.sigma = _ValueColumn(sigma, self.distance, 0)
+        self.delta = _ValueColumn(delta, self.distance, 0.0)
+
+    def to_source_data(self, index: VertexIndex) -> SourceData:
+        """Decode into a label-keyed :class:`SourceData` (testing/snapshot)."""
+        return decode_record_arrays(
+            self.distance_array,
+            self.sigma_array,
+            self.delta_array,
+            index.vertex(self.source),
+            index,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Slot-space adapters handed to the shared repair machinery
+# --------------------------------------------------------------------------- #
+class _SlotGraphView:
+    """Undirected adjacency view over the CSR mirror (slots in, slots out)."""
+
+    __slots__ = ("_csr",)
+
+    def __init__(self, csr: CSRGraph) -> None:
+        self._csr = csr
+
+    def out_neighbors(self, slot: int) -> List[int]:
+        return self._csr.neighbors(slot)
+
+    def in_neighbors(self, slot: int) -> List[int]:
+        return self._csr.neighbors(slot)
+
+
+class _SlotVertexScores:
+    """Dict-like slot view over the kernel's flat vertex-score array."""
+
+    __slots__ = ("_kernel",)
+
+    def __init__(self, kernel: "ArrayKernel") -> None:
+        self._kernel = kernel
+
+    def get(self, slot: int, default=0.0) -> float:
+        return self._kernel._vscore_mv[slot]
+
+    def __getitem__(self, slot: int) -> float:
+        return self._kernel._vscore_mv[slot]
+
+    def __setitem__(self, slot: int, value: float) -> None:
+        self._kernel._vscore_mv[slot] = value
+
+
+# --------------------------------------------------------------------------- #
+# Label-keyed facades (what the framework exposes as its score mappings)
+# --------------------------------------------------------------------------- #
+class LabelVertexScores:
+    """Label-keyed mapping facade over the kernel's vertex-score array.
+
+    Behaves like the dict backend's ``{vertex: score}`` dictionary for
+    every operation the framework (and its callers) perform, while the
+    values live in one flat float64 array.
+    """
+
+    __slots__ = ("_kernel",)
+
+    def __init__(self, kernel: "ArrayKernel") -> None:
+        self._kernel = kernel
+
+    def _slot(self, label: Vertex) -> int:
+        try:
+            return self._kernel.index.slot(label)
+        except Exception:
+            raise KeyError(label) from None
+
+    def __getitem__(self, label: Vertex) -> float:
+        return float(self._kernel._vscore[self._slot(label)])
+
+    def get(self, label: Vertex, default=None):
+        if label not in self._kernel.index:
+            return default
+        return float(self._kernel._vscore[self._kernel.index.slot(label)])
+
+    def __setitem__(self, label: Vertex, value: float) -> None:
+        self._kernel._vscore[self._slot(label)] = value
+
+    def setdefault(self, label: Vertex, default: float = 0.0) -> float:
+        return float(self._kernel._vscore[self._slot(label)])
+
+    def __contains__(self, label: Vertex) -> bool:
+        return label in self._kernel.index
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._kernel.index.vertices())
+
+    def __len__(self) -> int:
+        return len(self._kernel.index)
+
+    def keys(self):
+        return self._kernel.index.vertices()
+
+    def items(self):
+        vscore = self._kernel._vscore
+        for slot, label in enumerate(self._kernel.index.vertices()):
+            yield label, float(vscore[slot])
+
+    def copy(self) -> Dict[Vertex, float]:
+        return dict(self.items())
+
+
+class LabelEdgeScores:
+    """Label-keyed mapping facade over the kernel's slot-pair edge scores."""
+
+    __slots__ = ("_kernel",)
+
+    def __init__(self, kernel: "ArrayKernel") -> None:
+        self._kernel = kernel
+
+    def _slot_key(self, key: Tuple[Vertex, Vertex]) -> Tuple[int, int]:
+        u, v = key
+        index = self._kernel.index
+        try:
+            return _slot_edge_key(index.slot(u), index.slot(v))
+        except Exception:
+            raise KeyError(key) from None
+
+    def _label_key(self, slot_key: Tuple[int, int]) -> Tuple[Vertex, Vertex]:
+        index = self._kernel.index
+        return canonical_edge(index.vertex(slot_key[0]), index.vertex(slot_key[1]))
+
+    def __getitem__(self, key) -> float:
+        slot_key = self._slot_key(key)
+        try:
+            return self._kernel._escore[slot_key]
+        except KeyError:
+            raise KeyError(key) from None
+
+    def get(self, key, default=None):
+        try:
+            slot_key = self._slot_key(key)
+        except KeyError:
+            return default
+        return self._kernel._escore.get(slot_key, default)
+
+    def __setitem__(self, key, value: float) -> None:
+        self._kernel._escore[self._slot_key(key)] = value
+
+    def setdefault(self, key, default: float = 0.0) -> float:
+        return self._kernel._escore.setdefault(self._slot_key(key), default)
+
+    def pop(self, key, default=None):
+        try:
+            slot_key = self._slot_key(key)
+        except KeyError:
+            return default
+        return self._kernel._escore.pop(slot_key, default)
+
+    def __contains__(self, key) -> bool:
+        try:
+            slot_key = self._slot_key(key)
+        except KeyError:
+            return False
+        return slot_key in self._kernel._escore
+
+    def __iter__(self) -> Iterator[Tuple[Vertex, Vertex]]:
+        for slot_key in self._kernel._escore:
+            yield self._label_key(slot_key)
+
+    def __len__(self) -> int:
+        return len(self._kernel._escore)
+
+    def keys(self):
+        return list(self)
+
+    def items(self):
+        for slot_key, value in self._kernel._escore.items():
+            yield self._label_key(slot_key), value
+
+    def copy(self) -> Dict[Tuple[Vertex, Vertex], float]:
+        return dict(self.items())
+
+
+# --------------------------------------------------------------------------- #
+# Vectorized single-source Brandes (the bootstrap kernel)
+# --------------------------------------------------------------------------- #
+def _slice_positions(
+    indptr: np.ndarray, vertices: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flattened ``indices`` positions of every vertex's adjacency slice.
+
+    Returns ``(positions, counts)`` where ``positions`` walks the slices in
+    ``vertices`` order — i.e. the exact order a scalar loop ``for v in
+    vertices: for nbr in adj[v]`` would visit them.
+    """
+    starts = indptr[vertices]
+    counts = indptr[vertices + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), counts
+    offsets = np.cumsum(counts) - counts
+    positions = np.arange(total, dtype=np.int64) + np.repeat(
+        starts - offsets, counts
+    )
+    return positions, counts
+
+
+def _bfs_levels(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    n: int,
+    source_slot: int,
+    first_of: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray, List[np.ndarray]]:
+    """Level-synchronous BFS with shortest-path counting.
+
+    Returns ``(distance, sigma, levels)`` where ``levels[l]`` lists the
+    slots discovered at distance ``l`` in discovery order — the same order
+    the scalar FIFO BFS of ``single_source_brandes`` appends them.
+
+    ``first_of`` is an optional length-``n`` int64 scratch array reused
+    across sources (its contents are overwritten before every read).
+
+    The columnar format caps values (int16 distances, int64 path counts —
+    the same bounds :func:`repro.storage.codec.check_ranges` enforces when
+    dict records are encoded).  Exceeding them here would otherwise *wrap*
+    silently inside the fixed-width arrays, so both are guarded: a BFS
+    deeper than ``MAX_DISTANCE`` levels raises, and a path count crossing
+    ``2**63`` is caught by the wrapped-negative check below (the first
+    overflowing int64 addition of two in-range counts always lands
+    negative).
+    """
+    distance = np.full(n, UNREACHABLE, dtype=DISTANCE_DTYPE)
+    sigma = np.zeros(n, dtype=SIGMA_DTYPE)
+    distance[source_slot] = 0
+    sigma[source_slot] = 1
+    if first_of is None:
+        first_of = np.empty(n, dtype=np.int64)
+    levels: List[np.ndarray] = [np.array([source_slot], dtype=np.int64)]
+    level = 0
+    while True:
+        frontier = levels[-1]
+        positions, counts = _slice_positions(indptr, frontier)
+        if positions.size == 0:
+            break
+        neighbors = indices[positions]
+        undiscovered = distance[neighbors] == UNREACHABLE
+        if undiscovered.any():
+            if level + 1 > MAX_DISTANCE:
+                raise StoreCorruptedError(
+                    f"BFS from slot {source_slot} exceeds the int16 distance "
+                    f"column (levels beyond {MAX_DISTANCE})"
+                )
+            fresh = neighbors[undiscovered]
+            # First-occurrence order == scalar BFS enqueue order.  Reversed
+            # assignment makes the *first* occurrence win, so comparing each
+            # element's recorded first position with its own position keeps
+            # exactly the first copy of every slot — no sort needed.
+            flat = np.arange(fresh.size, dtype=np.int64)
+            first_of[fresh[::-1]] = flat[::-1]
+            discovered = fresh[first_of[fresh] == flat]
+            distance[discovered] = level + 1
+        else:
+            discovered = np.empty(0, dtype=np.int64)
+        next_mask = distance[neighbors] == level + 1
+        if next_mask.any():
+            np.add.at(
+                sigma,
+                neighbors[next_mask],
+                np.repeat(sigma[frontier], counts)[next_mask],
+            )
+        if discovered.size == 0:
+            break
+        levels.append(discovered)
+        level += 1
+    if sigma.min() < 0:
+        raise StoreCorruptedError(
+            f"shortest-path count from slot {source_slot} overflowed the "
+            "int64 sigma column (the columnar format's limit; the dict "
+            "backend with an in-memory store has no such cap)"
+        )
+    return distance, sigma, levels
+
+
+def _accumulate_levels(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    edge_ids: np.ndarray,
+    distance: np.ndarray,
+    sigma: np.ndarray,
+    levels: List[np.ndarray],
+    edge_scores: np.ndarray,
+) -> np.ndarray:
+    """Vectorized dependency accumulation, deepest level first.
+
+    Mirrors the scalar backtracking of ``single_source_brandes`` exactly:
+    within a level, vertices are taken in *reversed* discovery order and
+    each vertex's predecessors in adjacency order, and ``np.add.at``
+    applies the per-(vertex, parent) contributions sequentially in that
+    order — so every float lands on its accumulator in the same sequence
+    as the dict implementation, keeping the sums bit-identical.
+    """
+    n = distance.shape[0]
+    delta = np.zeros(n, dtype=DELTA_DTYPE)
+    sigma_f = sigma.astype(np.float64)
+    for level in range(len(levels) - 1, 0, -1):
+        members = levels[level][::-1]
+        positions, counts = _slice_positions(indptr, members)
+        if positions.size == 0:
+            continue
+        neighbors = indices[positions]
+        parent_mask = distance[neighbors] == level - 1
+        if not parent_mask.any():
+            continue
+        parents = neighbors[parent_mask]
+        coefficient = (1.0 + delta[members]) / sigma_f[members]
+        contributions = sigma_f[parents] * np.repeat(coefficient, counts)[parent_mask]
+        np.add.at(delta, parents, contributions)
+        np.add.at(edge_scores, edge_ids[positions[parent_mask]], contributions)
+    return delta
+
+
+# --------------------------------------------------------------------------- #
+# The kernel
+# --------------------------------------------------------------------------- #
+class ArrayKernel:
+    """Array-native state and operations behind ``backend="arrays"``.
+
+    Owns the CSR mirror of the framework's graph, the flat vertex-score
+    array, the slot-pair edge-score dict, and the link to a *column store*
+    (:class:`~repro.storage.arrays.ArrayBDStore` or
+    :class:`~repro.storage.disk.DiskBDStore`) whose vertex index doubles as
+    the label ↔ slot mapping.
+    """
+
+    def __init__(self, graph: Graph, store) -> None:
+        index = getattr(store, "vertex_index", None)
+        if index is None or not hasattr(store, "put_columns"):
+            raise ConfigurationError(
+                f"store {type(store).__name__} does not speak the column "
+                "protocol required by backend='arrays'; use ArrayBDStore "
+                "(default) or DiskBDStore"
+            )
+        self._store = store
+        self.index: VertexIndex = index
+        for vertex in graph.vertices():
+            if vertex not in index:
+                store.register_vertex(vertex)
+        self.csr = CSRGraph.from_graph(graph, index)
+        self._vscore = np.zeros(max(len(index), 1), dtype=np.float64)
+        self._vscore_mv = memoryview(self._vscore)
+        self._escore: Dict[Tuple[int, int], float] = {}
+        self._slot_graph = _SlotGraphView(self.csr)
+        self._slot_scores = _SlotVertexScores(self)
+
+    # ------------------------------------------------------------------ #
+    # Facades
+    # ------------------------------------------------------------------ #
+    def vertex_score_view(self) -> LabelVertexScores:
+        return LabelVertexScores(self)
+
+    def edge_score_view(self) -> LabelEdgeScores:
+        return LabelEdgeScores(self)
+
+    # ------------------------------------------------------------------ #
+    # Graph mirroring
+    # ------------------------------------------------------------------ #
+    def register_vertex(self, label: Vertex) -> None:
+        """Give ``label`` a slot everywhere: store index, CSR, score array."""
+        self._store.register_vertex(label)
+        self._sync_capacity()
+
+    def _sync_capacity(self) -> None:
+        n = len(self.index)
+        self.csr.ensure_vertices(n)
+        if len(self._vscore) < n:
+            grown = np.zeros(max(n, int(len(self._vscore) * 1.5) + 1), np.float64)
+            grown[: len(self._vscore)] = self._vscore
+            self._vscore = grown
+            self._vscore_mv = memoryview(self._vscore)
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Mirror a label-graph edge addition (registers new endpoints)."""
+        for label in (u, v):
+            if label not in self.index:
+                self.register_vertex(label)
+        self.csr.add_edge(self.index.slot(u), self.index.slot(v))
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Mirror a label-graph edge removal."""
+        self.csr.remove_edge(self.index.slot(u), self.index.slot(v))
+
+    # ------------------------------------------------------------------ #
+    # Records
+    # ------------------------------------------------------------------ #
+    def load(self, source: Vertex) -> FlatSourceData:
+        """Open ``source``'s record for repair — zero-copy where the store allows."""
+        in_place = bool(self._store.columns_in_place)
+        distance, sigma, delta = self._store.record_columns(source, writable=True)
+        return FlatSourceData(
+            self.index.slot(source), distance, sigma, delta, in_place
+        )
+
+    def save(self, source: Vertex, data: FlatSourceData) -> None:
+        """Commit a repaired record (a write-back only when not in place)."""
+        if data.in_place:
+            self._store.record_written(source)
+        else:
+            self._store.put_columns(
+                source, data.distance_array, data.sigma_array, data.delta_array
+            )
+
+    # ------------------------------------------------------------------ #
+    # Step 2: per-source repair (shared machinery, slot space)
+    # ------------------------------------------------------------------ #
+    def repair(self, data: FlatSourceData, update: EdgeUpdate) -> SourceUpdateStats:
+        """Run one (source, update) repair on the flat record."""
+        slot_update = EdgeUpdate(
+            update.kind, self.index.slot(update.u), self.index.slot(update.v)
+        )
+        return update_source(
+            self._slot_graph,
+            data,
+            slot_update,
+            self._slot_scores,
+            self._escore,
+            _slot_edge_key,
+            predecessors=None,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Batched Proposition 3.1 peek
+    # ------------------------------------------------------------------ #
+    def sources_to_load(
+        self, sources: Sequence[Vertex], batch: Sequence[EdgeUpdate]
+    ) -> Optional[Set[Vertex]]:
+        """Sources the batch may affect, from one vectorized distance gather.
+
+        Semantics are exactly those of the scalar per-(source, update) peek
+        (skip iff both endpoint distances are equal, with "unreachable"
+        compared as ``-1 == -1``); only the evaluation is batched.  Returns
+        ``None`` when the store cannot serve a distance block (buffered
+        disk mode), signalling the caller to fall back to scalar peeks.
+        """
+        if not sources or not batch:
+            return set()
+        endpoint_slots: List[int] = []
+        for update in batch:
+            endpoint_slots.append(self.index.slot(update.u))
+            endpoint_slots.append(self.index.slot(update.v))
+        source_slots = [self.index.slot(source) for source in sources]
+        block = self._store.peek_distance_block(source_slots, endpoint_slots)
+        if block is None:
+            return None
+        us = block[:, 0::2]
+        vs = block[:, 1::2]
+        affected = (us != vs).any(axis=1)
+        return {source for source, hit in zip(sources, affected.tolist()) if hit}
+
+    # ------------------------------------------------------------------ #
+    # Step 1: vectorized Brandes bootstrap
+    # ------------------------------------------------------------------ #
+    def bootstrap(self, sources: Iterable[Vertex]) -> None:
+        """Run the modified Brandes over ``sources``, filling store and scores."""
+        indptr, indices, edge_ids, edge_pairs = self.csr.compiled()
+        n = self.csr.num_vertices
+        self._sync_capacity()
+        edge_scores = np.zeros(len(edge_pairs), dtype=np.float64)
+        vscore = self._vscore
+        scratch = np.empty(n, dtype=np.int64)
+        for label in sources:
+            source_slot = self.index.slot(label)
+            distance, sigma, levels = _bfs_levels(
+                indptr, indices, n, source_slot, scratch
+            )
+            delta = _accumulate_levels(
+                indptr, indices, edge_ids, distance, sigma, levels, edge_scores
+            )
+            if len(levels) > 1:
+                reached = np.concatenate(levels[1:])
+                vscore[reached] += delta[reached]
+            self._store.put_columns(label, distance, sigma, delta)
+        self._escore = dict(zip(edge_pairs, edge_scores.tolist()))
+
+
+# --------------------------------------------------------------------------- #
+# Standalone vectorized Brandes (no framework, no persistent store)
+# --------------------------------------------------------------------------- #
+def brandes_betweenness_arrays(
+    graph: Graph,
+    sources: Optional[Iterable[Vertex]] = None,
+    collect_source_data: bool = False,
+) -> BrandesResult:
+    """Vectorized equivalent of :func:`repro.algorithms.brandes.\
+brandes_betweenness` (predecessor-free variant, undirected graphs).
+
+    Returns bit-identical scores to the dict implementation; see the module
+    docstring for why.  ``collect_source_data`` decodes each flat record
+    into a label-keyed :class:`SourceData`, which costs the dictionary
+    materialisation the kernel otherwise avoids — only ask for it when the
+    records are actually needed.
+    """
+    if graph.directed:
+        raise ConfigurationError(
+            "the array kernel supports undirected graphs only; use "
+            "brandes_betweenness (dicts backend) for directed graphs"
+        )
+    index = VertexIndex(graph.vertex_list())
+    csr = CSRGraph.from_graph(graph, index)
+    indptr, indices, edge_ids, edge_pairs = csr.compiled()
+    n = csr.num_vertices
+    vscore = np.zeros(n, dtype=np.float64)
+    edge_scores = np.zeros(len(edge_pairs), dtype=np.float64)
+    source_list = list(sources) if sources is not None else graph.vertex_list()
+    all_source_data: Optional[Dict[Vertex, SourceData]] = (
+        {} if collect_source_data else None
+    )
+    scratch = np.empty(n, dtype=np.int64)
+    for label in source_list:
+        source_slot = index.slot(label)
+        distance, sigma, levels = _bfs_levels(
+            indptr, indices, n, source_slot, scratch
+        )
+        delta = _accumulate_levels(
+            indptr, indices, edge_ids, distance, sigma, levels, edge_scores
+        )
+        if len(levels) > 1:
+            reached = np.concatenate(levels[1:])
+            vscore[reached] += delta[reached]
+        if all_source_data is not None:
+            all_source_data[label] = decode_record_arrays(
+                distance, sigma, delta, label, index
+            )
+    vertex_scores = {
+        label: score
+        for label, score in zip(index.vertices(), vscore.tolist())
+    }
+    edge_score_dict = {
+        canonical_edge(index.vertex(i), index.vertex(j)): score
+        for (i, j), score in zip(edge_pairs, edge_scores.tolist())
+    }
+    return BrandesResult(
+        vertex_scores=vertex_scores,
+        edge_scores=edge_score_dict,
+        source_data=all_source_data,
+    )

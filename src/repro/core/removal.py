@@ -68,7 +68,7 @@ def repair_removal_same_level(
     return plan
 
 
-def find_drop_set(graph: Graph, data: SourceData, low: Vertex) -> Set[Vertex]:
+def find_drop_set(graph: Graph, data: SourceData, low: Vertex) -> Dict[Vertex, None]:
     """Vertices whose distance from the source increases after the removal.
 
     A vertex drops if and only if *all* of its shortest-path predecessors
@@ -77,9 +77,14 @@ def find_drop_set(graph: Graph, data: SourceData, low: Vertex) -> Set[Vertex]:
     every predecessor's fate is decided before the vertex is examined; this
     mirrors the pivot-finding BFS of Algorithm 6, with the complement of the
     drop set adjacent to it forming the pivots.
+
+    The result is an insertion-ordered dict used as an ordered set:
+    downstream stages iterate over it, and a deterministic (discovery)
+    order keeps the whole repair reproducible and lets the array-native
+    kernel mirror it exactly in slot space.
     """
     distance = data.distance
-    drop: Set[Vertex] = {low}
+    drop: Dict[Vertex, None] = {low: None}
     decided: Set[Vertex] = {low}
 
     buckets: Dict[int, List[Vertex]] = {}
@@ -111,7 +116,7 @@ def find_drop_set(graph: Graph, data: SourceData, low: Vertex) -> Set[Vertex]:
                     all_parents_drop = False
                     break
             if all_parents_drop:
-                drop.add(vertex)
+                drop[vertex] = None
                 schedule_children(vertex)
                 max_level = max(max_level, level + 1)
         level += 1

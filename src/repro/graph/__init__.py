@@ -9,6 +9,7 @@ clustering coefficient, effective diameter) and simple edge-list I/O.
 """
 
 from repro.graph.graph import Graph
+from repro.graph.csr import CSRGraph
 from repro.graph.components import (
     connected_components,
     is_connected,
@@ -33,6 +34,7 @@ from repro.graph.io import read_edge_list, write_edge_list
 
 __all__ = [
     "Graph",
+    "CSRGraph",
     "connected_components",
     "is_connected",
     "largest_connected_component",

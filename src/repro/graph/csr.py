@@ -1,0 +1,208 @@
+"""Compact CSR (compressed sparse row) representation of the evolving graph.
+
+The array-native compute kernel (:mod:`repro.core.kernel`) works on integer
+vertex *slots* (assigned by :class:`repro.storage.index.VertexIndex`, the
+same slots the on-disk columnar records use) instead of arbitrary hashable
+labels.  :class:`CSRGraph` is the graph structure behind it:
+
+* mutable adjacency lists of ``int`` slots for the incremental repair
+  loops (append on add, remove-first-occurrence on delete — exactly the
+  insertion-order semantics of :class:`repro.graph.graph.Graph`'s
+  ordered-dict adjacency, so the two structures stay in lockstep when fed
+  the same mutation stream and every traversal visits neighbors in the
+  same order — the property that makes the ``arrays`` and ``dicts``
+  framework backends bit-identical);
+* compiled ``indptr`` / ``indices`` numpy arrays for the vectorized
+  Brandes bootstrap, rebuilt lazily and therefore *amortized*: any number
+  of edge mutations between two vectorized accesses costs a single
+  O(n + m) rebuild.
+
+The compiled form also carries per-directed-entry canonical edge ids
+(``edge_ids``), which lets the vectorized dependency accumulation fold a
+whole level's edge-betweenness contributions into a flat per-edge score
+array with one ``np.add.at`` instead of one dictionary update per DAG edge.
+
+Only undirected graphs are supported — the incremental framework itself is
+undirected-only (Section 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.graph.graph import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.storage.index import VertexIndex
+
+#: dtype of the compiled indptr/indices/edge_ids arrays.
+INDEX_DTYPE = np.dtype(np.int64)
+
+
+class CSRGraph:
+    """Int-slot adjacency with lazily compiled CSR arrays.
+
+    Slots are dense integers ``0 .. num_vertices - 1``; the caller (the
+    kernel) owns the mapping between labels and slots.  Mutations are O(1)
+    amortized on the adjacency lists and invalidate the compiled arrays;
+    the next access to :meth:`compiled` rebuilds them once.
+    """
+
+    __slots__ = (
+        "_adj",
+        "_num_edges",
+        "_indptr",
+        "_indices",
+        "_edge_ids",
+        "_edge_pairs",
+        "_compiled",
+        "rebuild_count",
+    )
+
+    def __init__(self, num_vertices: int = 0) -> None:
+        self._adj: List[List[int]] = [[] for _ in range(num_vertices)]
+        self._num_edges = 0
+        self.rebuild_count = 0
+        self._invalidate()
+
+    @classmethod
+    def from_graph(cls, graph: Graph, index: "VertexIndex") -> "CSRGraph":
+        """Mirror ``graph`` into slot space using ``index``'s slot assignment.
+
+        Every vertex of ``graph`` must already be indexed; slots the index
+        knows but the graph lacks (e.g. vertices registered for another
+        worker's partition) become isolated slots.  Neighbor order is the
+        graph's (insertion) order, so traversals of the mirror replay the
+        label graph's traversals exactly.
+        """
+        if graph.directed:
+            raise ConfigurationError(
+                "CSRGraph mirrors undirected graphs only (the incremental "
+                "framework does not support directed graphs)"
+            )
+        csr = cls(len(index))
+        slot_of = {label: slot for slot, label in enumerate(index.vertices())}
+        adj = csr._adj
+        for label in graph.vertices():
+            adj[slot_of[label]] = [slot_of[nbr] for nbr in graph.out_neighbors(label)]
+        csr._num_edges = sum(len(neighbors) for neighbors in adj) // 2
+        return csr
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        """Number of slots (including isolated ones)."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return self._num_edges
+
+    # ------------------------------------------------------------------ #
+    # Mutation (O(degree) worst case, order-preserving)
+    # ------------------------------------------------------------------ #
+    def add_vertex(self) -> int:
+        """Append a new isolated slot and return it."""
+        self._adj.append([])
+        self._invalidate()
+        return len(self._adj) - 1
+
+    def ensure_vertices(self, count: int) -> None:
+        """Grow to at least ``count`` slots (no-op when already that big)."""
+        while len(self._adj) < count:
+            self._adj.append([])
+            self._invalidate()
+
+    def add_edge(self, i: int, j: int) -> None:
+        """Add the undirected edge ``(i, j)`` (caller guarantees absence)."""
+        self._adj[i].append(j)
+        self._adj[j].append(i)
+        self._num_edges += 1
+        self._invalidate()
+
+    def remove_edge(self, i: int, j: int) -> None:
+        """Remove the undirected edge ``(i, j)`` (caller guarantees presence)."""
+        self._adj[i].remove(j)
+        self._adj[j].remove(i)
+        self._num_edges -= 1
+        self._invalidate()
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def neighbors(self, i: int) -> List[int]:
+        """Neighbors of slot ``i`` in insertion order.  Do not mutate."""
+        return self._adj[i]
+
+    def degree(self, i: int) -> int:
+        """Degree of slot ``i``."""
+        return len(self._adj[i])
+
+    def has_edge(self, i: int, j: int) -> bool:
+        """Whether the undirected edge ``(i, j)`` is present."""
+        return j in self._adj[i]
+
+    # ------------------------------------------------------------------ #
+    # Compiled CSR arrays (lazy, amortized rebuild)
+    # ------------------------------------------------------------------ #
+    def compiled(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[Tuple[int, int]]]:
+        """Return ``(indptr, indices, edge_ids, edge_pairs)``, rebuilding if stale.
+
+        ``indices[indptr[i]:indptr[i + 1]]`` are the neighbors of slot
+        ``i`` in insertion order; ``edge_ids`` maps every directed entry to
+        its canonical undirected edge id, and ``edge_pairs[e]`` is the
+        canonical ``(min, max)`` slot pair of edge ``e``.  Edge ids are
+        assigned in first-encounter order scanning slots ascending, which
+        matches the first-encounter order of
+        :meth:`repro.graph.graph.Graph.edges` on the mirrored label graph.
+        """
+        if not self._compiled:
+            self._rebuild()
+        return self._indptr, self._indices, self._edge_ids, self._edge_pairs
+
+    def _invalidate(self) -> None:
+        self._compiled = False
+        self._indptr: Optional[np.ndarray] = None
+        self._indices: Optional[np.ndarray] = None
+        self._edge_ids: Optional[np.ndarray] = None
+        self._edge_pairs: List[Tuple[int, int]] = []
+
+    def _rebuild(self) -> None:
+        n = len(self._adj)
+        degrees = np.fromiter(
+            (len(neighbors) for neighbors in self._adj), dtype=INDEX_DTYPE, count=n
+        )
+        indptr = np.zeros(n + 1, dtype=INDEX_DTYPE)
+        np.cumsum(degrees, out=indptr[1:])
+        total = int(indptr[-1])
+        indices = np.empty(total, dtype=INDEX_DTYPE)
+        edge_ids = np.empty(total, dtype=INDEX_DTYPE)
+        id_of: Dict[Tuple[int, int], int] = {}
+        cursor = 0
+        for i, neighbors in enumerate(self._adj):
+            for j in neighbors:
+                indices[cursor] = j
+                pair = (i, j) if i <= j else (j, i)
+                edge_id = id_of.get(pair)
+                if edge_id is None:
+                    edge_id = len(id_of)
+                    id_of[pair] = edge_id
+                edge_ids[cursor] = edge_id
+                cursor += 1
+        self._indptr = indptr
+        self._indices = indices
+        self._edge_ids = edge_ids
+        self._edge_pairs = list(id_of)
+        self._compiled = True
+        self.rebuild_count += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CSRGraph |V|={self.num_vertices} |E|={self.num_edges}>"

@@ -1,4 +1,4 @@
-"""A mutable, unweighted graph with adjacency-set storage.
+"""A mutable, unweighted graph with insertion-ordered adjacency storage.
 
 The class supports both undirected and directed graphs.  The incremental
 betweenness framework operates on undirected graphs (as in all of the
@@ -12,13 +12,21 @@ Design notes
 * Parallel edges and self loops are rejected: betweenness centrality over
   shortest paths is not well defined for self loops, and parallel edges do
   not change shortest-path structure.
-* All mutation methods run in expected O(1) time (hash-set operations), so
+* All mutation methods run in expected O(1) time (hash-dict operations), so
   replaying an edge stream is cheap compared to the centrality updates.
+* Adjacency is stored in insertion-ordered dictionaries, so neighbor
+  iteration order is *deterministic*: neighbors appear in the order their
+  edges were added, and removing then re-adding an edge moves the neighbor
+  to the end.  The array-native kernel
+  (:class:`repro.graph.csr.CSRGraph`) replicates exactly these semantics,
+  which is what makes the ``dicts`` and ``arrays`` backends of the
+  framework bit-identical: both traverse neighbors in the same order, so
+  every floating-point accumulation happens in the same sequence.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, KeysView, List, Optional, Set, Tuple
 
 from repro.exceptions import (
     EdgeExistsError,
@@ -54,10 +62,13 @@ class Graph:
 
     def __init__(self, directed: bool = False) -> None:
         self._directed = directed
-        self._succ: Dict[Vertex, Set[Vertex]] = {}
+        # Adjacency maps vertex -> insertion-ordered dict of neighbors
+        # (values unused).  Dicts rather than sets so that iteration order
+        # is deterministic and mirrorable by the CSR representation.
+        self._succ: Dict[Vertex, Dict[Vertex, None]] = {}
         # For undirected graphs _pred is the same dict object as _succ, so a
         # single update keeps both views consistent.
-        self._pred: Dict[Vertex, Set[Vertex]] = {} if directed else self._succ
+        self._pred: Dict[Vertex, Dict[Vertex, None]] = {} if directed else self._succ
 
     # ------------------------------------------------------------------ #
     # Basic properties
@@ -95,9 +106,9 @@ class Graph:
         """Add ``vertex``; return ``True`` if it was not already present."""
         if vertex in self._succ:
             return False
-        self._succ[vertex] = set()
+        self._succ[vertex] = {}
         if self._directed:
-            self._pred[vertex] = set()
+            self._pred[vertex] = {}
         return True
 
     def remove_vertex(self, vertex: Vertex) -> None:
@@ -105,14 +116,14 @@ class Graph:
         if vertex not in self._succ:
             raise VertexNotFoundError(vertex)
         for neighbor in list(self._succ[vertex]):
-            self._pred[neighbor].discard(vertex)
+            self._pred[neighbor].pop(vertex, None)
         if self._directed:
             for neighbor in list(self._pred[vertex]):
-                self._succ[neighbor].discard(vertex)
+                self._succ[neighbor].pop(vertex, None)
             del self._pred[vertex]
         else:
             for neighbor in list(self._succ[vertex]):
-                self._succ[neighbor].discard(vertex)
+                self._succ[neighbor].pop(vertex, None)
         del self._succ[vertex]
 
     def has_vertex(self, vertex: Vertex) -> bool:
@@ -142,10 +153,10 @@ class Graph:
         self.add_vertex(v)
         if v in self._succ[u]:
             raise EdgeExistsError(u, v)
-        self._succ[u].add(v)
-        self._pred[v].add(u)
+        self._succ[u][v] = None
+        self._pred[v][u] = None
         if not self._directed:
-            self._succ[v].add(u)
+            self._succ[v][u] = None
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         """Remove the edge ``(u, v)``; endpoints are kept even if isolated."""
@@ -155,10 +166,10 @@ class Graph:
             raise VertexNotFoundError(v)
         if v not in self._succ[u]:
             raise EdgeNotFoundError(u, v)
-        self._succ[u].discard(v)
-        self._pred[v].discard(u)
+        del self._succ[u][v]
+        self._pred[v].pop(u, None)
         if not self._directed:
-            self._succ[v].discard(u)
+            self._succ[v].pop(u, None)
 
     def has_edge(self, u: Vertex, v: Vertex) -> bool:
         """Return ``True`` if the edge ``(u, v)`` is in the graph."""
@@ -186,21 +197,26 @@ class Graph:
     # ------------------------------------------------------------------ #
     # Adjacency views
     # ------------------------------------------------------------------ #
-    def neighbors(self, vertex: Vertex) -> Set[Vertex]:
-        """Return the set of neighbors of ``vertex`` (out-neighbors if directed)."""
+    def neighbors(self, vertex: Vertex) -> KeysView[Vertex]:
+        """Neighbors of ``vertex`` (out-neighbors if directed).
+
+        The returned view behaves like a read-only set but iterates in
+        deterministic insertion order (edge-addition order, with removed
+        and re-added neighbors moved to the end).
+        """
         try:
-            return self._succ[vertex]
+            return self._succ[vertex].keys()
         except KeyError:
             raise VertexNotFoundError(vertex) from None
 
-    def out_neighbors(self, vertex: Vertex) -> Set[Vertex]:
+    def out_neighbors(self, vertex: Vertex) -> KeysView[Vertex]:
         """Successors of ``vertex`` (same as :meth:`neighbors` when undirected)."""
         return self.neighbors(vertex)
 
-    def in_neighbors(self, vertex: Vertex) -> Set[Vertex]:
+    def in_neighbors(self, vertex: Vertex) -> KeysView[Vertex]:
         """Predecessors of ``vertex`` (same as :meth:`neighbors` when undirected)."""
         try:
-            return self._pred[vertex]
+            return self._pred[vertex].keys()
         except KeyError:
             raise VertexNotFoundError(vertex) from None
 

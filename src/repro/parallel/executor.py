@@ -42,7 +42,7 @@ from repro.parallel.mapreduce import merge_partial_scores
 from repro.storage.disk import DiskBDStore
 from repro.storage.memory import InMemoryBDStore
 from repro.storage.partition import partition_sources
-from repro.types import EdgeScores, Vertex, VertexScores
+from repro.types import EdgeScores, Vertex, VertexScores, validate_backend
 from repro.utils.timing import Timer
 
 PathLike = Union[str, Path]
@@ -64,8 +64,11 @@ def _build_worker_framework(payload: dict) -> IncrementalBetweenness:
 
     sources = payload["sources"]
     store_kind = payload["store"]
+    backend = payload.get("backend", "dicts")
     if store_kind == "memory":
-        store = InMemoryBDStore()
+        # The arrays backend defaults to its own columnar RAM store; the
+        # dicts backend keeps the classic dict-of-records store.
+        store = None if backend == "arrays" else InMemoryBDStore()
     elif store_kind == "disk":
         store = DiskBDStore(graph.vertex_list(), sources=sources)
     else:  # pragma: no cover - validated by the driver
@@ -88,9 +91,11 @@ def _build_worker_framework(payload: dict) -> IncrementalBetweenness:
             snapshot = {s: seed.get(s) for s in sources}
     if snapshot is not None:
         return IncrementalBetweenness.from_source_data(
-            graph, snapshot, store=store, restricted=True
+            graph, snapshot, store=store, restricted=True, backend=backend
         )
-    return IncrementalBetweenness(graph, store=store, sources=sources)
+    return IncrementalBetweenness(
+        graph, store=store, sources=sources, backend=backend
+    )
 
 
 def _worker_main(connection, payload: dict) -> None:
@@ -231,6 +236,11 @@ class ProcessParallelBetweenness:
         loads only its partition's records, so — unlike ``source_data`` —
         no pickled snapshot crosses the process boundary.  Mutually
         exclusive with ``source_data``.
+    backend:
+        Compute backend each worker runs its partition on: ``"dicts"``
+        (default, the classic label-keyed implementation) or ``"arrays"``
+        (the CSR/flat-record kernel of :mod:`repro.core.kernel`).  Scores
+        are bit-identical either way; only speed changes.
 
     Examples
     --------
@@ -249,6 +259,7 @@ class ProcessParallelBetweenness:
         start_method: Optional[str] = None,
         source_data: Optional[Dict[Vertex, SourceData]] = None,
         source_store_path: Optional[PathLike] = None,
+        backend: str = "dicts",
     ) -> None:
         if num_workers < 1:
             raise ConfigurationError(f"num_workers must be >= 1, got {num_workers}")
@@ -256,6 +267,7 @@ class ProcessParallelBetweenness:
             raise ConfigurationError(
                 f"store must be one of {WORKER_STORES}, got {store!r}"
             )
+        validate_backend(backend)
         if source_data is not None and source_store_path is not None:
             raise ConfigurationError(
                 "source_data and source_store_path are mutually exclusive "
@@ -283,6 +295,7 @@ class ProcessParallelBetweenness:
                 "edges": edges,
                 "sources": sources,
                 "store": store,
+                "backend": backend,
                 "snapshot": (
                     {s: source_data[s] for s in sources}
                     if source_data is not None

@@ -77,6 +77,13 @@ class MapReduceBetweenness:
         Optional callable building the per-mapper ``BD`` store (e.g. one
         :class:`~repro.storage.disk.DiskBDStore` per mapper); by default each
         mapper uses an in-memory store.
+    backend:
+        Compute backend for every mapper: ``"dicts"`` (default) or
+        ``"arrays"`` — the CSR/flat-record kernel, which produces
+        bit-identical partial scores.  With ``"arrays"`` the default
+        per-mapper store is the columnar
+        :class:`~repro.storage.arrays.ArrayBDStore`; a ``store_factory``
+        must then return column-protocol stores (array or disk).
     """
 
     def __init__(
@@ -84,6 +91,7 @@ class MapReduceBetweenness:
         graph: Graph,
         num_mappers: int,
         store_factory: Optional[StoreFactory] = None,
+        backend: str = "dicts",
     ) -> None:
         if num_mappers < 1:
             raise ConfigurationError(f"num_mappers must be >= 1, got {num_mappers}")
@@ -95,7 +103,10 @@ class MapReduceBetweenness:
             store = store_factory(partition, self._graph) if store_factory else None
             self._mappers.append(
                 IncrementalBetweenness(
-                    self._graph, store=store, sources=list(partition.sources)
+                    self._graph,
+                    store=store,
+                    sources=list(partition.sources),
+                    backend=backend,
                 )
             )
         self._new_vertex_round_robin = 0

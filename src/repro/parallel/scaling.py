@@ -52,10 +52,22 @@ class OnlineCapacityModel:
         return self.update_time(num_workers) < interarrival_time
 
     def required_workers(self, interarrival_time: float) -> int:
-        """Minimum ``p`` such that ``tU < tI`` (Section 5.3).
+        """Minimum ``p`` such that ``update_time(p) < tI`` (Section 5.3).
+
+        The continuous model ``p0 = tS * n / (tI - tM)`` is only a *lower
+        bound*: the actual per-worker share is ``ceil(n / p)`` sources, and
+        :meth:`is_online` demands a strict inequality, so the continuous
+        solution can land exactly on ``tU == tI`` (e.g. ``tS=0.01, n=100,
+        tM=0, tI=0.5`` gives ``p0=2`` with ``tU = 0.01 * 50 = 0.5 == tI``
+        — not online).  Starting from ``ceil(p0)`` (no smaller ``p`` can
+        satisfy even the continuous bound) we therefore walk up to the
+        first ``p`` whose *actual* :meth:`update_time` is strictly under
+        ``tI``; monotonicity of ``ceil(n / p)`` makes that the global
+        minimum, and the guard below guarantees termination (``p = n``
+        always works since ``tS + tM < tI``).
 
         Raises :class:`ConfigurationError` when even infinitely many workers
-        cannot keep up, i.e. when the serial part ``tS + tM`` already exceeds
+        cannot keep up, i.e. when the serial part ``tS + tM`` already reaches
         the inter-arrival time.
         """
         require_positive("interarrival_time", interarrival_time)
@@ -67,7 +79,10 @@ class OnlineCapacityModel:
         needed = self.time_per_source * self.num_sources / (
             interarrival_time - self.merge_time
         )
-        return max(1, math.ceil(needed))
+        workers = max(1, math.ceil(needed))
+        while not self.is_online(workers, interarrival_time):
+            workers += 1
+        return workers
 
 
 def required_workers(

@@ -17,6 +17,7 @@ Two interchangeable backends implement the same :class:`BDStore` interface:
 
 from repro.storage.base import BDStore
 from repro.storage.memory import InMemoryBDStore
+from repro.storage.arrays import ArrayBDStore
 from repro.storage.disk import DiskBDStore
 from repro.storage.header import STORE_MAGIC, STORE_VERSION, StoreLayout
 from repro.storage.index import VertexIndex
@@ -25,6 +26,7 @@ from repro.storage.partition import SourcePartition, partition_sources
 __all__ = [
     "BDStore",
     "InMemoryBDStore",
+    "ArrayBDStore",
     "DiskBDStore",
     "VertexIndex",
     "SourcePartition",

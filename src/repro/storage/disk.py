@@ -254,6 +254,16 @@ class DiskBDStore(BDStore):
         return self._path
 
     @property
+    def vertex_index(self) -> VertexIndex:
+        """The store's vertex/slot assignment (shared with the array kernel)."""
+        return self._index
+
+    @property
+    def columns_in_place(self) -> bool:
+        """Whether writable column views alias the store (mmap mode only)."""
+        return self._mm is not None
+
+    @property
     def capacity(self) -> int:
         """Number of vertex slots currently allocated per record."""
         return self._capacity
@@ -329,7 +339,7 @@ class DiskBDStore(BDStore):
         return decode_record_arrays(distance, sigma, delta, source, self._index)
 
     def record_columns(
-        self, source: Vertex
+        self, source: Vertex, writable: bool = False
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Load the raw ``(distance, sigma, delta)`` columns of one record.
 
@@ -337,14 +347,94 @@ class DiskBDStore(BDStore):
         it returns zero-copy views into the mapped record area; the buffered
         path seeks, reads the record's bytes and wraps them.  Exposed so
         experiments can measure raw record-load throughput without the
-        dictionary-materialisation cost of full decoding.  Treat the arrays
-        as read-only — in mmap mode they alias the store file, so writing
-        through them would bypass :meth:`put` and its range checks.
+        dictionary-materialisation cost of full decoding.
+
+        With ``writable=False`` (default) treat the arrays as read-only —
+        in mmap mode they alias the store file, so writing through them
+        would bypass :meth:`put` and its range checks.  ``writable=True``
+        is the array kernel's update-sweep path: in mmap mode it marks the
+        store dirty and hands out the live views for an in-place repair
+        (finish with :meth:`record_written`); in buffered mode it returns
+        fresh writable copies (finish with :meth:`put_columns`).  Check
+        :attr:`columns_in_place` to know which contract applies.
         """
         self._ensure_open()
         slot = self._index.slot(source)
         self._bytes_read += self._record_bytes
-        return self._read_slot_columns(slot)
+        columns = self._read_slot_columns(slot)
+        if not writable:
+            return columns
+        if self._mm is not None:
+            self._mark_dirty()
+            return columns
+        distance, sigma, delta = columns
+        return distance.copy(), sigma.copy(), delta.copy()
+
+    def put_columns(
+        self,
+        source: Vertex,
+        distance: np.ndarray,
+        sigma: np.ndarray,
+        delta: np.ndarray,
+    ) -> None:
+        """Bulk-write one record's columns (shorter-than-capacity allowed).
+
+        The kernel-side counterpart of :meth:`put`: the record arrives as
+        ready-made column arrays (already slot-indexed and dtype-correct),
+        so no dictionary encoding happens.  Column entries beyond
+        ``len(distance)`` keep their current bytes, which are the
+        "unreachable" defaults for slots registered after the record was
+        computed.
+        """
+        self._ensure_open()
+        self._mark_dirty()
+        if source not in self._index:
+            self._register_vertex(source)
+        if source not in self._source_set:
+            self._source_set.add(source)
+            self._sync_metadata()
+        slot = self._index.slot(source)
+        k = len(distance)
+        if self._mm is not None:
+            self._dist_view[slot, :k] = distance
+            self._sigma_view[slot, :k] = sigma
+            self._delta_view[slot, :k] = delta
+        else:
+            distance_offset, sigma_offset, delta_offset = column_offsets(
+                self._capacity
+            )
+            base = self._record_offset(slot)
+            for offset, column, dtype in (
+                (distance_offset, distance, DISTANCE_DTYPE),
+                (sigma_offset, sigma, SIGMA_DTYPE),
+                (delta_offset, delta, DELTA_DTYPE),
+            ):
+                self._file.seek(base + offset)
+                self._file.write(np.ascontiguousarray(column, dtype=dtype).tobytes())
+        self._bytes_written += self._record_bytes
+
+    def record_written(self, source: Vertex) -> None:
+        """Account for an in-place (mmap view) record repair."""
+        self._ensure_open()
+        self._bytes_written += self._record_bytes
+
+    def peek_distance_block(
+        self, source_slots, vertex_slots
+    ) -> Optional[np.ndarray]:
+        """Distances of ``vertex_slots`` from every slot in ``source_slots``.
+
+        One fancy-indexed gather over the mapped distance column — the
+        vectorized Proposition 3.1 peek of the array kernel.  Returns
+        ``None`` in buffered mode, where the caller falls back to
+        per-source :meth:`endpoint_distances` reads.
+        """
+        self._ensure_open()
+        if self._mm is None:
+            return None
+        self._bytes_read += (
+            len(source_slots) * len(vertex_slots) * DISTANCE_DTYPE.itemsize
+        )
+        return self._dist_view[np.ix_(source_slots, vertex_slots)]
 
     def endpoint_distances(
         self, source: Vertex, u: Vertex, v: Vertex

@@ -21,6 +21,27 @@ EdgeScores = Dict[Edge, float]
 #: The on-disk format stores distances as signed 16-bit integers, hence -1.
 UNREACHABLE: int = -1
 
+#: Compute backends understood across the library: label-keyed Python dicts
+#: (the original implementation) or the array-native kernel over
+#: slot-indexed columns (bit-identical scores, vectorized bootstrap).
+BACKENDS: Tuple[str, str] = ("dicts", "arrays")
+
+
+def validate_backend(backend: str) -> str:
+    """Validate a ``backend=`` argument, returning it unchanged.
+
+    Shared by every entry point that accepts the switch (framework,
+    Brandes, the parallel drivers) so the accepted values and the error
+    message stay in one place.
+    """
+    if backend not in BACKENDS:
+        from repro.exceptions import ConfigurationError
+
+        raise ConfigurationError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
+        )
+    return backend
+
 
 def canonical_edge(u: Vertex, v: Vertex) -> Edge:
     """Return the canonical (order-independent) representation of an edge.

@@ -105,7 +105,7 @@ class TestDropSet:
         g2 = path5.copy()
         g2.remove_edge(2, 3)
         drop = find_drop_set(g2, data, low=3)
-        assert drop == {3, 4}
+        assert set(drop) == {3, 4}
 
     def test_vertex_with_alternative_parent_not_dropped(self):
         # 4 is fed both through 3 (dropped) and through 2 (kept).
@@ -114,14 +114,14 @@ class TestDropSet:
         g2 = g.copy()
         g2.remove_edge(1, 3)
         drop = find_drop_set(g2, data, low=3)
-        assert drop == {3}
+        assert set(drop) == {3}
 
     def test_cycle_drop_set_single_vertex(self, cycle6):
         data = bd(cycle6, 0)
         g2 = cycle6.copy()
         g2.remove_edge(1, 2)
         drop = find_drop_set(g2, data, low=2)
-        assert drop == {2}
+        assert set(drop) == {2}
 
 
 class TestRemovalStructural:

@@ -1,0 +1,108 @@
+"""Property tests of the online-capacity model (Section 5.3).
+
+``required_workers`` must honour its own definition of "online": the
+returned worker count's *actual* ``update_time`` (which uses the discrete
+``ceil(n / p)`` per-worker share) must be strictly below the inter-arrival
+time, and no smaller worker count may satisfy that.  The continuous model
+``tS * n / (tI - tM)`` alone does not guarantee this — it can land exactly
+on ``tU == tI`` — which is the regression pinned below.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.parallel.scaling import OnlineCapacityModel, required_workers
+
+settings.register_profile(
+    "repro-scaling",
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro-scaling")
+
+
+@st.composite
+def model_and_interarrival(draw):
+    """A random capacity model plus a feasible inter-arrival time."""
+    time_per_source = draw(
+        st.floats(min_value=1e-6, max_value=1.0, allow_nan=False, allow_infinity=False)
+    )
+    num_sources = draw(st.integers(min_value=1, max_value=100_000))
+    merge_time = draw(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False)
+    )
+    model = OnlineCapacityModel(
+        time_per_source=time_per_source,
+        num_sources=num_sources,
+        merge_time=merge_time,
+    )
+    # Feasibility demands tI > tS + tM; scale up from the serial floor.
+    factor = draw(
+        st.floats(min_value=1.0001, max_value=1000.0, allow_nan=False)
+    )
+    interarrival = (time_per_source + merge_time) * factor
+    return model, interarrival
+
+
+class TestRequiredWorkersIsOnline:
+    @given(model_and_interarrival())
+    def test_returned_count_is_online(self, case):
+        model, interarrival = case
+        workers = model.required_workers(interarrival)
+        assert workers >= 1
+        assert model.is_online(workers, interarrival), (
+            f"required_workers returned p={workers} but "
+            f"update_time(p)={model.update_time(workers)} >= tI={interarrival}"
+        )
+
+    @given(model_and_interarrival())
+    def test_returned_count_is_minimal(self, case):
+        model, interarrival = case
+        workers = model.required_workers(interarrival)
+        if workers > 1:
+            assert not model.is_online(workers - 1, interarrival), (
+                f"p={workers} is not minimal: p-1={workers - 1} already has "
+                f"update_time={model.update_time(workers - 1)} < tI={interarrival}"
+            )
+
+    def test_regression_continuous_solution_lands_on_equality(self):
+        # tS=0.01, n=100, tM=0, tI=0.5: the continuous model solves to p=2,
+        # but update_time(2) = 0.01 * 50 = 0.5 == tI fails the strict check.
+        model = OnlineCapacityModel(
+            time_per_source=0.01, num_sources=100, merge_time=0.0
+        )
+        workers = model.required_workers(0.5)
+        assert model.update_time(2) == 0.5  # the old answer was not online
+        assert workers == 3
+        assert model.is_online(workers, 0.5)
+        assert not model.is_online(workers - 1, 0.5)
+
+    def test_ceiling_share_forces_extra_worker(self):
+        # n=10, tS=0.1: continuous p0 = 1/(tI) ... with tI=0.35 the
+        # continuous solution is ceil(1/0.35)=3, but ceil(10/3)=4 sources
+        # per worker gives tU=0.4 >= tI; only p=4 (3 sources, tU=0.3) works.
+        model = OnlineCapacityModel(
+            time_per_source=0.1, num_sources=10, merge_time=0.0
+        )
+        workers = model.required_workers(0.35)
+        assert workers == 4
+        assert model.update_time(3) >= 0.35
+        assert model.update_time(4) < 0.35
+
+    def test_infeasible_interarrival_raises(self):
+        model = OnlineCapacityModel(
+            time_per_source=0.2, num_sources=10, merge_time=0.1
+        )
+        with pytest.raises(ConfigurationError):
+            model.required_workers(0.3)  # tI == tS + tM: unreachable even at p=n
+
+    def test_convenience_wrapper_agrees(self):
+        model = OnlineCapacityModel(
+            time_per_source=0.01, num_sources=100, merge_time=0.0
+        )
+        assert required_workers(0.01, 100, 0.5) == model.required_workers(0.5)
