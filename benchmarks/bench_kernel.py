@@ -53,14 +53,33 @@ MIN_BOOTSTRAP_SPEEDUP = 5.0
 #: less on small graphs).
 MIN_BOOTSTRAP_SPEEDUP_SMOKE = 1.5
 
-FULL = {"vertices": 2000, "extra_edges_per_vertex": 3, "updates": 40, "batch_size": 10}
-SMOKE = {"vertices": 300, "extra_edges_per_vertex": 3, "updates": 16, "batch_size": 4}
+FULL = {
+    "vertices": 2000,
+    "directed_vertices": 1000,
+    "extra_edges_per_vertex": 3,
+    "updates": 40,
+    "batch_size": 10,
+}
+SMOKE = {
+    "vertices": 300,
+    "directed_vertices": 150,
+    "extra_edges_per_vertex": 3,
+    "updates": 16,
+    "batch_size": 4,
+}
 
 
-def build_graph(num_vertices: int, extra_edges_per_vertex: int, seed: int) -> Graph:
-    """Connected random graph: spanning tree plus random extra edges."""
+def build_graph(
+    num_vertices: int, extra_edges_per_vertex: int, seed: int, directed: bool = False
+) -> Graph:
+    """Connected random graph: spanning tree plus random extra edges.
+
+    The directed variant orients the same construction (tree arcs point
+    child -> parent, extras in the drawn order), giving both orientations
+    comparable size and density.
+    """
     rng = random.Random(seed)
-    graph = Graph()
+    graph = Graph(directed=directed)
     graph.add_vertex(0)
     for vertex in range(1, num_vertices):
         graph.add_edge(vertex, rng.randrange(vertex))
@@ -78,6 +97,7 @@ def build_stream(graph: Graph, num_updates: int, seed: int):
     rng = random.Random(seed)
     edges = set(graph.edge_list())
     vertices = graph.vertex_list()
+    directed = graph.directed
     stream = []
     for _ in range(num_updates):
         if rng.random() < 0.4 and len(edges) > 1:
@@ -87,7 +107,7 @@ def build_stream(graph: Graph, num_updates: int, seed: int):
         else:
             while True:
                 u, v = rng.sample(vertices, 2)
-                key = (u, v) if u <= v else (v, u)
+                key = (u, v) if directed or u <= v else (v, u)
                 if key not in edges:
                     edges.add(key)
                     stream.append(EdgeUpdate.addition(u, v))
@@ -103,16 +123,14 @@ def identical_scores(a: IncrementalBetweenness, b: IncrementalBetweenness) -> bo
     )
 
 
-def run(config: dict, smoke: bool) -> dict:
-    graph = build_graph(
-        config["vertices"], config["extra_edges_per_vertex"], seed=11
-    )
-    stream = build_stream(graph, config["updates"], seed=13)
-    print(
-        f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges; "
-        f"stream: {len(stream)} updates in batches of {config['batch_size']}"
-    )
+def bench_orientation(graph: Graph, stream, batch_size: int, label: str = "") -> dict:
+    """Bootstrap + batched MO sweep for both backends on one graph/stream.
 
+    Shared by the undirected and directed configurations so both
+    orientations in ``BENCH_kernel.json`` are always measured the same way
+    (same rounds policy, same bit-identity checks).
+    """
+    prefix = f"{label} " if label else ""
     frameworks = {}
     bootstrap = {}
     # The dict bootstrap runs long enough (~tens of seconds) for scheduler
@@ -126,11 +144,11 @@ def run(config: dict, smoke: bool) -> dict:
             frameworks[backend] = IncrementalBetweenness(graph, backend=backend)
             times.append(time.perf_counter() - start)
         bootstrap[backend] = min(times)
-        print(f"bootstrap[{backend:6s}]: {bootstrap[backend]:8.3f}s")
+        print(f"{prefix}bootstrap[{backend:6s}]: {bootstrap[backend]:8.3f}s")
     bootstrap_identical = identical_scores(frameworks["arrays"], frameworks["dicts"])
     bootstrap_speedup = bootstrap["dicts"] / bootstrap["arrays"]
     print(
-        f"bootstrap speedup: {bootstrap_speedup:.1f}x  "
+        f"{prefix}bootstrap speedup: {bootstrap_speedup:.1f}x  "
         f"bit-identical: {bootstrap_identical}"
     )
 
@@ -138,16 +156,43 @@ def run(config: dict, smoke: bool) -> dict:
     for backend in ("dicts", "arrays"):
         framework = frameworks[backend]
         start = time.perf_counter()
-        for chunk in batches(iter(stream), config["batch_size"]):
+        for chunk in batches(iter(stream), batch_size):
             framework.apply_updates(chunk)
         sweep[backend] = time.perf_counter() - start
-        print(f"batched updates[MO {backend:6s}]: {sweep[backend]:8.3f}s")
+        print(f"{prefix}batched updates[MO {backend:6s}]: {sweep[backend]:8.3f}s")
     sweep_identical = identical_scores(frameworks["arrays"], frameworks["dicts"])
     sweep_speedup = sweep["dicts"] / sweep["arrays"]
     print(
-        f"batched-update (MO) speedup: {sweep_speedup:.1f}x  "
+        f"{prefix}batched-update (MO) speedup: {sweep_speedup:.1f}x  "
         f"bit-identical after stream: {sweep_identical}"
     )
+    return {
+        "graph": {"vertices": graph.num_vertices, "edges": graph.num_edges},
+        "bootstrap": {
+            "dicts_seconds": bootstrap["dicts"],
+            "arrays_seconds": bootstrap["arrays"],
+            "speedup": bootstrap_speedup,
+            "bit_identical": bootstrap_identical,
+        },
+        "batched_updates_memory": {
+            "dicts_seconds": sweep["dicts"],
+            "arrays_seconds": sweep["arrays"],
+            "speedup": sweep_speedup,
+            "bit_identical": sweep_identical,
+        },
+    }
+
+
+def run(config: dict, smoke: bool) -> dict:
+    graph = build_graph(
+        config["vertices"], config["extra_edges_per_vertex"], seed=11
+    )
+    stream = build_stream(graph, config["updates"], seed=13)
+    print(
+        f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges; "
+        f"stream: {len(stream)} updates in batches of {config['batch_size']}"
+    )
+    main_report = bench_orientation(graph, stream, config["batch_size"])
 
     disk_sweep = {}
     disk_frameworks = {}
@@ -175,29 +220,19 @@ def run(config: dict, smoke: bool) -> dict:
         f"bit-identical after stream: {disk_identical}"
     )
 
+    directed_report = run_directed(config)
+
     return {
         "mode": "smoke" if smoke else "full",
         "python": platform.python_version(),
-        "graph": {
-            "vertices": graph.num_vertices,
-            "edges": graph.num_edges,
-        },
+        "graph": main_report["graph"],
+        "directed": directed_report,
         "stream": {
             "updates": len(stream),
             "batch_size": config["batch_size"],
         },
-        "bootstrap": {
-            "dicts_seconds": bootstrap["dicts"],
-            "arrays_seconds": bootstrap["arrays"],
-            "speedup": bootstrap_speedup,
-            "bit_identical": bootstrap_identical,
-        },
-        "batched_updates_memory": {
-            "dicts_seconds": sweep["dicts"],
-            "arrays_seconds": sweep["arrays"],
-            "speedup": sweep_speedup,
-            "bit_identical": sweep_identical,
-        },
+        "bootstrap": main_report["bootstrap"],
+        "batched_updates_memory": main_report["batched_updates_memory"],
         "batched_updates_disk": {
             "dicts_seconds": disk_sweep["dicts"],
             "arrays_seconds": disk_sweep["arrays"],
@@ -205,6 +240,32 @@ def run(config: dict, smoke: bool) -> dict:
             "bit_identical": disk_identical,
         },
     }
+
+
+def run_directed(config: dict) -> dict:
+    """Directed orientation: bootstrap + batched MO sweep, both backends.
+
+    Directed workloads are an extension beyond the paper's experiments, so
+    no speedup bar is enforced here — the hard requirement is that both
+    backends stay bit-identical on the directed stream, mirroring the
+    undirected acceptance.  Timings land in ``BENCH_kernel.json`` next to
+    the undirected ones so the trajectory covers both orientations.
+    """
+    graph = build_graph(
+        config["directed_vertices"],
+        config["extra_edges_per_vertex"],
+        seed=17,
+        directed=True,
+    )
+    stream = build_stream(graph, config["updates"], seed=19)
+    print(
+        f"\ndirected graph: {graph.num_vertices} vertices, "
+        f"{graph.num_edges} arcs; stream: {len(stream)} updates in "
+        f"batches of {config['batch_size']}"
+    )
+    return bench_orientation(
+        graph, stream, config["batch_size"], label="directed"
+    )
 
 
 def main(argv=None) -> int:
@@ -236,6 +297,12 @@ def main(argv=None) -> int:
     )
     assert report["batched_updates_disk"]["bit_identical"], (
         "array and dict backends diverged over the update stream (DO)"
+    )
+    assert report["directed"]["bootstrap"]["bit_identical"], (
+        "array and dict backends returned different directed bootstrap scores"
+    )
+    assert report["directed"]["batched_updates_memory"]["bit_identical"], (
+        "array and dict backends diverged over the directed update stream"
     )
     speedup = report["bootstrap"]["speedup"]
     assert speedup >= minimum, (

@@ -177,7 +177,7 @@ def brandes_betweenness(
         ``"dicts"`` (default) runs the scalar dictionary implementation;
         ``"arrays"`` delegates to the vectorized CSR kernel
         (:func:`repro.core.kernel.brandes_betweenness_arrays`), which
-        returns bit-identical scores on undirected graphs without
+        returns bit-identical scores — on directed graphs too — without
         predecessor lists (its only supported configuration).
     """
     if validate_backend(backend) == "arrays":

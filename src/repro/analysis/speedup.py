@@ -45,6 +45,7 @@ def build_framework(
     graph: Graph,
     variant: Variant = Variant.MO,
     disk_path: Optional[Path] = None,
+    backend: str = "dicts",
 ) -> IncrementalBetweenness:
     """Instantiate the framework in one of the paper's three configurations.
 
@@ -55,14 +56,22 @@ def build_framework(
     describe, which only a checkpoint records; use
     :meth:`IncrementalBetweenness.resume
     <repro.core.framework.IncrementalBetweenness.resume>` for that.
+
+    ``backend`` selects the compute kernel (``"dicts"`` or ``"arrays"``)
+    for the MO and DO variants; MP exists only in the dicts backend (the
+    framework itself rejects the combination).
     """
     if variant is Variant.MP:
-        return IncrementalBetweenness(graph, maintain_predecessors=True)
+        return IncrementalBetweenness(
+            graph, maintain_predecessors=True, backend=backend
+        )
     if variant is Variant.MO:
-        return IncrementalBetweenness(graph)
+        return IncrementalBetweenness(graph, backend=backend)
     if variant is Variant.DO:
-        store = DiskBDStore(graph.vertex_list(), path=disk_path)
-        return IncrementalBetweenness(graph, store=store)
+        store = DiskBDStore(
+            graph.vertex_list(), path=disk_path, directed=graph.directed
+        )
+        return IncrementalBetweenness(graph, store=store, backend=backend)
     raise ConfigurationError(f"unknown variant {variant!r}")
 
 
@@ -116,6 +125,7 @@ def measure_stream_speedups(
     disk_path: Optional[Path] = None,
     batch_size: int = 1,
     checkpoint_path: Optional[Path] = None,
+    backend: str = "dicts",
 ) -> SpeedupSeries:
     """Apply ``updates`` with the chosen variant and record per-edge speedups.
 
@@ -147,12 +157,16 @@ def measure_stream_speedups(
         When given, write a framework checkpoint sidecar here after the
         whole stream has been applied (before the store is closed), so a
         later run can resume from the post-stream state.
+    backend:
+        Compute backend of the measured framework (``"dicts"`` or
+        ``"arrays"``); the Brandes baseline always runs the dicts path so
+        the denominator stays comparable across backends.
     """
     if batch_size < 1:
         raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
     if baseline_seconds is None:
         baseline_seconds = measure_brandes_seconds(graph, repeats=baseline_repeats)
-    framework = build_framework(graph, variant, disk_path=disk_path)
+    framework = build_framework(graph, variant, disk_path=disk_path, backend=backend)
     series = SpeedupSeries(
         label=label, variant=variant, baseline_seconds=baseline_seconds
     )

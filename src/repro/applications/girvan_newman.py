@@ -31,10 +31,18 @@ from repro.types import Edge, Vertex
 
 
 def modularity(graph: Graph, communities: Sequence[Set[Vertex]]) -> float:
-    """Newman modularity Q of a partition of ``graph``.
+    """Modularity Q of a partition of ``graph``.
 
-    ``Q = sum_c [ m_c / m - (d_c / 2m)^2 ]`` where ``m_c`` is the number of
-    intra-community edges and ``d_c`` the total degree of community ``c``.
+    Undirected (Newman): ``Q = sum_c [ m_c / m - (d_c / 2m)^2 ]`` where
+    ``m_c`` is the number of intra-community edges and ``d_c`` the total
+    degree of community ``c``.
+
+    Directed (Leicht–Newman): ``Q = sum_c [ m_c / m - d_c^out * d_c^in /
+    m^2 ]`` where ``m`` counts directed edges, ``m_c`` the intra-community
+    directed edges and ``d_c^out`` / ``d_c^in`` the community's total out-
+    and in-degree.  Applying the undirected formula to a directed graph
+    (as this function once did) yields a plausible-looking but wrong value
+    — the null model must preserve both degree sequences separately.
     """
     m = graph.num_edges
     if m == 0:
@@ -44,14 +52,26 @@ def modularity(graph: Graph, communities: Sequence[Set[Vertex]]) -> float:
         for vertex in community:
             membership[vertex] = label
     intra = [0] * len(communities)
-    degree = [0] * len(communities)
-    for vertex in graph.vertices():
-        label = membership[vertex]
-        degree[label] += graph.degree(vertex)
     for u, v in graph.edges():
         if membership[u] == membership[v]:
             intra[membership[u]] += 1
     q = 0.0
+    if graph.directed:
+        out_degree = [0] * len(communities)
+        in_degree = [0] * len(communities)
+        for vertex in graph.vertices():
+            label = membership[vertex]
+            out_degree[label] += graph.degree(vertex)
+            in_degree[label] += graph.in_degree(vertex)
+        for label in range(len(communities)):
+            q += intra[label] / m - (
+                out_degree[label] * in_degree[label] / (m * float(m))
+            )
+        return q
+    degree = [0] * len(communities)
+    for vertex in graph.vertices():
+        label = membership[vertex]
+        degree[label] += graph.degree(vertex)
     for label in range(len(communities)):
         q += intra[label] / m - (degree[label] / (2.0 * m)) ** 2
     return q
@@ -104,7 +124,9 @@ def girvan_newman(
     Parameters
     ----------
     graph:
-        Input undirected graph (left unmodified; the driver works on a copy).
+        Input graph (left unmodified; the driver works on a copy).  On a
+        directed graph splits are detected by *weak* connectivity and
+        partition quality by directed (Leicht–Newman) modularity.
     max_removals:
         Stop after removing this many edges (``None`` = remove all edges,
         producing the full dendrogram).

@@ -10,6 +10,7 @@ the ranking churns over time.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -17,6 +18,7 @@ from repro.core.framework import IncrementalBetweenness
 from repro.core.updates import EdgeUpdate
 from repro.exceptions import ConfigurationError
 from repro.graph.graph import Graph
+from repro.storage.base import BDStore
 from repro.types import Edge, Vertex
 
 
@@ -33,6 +35,20 @@ class TopKSnapshot:
         return tuple(vertex for vertex, _ in self.top_vertices)
 
 
+def _top_k(items, limit: int):
+    """The ``limit`` best-ranked ``(element, score)`` pairs.
+
+    Ranking order is descending score with ties broken by ``repr`` of the
+    element (exactly the historical full-sort order).  Selection runs
+    through ``heapq``'s bounded-heap machinery — O(n log k) per call
+    instead of the O(n log n) full sort the monitor used to pay on every
+    single stream element.
+    """
+    # nsmallest under the (-score, repr) key IS nlargest under the ranking
+    # order; heapq has no key-inverted nlargest for the string tie-break.
+    return heapq.nsmallest(limit, items, key=lambda item: (-item[1], repr(item[0])))
+
+
 @dataclass
 class TopKMonitor:
     """Maintain the k most central vertices/edges while a graph evolves.
@@ -45,18 +61,29 @@ class TopKMonitor:
         Size of the maintained ranking.
     track_edges:
         Also keep the top-k edges by edge betweenness.
+    backend:
+        Compute backend of the underlying framework (``"dicts"`` or
+        ``"arrays"``), forwarded verbatim.
+    store:
+        Optional ``BD[.]`` store for the framework (e.g. a
+        :class:`~repro.storage.disk.DiskBDStore` for out-of-core
+        monitoring); the backend's default store is used otherwise.
     """
 
     graph: Graph
     k: int = 10
     track_edges: bool = True
+    backend: str = "dicts"
+    store: Optional[BDStore] = None
     _framework: IncrementalBetweenness = field(init=False, repr=False)
     snapshots: List[TopKSnapshot] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.k < 1:
             raise ConfigurationError(f"k must be >= 1, got {self.k}")
-        self._framework = IncrementalBetweenness(self.graph)
+        self._framework = IncrementalBetweenness(
+            self.graph, store=self.store, backend=self.backend
+        )
 
     # ------------------------------------------------------------------ #
     # Stream consumption
@@ -83,15 +110,13 @@ class TopKMonitor:
         """Current top-k vertices as ``(vertex, score)`` pairs."""
         limit = self.k if k is None else k
         scores = self._framework.vertex_betweenness()
-        ranked = sorted(scores.items(), key=lambda item: (-item[1], repr(item[0])))
-        return tuple(ranked[:limit])
+        return tuple(_top_k(scores.items(), limit))
 
     def top_edges(self, k: Optional[int] = None) -> Tuple[Tuple[Edge, float], ...]:
         """Current top-k edges as ``(edge, score)`` pairs."""
         limit = self.k if k is None else k
         scores = self._framework.edge_betweenness()
-        ranked = sorted(scores.items(), key=lambda item: (-item[1], repr(item[0])))
-        return tuple(ranked[:limit])
+        return tuple(_top_k(scores.items(), limit))
 
     # ------------------------------------------------------------------ #
     # Churn statistics

@@ -6,9 +6,10 @@ explored without writing Python::
     repro datasets                               # list dataset stand-ins
     repro profile --dataset facebook             # Table 2 row
     repro speedup --dataset synthetic-10k --edges 20 --kind add --variant MO
+    repro speedup --dataset synthetic-1k --backend arrays  # CSR kernel
     repro speedup --dataset facebook --variant DO \
         --store-path bd.bin --checkpoint ck.bin   # durable DO store + checkpoint
-    repro resume --checkpoint ck.bin --edges 10 --verify
+    repro resume --checkpoint ck.bin --edges 10 --verify --backend arrays
     repro online --dataset facebook --mappers 1,10,50
     repro communities --dataset synthetic-1k --removals 25
     repro proxies --dataset wikielections        # degree/closeness vs betweenness
@@ -43,6 +44,7 @@ from repro.generators import (
 )
 from repro.graph import profile
 from repro.parallel import replay_online_updates_parallel, simulate_online_updates
+from repro.types import BACKENDS
 from repro.utils.timing import Timer
 
 
@@ -81,6 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="apply the stream in batches of this many updates "
              "(one source sweep per batch)",
     )
+    _add_backend_argument(speedup_parser)
     speedup_parser.add_argument(
         "--store-path", type=Path, default=None,
         help="DO variant only: durable location for a freshly created BD "
@@ -115,6 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="recompute betweenness from scratch afterwards and check the "
              "resumed scores match",
     )
+    _add_backend_argument(resume_parser)
 
     online_parser = subparsers.add_parser(
         "online", help="online replay: missed deadlines vs number of mappers"
@@ -147,6 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --workers: durable BD store file each worker reopens to "
              "seed its partition (skips the parallel Brandes bootstrap)",
     )
+    _add_backend_argument(online_parser)
 
     communities_parser = subparsers.add_parser(
         "communities", help="Girvan-Newman community detection"
@@ -162,6 +167,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_arguments(proxies_parser)
     proxies_parser.add_argument("--top-k", type=int, default=10)
     return parser
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", choices=list(BACKENDS), default="dicts",
+        help="compute backend: the classic dict implementation or the "
+             "array-native CSR kernel (bit-identical scores, vectorized "
+             "bootstrap)",
+    )
 
 
 def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
@@ -235,6 +249,7 @@ def _run_speedup(args) -> str:
         batch_size=args.batch_size,
         disk_path=args.store_path,
         checkpoint_path=args.checkpoint,
+        backend=args.backend,
     )
     stats = series.summary()
     header = ["dataset", "kind", "variant", "batch", "edges", "min", "median",
@@ -255,7 +270,7 @@ def _run_speedup(args) -> str:
 
 
 def _run_resume(args) -> tuple:
-    framework = IncrementalBetweenness.resume(args.checkpoint)
+    framework = IncrementalBetweenness.resume(args.checkpoint, backend=args.backend)
     graph = framework.graph
     lines = [
         f"resumed from {args.checkpoint}: {graph.num_vertices} vertices, "
@@ -328,6 +343,7 @@ def _run_online(args) -> str:
             time_scale=args.time_scale,
             store=args.store,
             source_store_path=args.store_path,
+            backend=args.backend,
         )
         rows.append(_online_row(args.dataset, f"{args.workers} (real)", result))
     else:
@@ -339,6 +355,7 @@ def _run_online(args) -> str:
                 num_mappers=mappers,
                 time_scale=args.time_scale,
                 batch_size=args.batch_size,
+                backend=args.backend,
             )
             rows.append(_online_row(args.dataset, mappers, result))
     return format_table(

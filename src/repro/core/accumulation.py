@@ -88,6 +88,23 @@ def accumulate_dependencies(
         not exist before the update, so it must not receive an old-dependency
         subtraction.
     """
+    if graph.directed:
+        # The fused ±-sweep below relies on an undirected rigidity: adjacent
+        # vertices' distances differ by at most one, so a fringe ancestor is
+        # always touched before the descending level loop passes its level.
+        # On a directed graph an old-DAG parent can keep its distance while
+        # its child drops arbitrarily far, so the directed path separates
+        # the flows instead (see :func:`_accumulate_directed`).
+        return _accumulate_directed(
+            graph=graph,
+            source=source,
+            data=data,
+            plan=plan,
+            vertex_scores=vertex_scores,
+            edge_scores=edge_scores,
+            edge_key=edge_key,
+            excluded_old_edge=excluded_old_edge,
+        )
     old_distance = data.distance
     old_sigma = data.sigma
     old_delta = data.delta
@@ -231,4 +248,159 @@ def accumulate_dependencies(
 
     return AccumulationResult(
         new_delta=new_delta, vertices_touched=len(new_delta)
+    )
+
+
+def _accumulate_directed(
+    graph: Graph,
+    source: Vertex,
+    data: SourceData,
+    plan: RepairPlan,
+    vertex_scores: VertexScores,
+    edge_scores: EdgeScores,
+    edge_key: Callable[[Vertex, Vertex], Edge],
+    excluded_old_edge: Optional[Tuple[Vertex, Vertex]] = None,
+) -> AccumulationResult:
+    """Dependency accumulation for directed graphs (three clean phases).
+
+    The old and new dependency flows have *different* topological orders on
+    a digraph (a vertex's new distance can drop far below an unchanged
+    old-DAG parent's), so instead of fusing them into one sweep this path:
+
+    1. closes the repaired region upward — every old- or new-DAG in-parent
+       of a vertex whose data changed joins the region, transitively up to
+       the source (the same set of vertices the fused sweep would touch);
+    2. recomputes the region's *new* dependencies from scratch by
+       descending new distance (``delta'[w] = sum over new-DAG children c
+       of sigma'[w]/sigma'[c] * (1 + delta'[c])``, children outside the
+       region contributing their stored, unchanged dependency) — a pure
+       function of the new DAG, needing no old-flow interleaving;
+    3. folds the score corrections in: per region vertex the dependency
+       difference, per in-edge the new contribution added and the old one
+       (a pure function of the *stored* old values, hence order-free)
+       subtracted.
+
+    The removed shortest-path edge, being absent from the graph, gets its
+    explicit subtraction exactly as in the fused sweep; the freshly added
+    edge is excluded from old-flow subtraction by orientation.
+    """
+    old_distance = data.distance
+    old_sigma = data.sigma
+    old_delta = data.delta
+    new_distance = plan.new_distance
+    new_sigma = plan.new_sigma
+    disconnected: FrozenSet[Vertex] = frozenset(plan.disconnected)
+
+    def dist_new(vertex: Vertex) -> Optional[int]:
+        if vertex in disconnected:
+            return None
+        found = new_distance.get(vertex)
+        if found is not None:
+            return found
+        return old_distance.get(vertex)
+
+    def sig_new(vertex: Vertex) -> int:
+        found = new_sigma.get(vertex)
+        if found is not None:
+            return found
+        return old_sigma.get(vertex, 0)
+
+    # ------------------------------------------------------------------ #
+    # Phase 1: upward closure of the changed region.
+    # ------------------------------------------------------------------ #
+    region: Dict[Vertex, None] = {}  # insertion-ordered set, deterministic
+    frontier: List[Vertex] = []
+
+    def join(vertex: Vertex) -> None:
+        if vertex not in region:
+            region[vertex] = None
+            frontier.append(vertex)
+
+    for vertex in plan.affected:
+        join(vertex)
+    for vertex in plan.disconnected:
+        join(vertex)
+    if plan.removed_edge_dependency is not None and plan.high is not None:
+        # The removed edge's tail lost a child contribution; the edge itself
+        # is gone from the graph, so the closure scan below cannot find it.
+        join(plan.high)
+    cursor = 0
+    while cursor < len(frontier):
+        vertex = frontier[cursor]
+        cursor += 1
+        w_dist_new = dist_new(vertex)
+        w_dist_old = old_distance.get(vertex)
+        for parent in graph.in_neighbors(vertex):
+            p_dist_new = dist_new(parent) if w_dist_new is not None else None
+            if p_dist_new is not None and p_dist_new + 1 == w_dist_new:
+                join(parent)
+                continue
+            if w_dist_old is None:
+                continue
+            p_dist_old = old_distance.get(parent)
+            if p_dist_old is not None and p_dist_old + 1 == w_dist_old:
+                join(parent)
+
+    # ------------------------------------------------------------------ #
+    # Phase 2: recompute new dependencies by descending new distance.
+    # ------------------------------------------------------------------ #
+    buckets: Dict[int, List[Vertex]] = {}
+    for vertex in region:
+        level = dist_new(vertex)
+        if level is not None:
+            buckets.setdefault(level, []).append(vertex)
+    new_delta: Dict[Vertex, float] = {}
+    for level in sorted(buckets, reverse=True):
+        for vertex in buckets[level]:
+            total = 0.0
+            vertex_sigma = sig_new(vertex)
+            for child in graph.out_neighbors(vertex):
+                if dist_new(child) != level + 1:
+                    continue
+                child_delta = (
+                    new_delta[child]
+                    if child in new_delta
+                    else old_delta.get(child, 0.0)
+                )
+                total += vertex_sigma / sig_new(child) * (1.0 + child_delta)
+            new_delta[vertex] = total
+
+    # ------------------------------------------------------------------ #
+    # Phase 3: fold the corrections into the global scores.
+    # ------------------------------------------------------------------ #
+    if plan.removed_edge_dependency is not None and plan.high is not None:
+        key = edge_key(plan.high, plan.low)
+        edge_scores[key] = edge_scores.get(key, 0.0) - plan.removed_edge_dependency
+
+    for vertex in region:
+        w_dist_new = dist_new(vertex)
+        w_dist_old = old_distance.get(vertex)
+        w_delta_new = new_delta.get(vertex, 0.0)
+        w_delta_old = old_delta.get(vertex, 0.0)
+        if vertex != source:
+            vertex_scores[vertex] = (
+                vertex_scores.get(vertex, 0.0) + w_delta_new - w_delta_old
+            )
+        for parent in graph.in_neighbors(vertex):
+            p_dist_new = dist_new(parent) if w_dist_new is not None else None
+            if p_dist_new is not None and p_dist_new + 1 == w_dist_new:
+                contribution = (
+                    sig_new(parent) / sig_new(vertex) * (1.0 + w_delta_new)
+                )
+                key = edge_key(parent, vertex)
+                edge_scores[key] = edge_scores.get(key, 0.0) + contribution
+            if w_dist_old is None or (parent, vertex) == excluded_old_edge:
+                continue
+            p_dist_old = old_distance.get(parent)
+            if p_dist_old is not None and p_dist_old + 1 == w_dist_old:
+                old_contribution = (
+                    old_sigma[parent] / old_sigma[vertex] * (1.0 + w_delta_old)
+                )
+                key = edge_key(parent, vertex)
+                edge_scores[key] = edge_scores.get(key, 0.0) - old_contribution
+
+    for vertex in plan.disconnected:
+        new_delta.pop(vertex, None)
+    return AccumulationResult(
+        new_delta=new_delta, vertices_touched=len(region)
     )

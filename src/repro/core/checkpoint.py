@@ -53,6 +53,9 @@ class FrameworkCheckpoint:
     #: Generation of the durable store at checkpoint time; resume refuses a
     #: store whose generation has moved on (the sidecar would be stale).
     store_generation: Optional[int] = None
+    #: Whether the checkpointed graph is directed (sidecars written before
+    #: directed support decode as ``False``, their only possibility).
+    directed: bool = False
 
 
 def save_checkpoint(path: PathLike, checkpoint: FrameworkCheckpoint) -> Path:
@@ -70,6 +73,7 @@ def save_checkpoint(path: PathLike, checkpoint: FrameworkCheckpoint) -> Path:
             "store_path": checkpoint.store_path,
             "snapshot": checkpoint.snapshot,
             "store_generation": checkpoint.store_generation,
+            "directed": checkpoint.directed,
         },
     )
     return path
@@ -87,4 +91,5 @@ def load_checkpoint(path: PathLike) -> FrameworkCheckpoint:
         store_path=payload["store_path"],
         snapshot=payload["snapshot"],
         store_generation=payload.get("store_generation"),
+        directed=bool(payload.get("directed", False)),
     )

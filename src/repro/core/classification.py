@@ -64,7 +64,13 @@ def classify(
 
     ``graph`` must already reflect the update (edge added or removed), since
     the removal case needs to inspect the *remaining* predecessors of ``uL``.
+
+    On a directed graph the endpoints cannot be reordered by distance: the
+    updated edge only ever carries paths ``u -> v``, so ``uH`` is always the
+    tail and ``uL`` always the head (see :func:`_classify_directed`).
     """
+    if graph.directed:
+        return _classify_directed(graph, data, update)
     u, v = update.endpoints
     du = data.distance.get(u)
     dv = data.distance.get(v)
@@ -105,6 +111,49 @@ def classify(
     if _has_other_predecessor(graph, data, low):
         return SourceClassification(UpdateCase.REMOVE_NO_STRUCTURE, high, low, dd)
     return SourceClassification(UpdateCase.REMOVE_STRUCTURAL, high, low, dd)
+
+
+def _classify_directed(
+    graph: Graph, data: SourceData, update: EdgeUpdate
+) -> SourceClassification:
+    """Directed-edge classification: the edge is oriented ``u -> v``.
+
+    Only paths traversing the edge in its own direction exist, so the roles
+    are fixed (``uH = u``, ``uL = v``) and ``dd = d(s, v) - d(s, u)`` may be
+    negative — any ``dd <= 0`` means the edge lies on no shortest path from
+    this source (the directed form of Proposition 3.1) and the source is
+    skipped.  An unreachable tail likewise guarantees a skip, whatever the
+    head's distance: no path from the source can enter the edge.
+    """
+    u, v = update.endpoints
+    du = data.distance.get(u)
+    dv = data.distance.get(v)
+
+    if du is None:
+        return SourceClassification(UpdateCase.SKIP)
+
+    if update.is_addition:
+        if dv is None:
+            # Head previously unreachable: structural, distances appear.
+            return SourceClassification(UpdateCase.ADD_STRUCTURAL, u, v, None)
+        dd = dv - du
+        if dd <= 0:
+            return SourceClassification(UpdateCase.SKIP, u, v, dd)
+        if dd == 1:
+            return SourceClassification(UpdateCase.ADD_NO_STRUCTURE, u, v, 1)
+        return SourceClassification(UpdateCase.ADD_STRUCTURAL, u, v, dd)
+
+    # Removal: with a reachable tail the head was reachable too while the
+    # edge existed (d(v) <= d(u) + 1); the edge carried shortest paths iff
+    # the difference is exactly one.
+    if dv is None:
+        return SourceClassification(UpdateCase.SKIP)
+    dd = dv - du
+    if dd != 1:
+        return SourceClassification(UpdateCase.SKIP, u, v, dd)
+    if _has_other_predecessor(graph, data, v):
+        return SourceClassification(UpdateCase.REMOVE_NO_STRUCTURE, u, v, 1)
+    return SourceClassification(UpdateCase.REMOVE_STRUCTURAL, u, v, 1)
 
 
 def _has_other_predecessor(graph: Graph, data: SourceData, low: Vertex) -> bool:

@@ -34,11 +34,7 @@ from repro.core.kernel import ArrayKernel
 from repro.core.result import BatchResult, SourceUpdateStats, UpdateResult
 from repro.core.source_update import update_source
 from repro.core.updates import EdgeUpdate, UpdateKind, batches, validate_batch
-from repro.exceptions import (
-    ConfigurationError,
-    DirectedGraphUnsupportedError,
-    UpdateError,
-)
+from repro.exceptions import ConfigurationError, UpdateError
 from repro.graph.graph import Graph
 from repro.storage.arrays import ArrayBDStore
 from repro.storage.base import BDStore
@@ -56,6 +52,29 @@ from repro.types import (
 from repro.utils.timing import Timer
 
 PathLike = Union[str, Path]
+
+
+def _check_store_orientation(store: Optional[BDStore], directed: bool) -> None:
+    """Refuse a store whose recorded orientation contradicts the graph's.
+
+    Stores that persist a directedness flag (the disk store's header bit,
+    the array store's constructor argument) expose it as a ``directed``
+    attribute; ``None`` means "orientation-agnostic" and is accepted.  A
+    mismatch would silently misinterpret every BD record — a directed
+    record set replayed with symmetric adjacency, or vice versa — so it is
+    rejected up front.
+    """
+    if store is None:
+        return
+    store_directed = getattr(store, "directed", None)
+    if store_directed is not None and store_directed != directed:
+        store_kind = "directed" if store_directed else "undirected"
+        graph_kind = "directed" if directed else "undirected"
+        raise ConfigurationError(
+            f"store records a {store_kind} graph but the framework graph is "
+            f"{graph_kind}; a store can only be resumed with the orientation "
+            "it was written with"
+        )
 
 
 class IncrementalBetweenness:
@@ -106,11 +125,7 @@ class IncrementalBetweenness:
         maintain_predecessors: bool = False,
         backend: str = "dicts",
     ) -> None:
-        if graph.directed:
-            raise DirectedGraphUnsupportedError(
-                "the incremental framework supports undirected graphs; "
-                "use repro.algorithms.brandes_betweenness for directed graphs"
-            )
+        _check_store_orientation(store, graph.directed)
         self._graph = graph.copy()
         self._backend = validate_backend(backend)
         self._kernel: Optional[ArrayKernel] = None
@@ -130,6 +145,7 @@ class IncrementalBetweenness:
                 else ArrayBDStore(
                     self._graph.vertex_list(),
                     row_capacity=len(source_list),
+                    directed=self._graph.directed,
                 )
             )
             self._kernel = ArrayKernel(self._graph, self._store)
@@ -226,10 +242,7 @@ class IncrementalBetweenness:
         backend: str = "dicts",
     ) -> "IncrementalBetweenness":
         """Instance with zeroed scores and no bootstrap (shared by resume paths)."""
-        if graph.directed:
-            raise DirectedGraphUnsupportedError(
-                "the incremental framework supports undirected graphs"
-            )
+        _check_store_orientation(store, graph.directed)
         self = cls.__new__(cls)
         self._graph = graph.copy()
         self._backend = validate_backend(backend)
@@ -240,7 +253,9 @@ class IncrementalBetweenness:
         if self._backend == "arrays":
             self._store = (
                 store if store is not None
-                else ArrayBDStore(self._graph.vertex_list())
+                else ArrayBDStore(
+                    self._graph.vertex_list(), directed=self._graph.directed
+                )
             )
             self._kernel = ArrayKernel(self._graph, self._store)
             self._vertex_scores = self._kernel.vertex_score_view()
@@ -314,6 +329,7 @@ class IncrementalBetweenness:
                 store_path=store_path,
                 snapshot=snapshot,
                 store_generation=store_generation,
+                directed=self._graph.directed,
             ),
         )
 
@@ -334,7 +350,7 @@ class IncrementalBetweenness:
         the sidecar (loaded into a fresh in-memory store).
         """
         ckpt = load_checkpoint(checkpoint_path)
-        graph = Graph()
+        graph = Graph(directed=ckpt.directed)
         for vertex in ckpt.vertices:
             graph.add_vertex(vertex)
         for u, v in ckpt.edges:
@@ -358,7 +374,9 @@ class IncrementalBetweenness:
                     )
             elif ckpt.snapshot is not None:
                 if backend == "arrays":
-                    store = ArrayBDStore(graph.vertex_list())
+                    store = ArrayBDStore(
+                        graph.vertex_list(), directed=graph.directed
+                    )
                 else:
                     store = InMemoryBDStore()
                 store.load_snapshot(ckpt.snapshot.values())
@@ -521,6 +539,8 @@ class IncrementalBetweenness:
     # Internals
     # ------------------------------------------------------------------ #
     def _edge_key(self, u: Vertex, v: Vertex) -> Edge:
+        if self._graph.directed:
+            return (u, v)
         return canonical_edge(u, v)
 
     # -- backend engine: graph mutation mirroring ----------------------- #
@@ -747,11 +767,27 @@ class IncrementalBetweenness:
         for update in batch:
             u, v = update.endpoints
             du, dv = self._store.endpoint_distances(source, u, v)
-            if du is None and dv is None:
-                continue
-            if du is None or dv is None or du != dv:
+            if not self._distances_skip(du, dv):
                 return False
         return True
+
+    def _distances_skip(self, du: Optional[int], dv: Optional[int]) -> bool:
+        """Proposition 3.1 on two stored endpoint distances.
+
+        Undirected: skip iff both endpoints sit on the same level (with
+        "unreachable" comparing equal to itself).  Directed (the edge is
+        oriented ``u -> v``): skip iff the tail is unreachable, or the head
+        is no farther than the tail (``dv <= du`` — the edge can neither
+        carry nor have carried a shortest path).  Both forms are exact for
+        every update kind: a skipped source's record is provably untouched.
+        """
+        if self._graph.directed:
+            if du is None:
+                return True
+            return dv is not None and dv <= du
+        if du is None and dv is None:
+            return True
+        return du is not None and dv is not None and du == dv
 
     def _replay_batch_for_source(
         self,
@@ -823,9 +859,7 @@ class IncrementalBetweenness:
     def _can_skip(self, source: Vertex, u: Vertex, v: Vertex) -> bool:
         """Cheap pre-check of Proposition 3.1 using only two stored distances."""
         du, dv = self._store.endpoint_distances(source, u, v)
-        if du is None and dv is None:
-            return True
-        return du is not None and dv is not None and du == dv
+        return self._distances_skip(du, dv)
 
     def _apply_graph_addition(self, u: Vertex, v: Vertex) -> None:
         if u == v:

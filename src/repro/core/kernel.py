@@ -73,6 +73,11 @@ def _slot_edge_key(i: int, j: int) -> Tuple[int, int]:
     return (i, j) if i <= j else (j, i)
 
 
+def _directed_slot_edge_key(i: int, j: int) -> Tuple[int, int]:
+    """Oriented slot-pair key for directed graphs (no canonicalisation)."""
+    return (i, j)
+
+
 # --------------------------------------------------------------------------- #
 # Flat (slot-indexed) BD records
 # --------------------------------------------------------------------------- #
@@ -221,18 +226,24 @@ class FlatSourceData:
 # Slot-space adapters handed to the shared repair machinery
 # --------------------------------------------------------------------------- #
 class _SlotGraphView:
-    """Undirected adjacency view over the CSR mirror (slots in, slots out)."""
+    """Adjacency view over the CSR mirror (slots in, slots out).
 
-    __slots__ = ("_csr",)
+    Exposes exactly what the shared repair machinery consumes: the two
+    neighbor directions and the ``directed`` flag the classifier branches
+    on.  For undirected mirrors both directions are the same lists.
+    """
+
+    __slots__ = ("_csr", "directed")
 
     def __init__(self, csr: CSRGraph) -> None:
         self._csr = csr
+        self.directed = csr.directed
 
     def out_neighbors(self, slot: int) -> List[int]:
         return self._csr.neighbors(slot)
 
     def in_neighbors(self, slot: int) -> List[int]:
-        return self._csr.neighbors(slot)
+        return self._csr.in_neighbors(slot)
 
 
 class _SlotVertexScores:
@@ -322,13 +333,17 @@ class LabelEdgeScores:
         u, v = key
         index = self._kernel.index
         try:
-            return _slot_edge_key(index.slot(u), index.slot(v))
+            return self._kernel.slot_edge_key(index.slot(u), index.slot(v))
         except Exception:
             raise KeyError(key) from None
 
     def _label_key(self, slot_key: Tuple[int, int]) -> Tuple[Vertex, Vertex]:
         index = self._kernel.index
-        return canonical_edge(index.vertex(slot_key[0]), index.vertex(slot_key[1]))
+        u = index.vertex(slot_key[0])
+        v = index.vertex(slot_key[1])
+        if self._kernel.directed:
+            return (u, v)
+        return canonical_edge(u, v)
 
     def __getitem__(self, key) -> float:
         slot_key = self._slot_key(key)
@@ -500,6 +515,11 @@ def _accumulate_levels(
     applies the per-(vertex, parent) contributions sequentially in that
     order — so every float lands on its accumulator in the same sequence
     as the dict implementation, keeping the sums bit-identical.
+
+    ``indptr`` / ``indices`` / ``edge_ids`` must be the CSR family the
+    scalar loop's ``graph.in_neighbors`` scan corresponds to: the shared
+    adjacency for undirected graphs, the predecessor mirror
+    (:meth:`~repro.graph.csr.CSRGraph.compiled_in`) for directed ones.
     """
     n = distance.shape[0]
     delta = np.zeros(n, dtype=DELTA_DTYPE)
@@ -544,6 +564,10 @@ class ArrayKernel:
             )
         self._store = store
         self.index: VertexIndex = index
+        self.directed: bool = graph.directed
+        self.slot_edge_key = (
+            _directed_slot_edge_key if graph.directed else _slot_edge_key
+        )
         for vertex in graph.vertices():
             if vertex not in index:
                 store.register_vertex(vertex)
@@ -625,7 +649,7 @@ class ArrayKernel:
             slot_update,
             self._slot_scores,
             self._escore,
-            _slot_edge_key,
+            self.slot_edge_key,
             predecessors=None,
         )
 
@@ -638,10 +662,12 @@ class ArrayKernel:
         """Sources the batch may affect, from one vectorized distance gather.
 
         Semantics are exactly those of the scalar per-(source, update) peek
-        (skip iff both endpoint distances are equal, with "unreachable"
-        compared as ``-1 == -1``); only the evaluation is batched.  Returns
-        ``None`` when the store cannot serve a distance block (buffered
-        disk mode), signalling the caller to fall back to scalar peeks.
+        — undirected: skip iff both endpoint distances are equal (with
+        "unreachable" compared as ``-1 == -1``); directed (edge ``u -> v``):
+        skip iff the tail is unreachable or the head is no farther than the
+        tail — only the evaluation is batched.  Returns ``None`` when the
+        store cannot serve a distance block (buffered disk mode),
+        signalling the caller to fall back to scalar peeks.
         """
         if not sources or not batch:
             return set()
@@ -655,7 +681,12 @@ class ArrayKernel:
             return None
         us = block[:, 0::2]
         vs = block[:, 1::2]
-        affected = (us != vs).any(axis=1)
+        if self.directed:
+            affected = (
+                (us != UNREACHABLE) & ((vs == UNREACHABLE) | (vs > us))
+            ).any(axis=1)
+        else:
+            affected = (us != vs).any(axis=1)
         return {source for source, hit in zip(sources, affected.tolist()) if hit}
 
     # ------------------------------------------------------------------ #
@@ -663,7 +694,11 @@ class ArrayKernel:
     # ------------------------------------------------------------------ #
     def bootstrap(self, sources: Iterable[Vertex]) -> None:
         """Run the modified Brandes over ``sources``, filling store and scores."""
-        indptr, indices, edge_ids, edge_pairs = self.csr.compiled()
+        indptr, indices, _edge_ids, edge_pairs = self.csr.compiled()
+        # The forward BFS follows out-links, the dependency accumulation
+        # scans in-links; for undirected graphs the in-CSR *is* the out-CSR
+        # (same arrays), so this stays bit-identical to the historical path.
+        in_indptr, in_indices, in_edge_ids = self.csr.compiled_in()
         n = self.csr.num_vertices
         self._sync_capacity()
         edge_scores = np.zeros(len(edge_pairs), dtype=np.float64)
@@ -675,7 +710,8 @@ class ArrayKernel:
                 indptr, indices, n, source_slot, scratch
             )
             delta = _accumulate_levels(
-                indptr, indices, edge_ids, distance, sigma, levels, edge_scores
+                in_indptr, in_indices, in_edge_ids, distance, sigma, levels,
+                edge_scores,
             )
             if len(levels) > 1:
                 reached = np.concatenate(levels[1:])
@@ -693,22 +729,21 @@ def brandes_betweenness_arrays(
     collect_source_data: bool = False,
 ) -> BrandesResult:
     """Vectorized equivalent of :func:`repro.algorithms.brandes.\
-brandes_betweenness` (predecessor-free variant, undirected graphs).
+brandes_betweenness` (predecessor-free variant, directed or undirected).
 
     Returns bit-identical scores to the dict implementation; see the module
-    docstring for why.  ``collect_source_data`` decodes each flat record
-    into a label-keyed :class:`SourceData`, which costs the dictionary
-    materialisation the kernel otherwise avoids — only ask for it when the
-    records are actually needed.
+    docstring for why.  Directed graphs run the forward sweep over the
+    out-CSR and the dependency accumulation over the predecessor mirror,
+    with edge scores keyed by the oriented ``(u, v)`` pair.
+    ``collect_source_data`` decodes each flat record into a label-keyed
+    :class:`SourceData`, which costs the dictionary materialisation the
+    kernel otherwise avoids — only ask for it when the records are
+    actually needed.
     """
-    if graph.directed:
-        raise ConfigurationError(
-            "the array kernel supports undirected graphs only; use "
-            "brandes_betweenness (dicts backend) for directed graphs"
-        )
     index = VertexIndex(graph.vertex_list())
     csr = CSRGraph.from_graph(graph, index)
-    indptr, indices, edge_ids, edge_pairs = csr.compiled()
+    indptr, indices, _edge_ids, edge_pairs = csr.compiled()
+    in_indptr, in_indices, in_edge_ids = csr.compiled_in()
     n = csr.num_vertices
     vscore = np.zeros(n, dtype=np.float64)
     edge_scores = np.zeros(len(edge_pairs), dtype=np.float64)
@@ -723,7 +758,8 @@ brandes_betweenness` (predecessor-free variant, undirected graphs).
             indptr, indices, n, source_slot, scratch
         )
         delta = _accumulate_levels(
-            indptr, indices, edge_ids, distance, sigma, levels, edge_scores
+            in_indptr, in_indices, in_edge_ids, distance, sigma, levels,
+            edge_scores,
         )
         if len(levels) > 1:
             reached = np.concatenate(levels[1:])
@@ -736,10 +772,16 @@ brandes_betweenness` (predecessor-free variant, undirected graphs).
         label: score
         for label, score in zip(index.vertices(), vscore.tolist())
     }
-    edge_score_dict = {
-        canonical_edge(index.vertex(i), index.vertex(j)): score
-        for (i, j), score in zip(edge_pairs, edge_scores.tolist())
-    }
+    if graph.directed:
+        edge_score_dict = {
+            (index.vertex(i), index.vertex(j)): score
+            for (i, j), score in zip(edge_pairs, edge_scores.tolist())
+        }
+    else:
+        edge_score_dict = {
+            canonical_edge(index.vertex(i), index.vertex(j)): score
+            for (i, j), score in zip(edge_pairs, edge_scores.tolist())
+        }
     return BrandesResult(
         vertex_scores=vertex_scores,
         edge_scores=edge_score_dict,

@@ -19,6 +19,7 @@ from repro.generators.random_graphs import (
     barabasi_albert_graph,
     complete_graph,
     cycle_graph,
+    erdos_renyi_digraph,
     erdos_renyi_graph,
     grid_graph,
     path_graph,
@@ -43,6 +44,7 @@ from repro.generators.datasets import (
 )
 
 __all__ = [
+    "erdos_renyi_digraph",
     "erdos_renyi_graph",
     "barabasi_albert_graph",
     "watts_strogatz_graph",

@@ -83,6 +83,27 @@ def erdos_renyi_graph(n: int, p: float, rng: RandomLike = None) -> Graph:
     return graph
 
 
+def erdos_renyi_digraph(n: int, p: float, rng: RandomLike = None) -> Graph:
+    """Directed G(n, p): every ordered pair ``(u, v)``, ``u != v``, is an
+    arc with probability ``p`` (antiparallel arcs are independent draws).
+
+    This is the directed workload generator used by the directed
+    equivalence suites and benchmarks — an extension beyond the paper's
+    (undirected) experiments.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"edge probability must be in [0, 1], got {p}")
+    generator = ensure_rng(rng)
+    graph = Graph(directed=True)
+    for vertex in range(n):
+        graph.add_vertex(vertex)
+    for u in range(n):
+        for v in range(n):
+            if u != v and generator.random() < p:
+                graph.add_edge(u, v)
+    return graph
+
+
 def barabasi_albert_graph(n: int, m: int, rng: RandomLike = None) -> Graph:
     """Barabási–Albert preferential-attachment graph.
 

@@ -17,11 +17,16 @@ from repro.types import Vertex
 def connected_components(graph: Graph) -> List[Set[Vertex]]:
     """Return the (weakly) connected components of ``graph``.
 
-    For directed graphs edge direction is ignored, i.e. weak connectivity is
-    computed.
+    For directed graphs edge direction is ignored — both out- and
+    in-neighbors are traversed, i.e. *weak* connectivity is computed.
+    (Treating a directed graph's adjacency as symmetric-by-assumption and
+    following only out-links would split a weakly connected digraph into
+    spurious components.)  The BFS visits out-links then in-links of every
+    vertex, each in insertion order, so discovery order is deterministic.
     """
     seen: Set[Vertex] = set()
     components: List[Set[Vertex]] = []
+    directed = graph.directed
     for start in graph.vertices():
         if start in seen:
             continue
@@ -30,14 +35,17 @@ def connected_components(graph: Graph) -> List[Set[Vertex]]:
         seen.add(start)
         while queue:
             vertex = queue.popleft()
-            neighbors = set(graph.out_neighbors(vertex))
-            if graph.directed:
-                neighbors |= set(graph.in_neighbors(vertex))
-            for neighbor in neighbors:
-                if neighbor not in seen:
-                    seen.add(neighbor)
-                    component.add(neighbor)
-                    queue.append(neighbor)
+            neighborhoods = (
+                (graph.out_neighbors(vertex), graph.in_neighbors(vertex))
+                if directed
+                else (graph.out_neighbors(vertex),)
+            )
+            for neighbors in neighborhoods:
+                for neighbor in neighbors:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        component.add(neighbor)
+                        queue.append(neighbor)
         components.append(component)
     return components
 

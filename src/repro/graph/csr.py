@@ -17,13 +17,18 @@ labels.  :class:`CSRGraph` is the graph structure behind it:
   of edge mutations between two vectorized accesses costs a single
   O(n + m) rebuild.
 
-The compiled form also carries per-directed-entry canonical edge ids
-(``edge_ids``), which lets the vectorized dependency accumulation fold a
-whole level's edge-betweenness contributions into a flat per-edge score
-array with one ``np.add.at`` instead of one dictionary update per DAG edge.
+The compiled form also carries per-entry edge ids (``edge_ids``), which
+lets the vectorized dependency accumulation fold a whole level's
+edge-betweenness contributions into a flat per-edge score array with one
+``np.add.at`` instead of one dictionary update per DAG edge.
 
-Only undirected graphs are supported — the incremental framework itself is
-undirected-only (Section 3 of the paper).
+Directed graphs keep a **predecessor mirror**: a second set of adjacency
+lists (and compiled ``in_indptr`` / ``in_indices`` / ``in_edge_ids``
+arrays) recording in-neighbors in the same insertion order as the label
+graph's ``_pred`` dictionaries.  The forward BFS walks the out-CSR and the
+dependency accumulation walks the in-CSR; for undirected graphs both
+mirrors are one and the same structure, so nothing changes for the
+existing undirected paths (same objects, same orders, same bits).
 """
 
 from __future__ import annotations
@@ -32,7 +37,6 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
 from repro.graph.graph import Graph
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -49,21 +53,37 @@ class CSRGraph:
     kernel) owns the mapping between labels and slots.  Mutations are O(1)
     amortized on the adjacency lists and invalidate the compiled arrays;
     the next access to :meth:`compiled` rebuilds them once.
+
+    When ``directed`` is true the successor and predecessor lists are
+    distinct (``adj`` holds out-neighbors, ``in_adj`` in-neighbors); when
+    false they are the *same* list objects, exactly like
+    :class:`~repro.graph.graph.Graph` aliasing ``_pred`` to ``_succ``.
     """
 
     __slots__ = (
+        "_directed",
         "_adj",
+        "_in_adj",
         "_num_edges",
         "_indptr",
         "_indices",
         "_edge_ids",
+        "_in_indptr",
+        "_in_indices",
+        "_in_edge_ids",
         "_edge_pairs",
         "_compiled",
         "rebuild_count",
     )
 
-    def __init__(self, num_vertices: int = 0) -> None:
+    def __init__(self, num_vertices: int = 0, directed: bool = False) -> None:
+        self._directed = directed
         self._adj: List[List[int]] = [[] for _ in range(num_vertices)]
+        # Aliasing keeps the undirected mirrors in lockstep with a single
+        # update, mirroring Graph's _pred-is-_succ trick.
+        self._in_adj: List[List[int]] = (
+            [[] for _ in range(num_vertices)] if directed else self._adj
+        )
         self._num_edges = 0
         self.rebuild_count = 0
         self._invalidate()
@@ -76,24 +96,34 @@ class CSRGraph:
         knows but the graph lacks (e.g. vertices registered for another
         worker's partition) become isolated slots.  Neighbor order is the
         graph's (insertion) order, so traversals of the mirror replay the
-        label graph's traversals exactly.
+        label graph's traversals exactly — out-lists mirror the successor
+        dictionaries and, for directed graphs, in-lists the predecessor
+        dictionaries.
         """
-        if graph.directed:
-            raise ConfigurationError(
-                "CSRGraph mirrors undirected graphs only (the incremental "
-                "framework does not support directed graphs)"
-            )
-        csr = cls(len(index))
+        csr = cls(len(index), directed=graph.directed)
         slot_of = {label: slot for slot, label in enumerate(index.vertices())}
         adj = csr._adj
         for label in graph.vertices():
             adj[slot_of[label]] = [slot_of[nbr] for nbr in graph.out_neighbors(label)]
-        csr._num_edges = sum(len(neighbors) for neighbors in adj) // 2
+        if graph.directed:
+            in_adj = csr._in_adj
+            for label in graph.vertices():
+                in_adj[slot_of[label]] = [
+                    slot_of[nbr] for nbr in graph.in_neighbors(label)
+                ]
+            csr._num_edges = sum(len(neighbors) for neighbors in adj)
+        else:
+            csr._num_edges = sum(len(neighbors) for neighbors in adj) // 2
         return csr
 
     # ------------------------------------------------------------------ #
     # Properties
     # ------------------------------------------------------------------ #
+    @property
+    def directed(self) -> bool:
+        """Whether the mirror is directed."""
+        return self._directed
+
     @property
     def num_vertices(self) -> int:
         """Number of slots (including isolated ones)."""
@@ -101,7 +131,7 @@ class CSRGraph:
 
     @property
     def num_edges(self) -> int:
-        """Number of undirected edges."""
+        """Number of edges (directed edges counted individually)."""
         return self._num_edges
 
     # ------------------------------------------------------------------ #
@@ -110,26 +140,27 @@ class CSRGraph:
     def add_vertex(self) -> int:
         """Append a new isolated slot and return it."""
         self._adj.append([])
+        if self._directed:
+            self._in_adj.append([])
         self._invalidate()
         return len(self._adj) - 1
 
     def ensure_vertices(self, count: int) -> None:
         """Grow to at least ``count`` slots (no-op when already that big)."""
         while len(self._adj) < count:
-            self._adj.append([])
-            self._invalidate()
+            self.add_vertex()
 
     def add_edge(self, i: int, j: int) -> None:
-        """Add the undirected edge ``(i, j)`` (caller guarantees absence)."""
+        """Add the edge ``(i, j)`` (``i -> j`` if directed; caller guarantees absence)."""
         self._adj[i].append(j)
-        self._adj[j].append(i)
+        self._in_adj[j].append(i)
         self._num_edges += 1
         self._invalidate()
 
     def remove_edge(self, i: int, j: int) -> None:
-        """Remove the undirected edge ``(i, j)`` (caller guarantees presence)."""
+        """Remove the edge ``(i, j)`` (``i -> j`` if directed; caller guarantees presence)."""
         self._adj[i].remove(j)
-        self._adj[j].remove(i)
+        self._in_adj[j].remove(i)
         self._num_edges -= 1
         self._invalidate()
 
@@ -137,15 +168,19 @@ class CSRGraph:
     # Access
     # ------------------------------------------------------------------ #
     def neighbors(self, i: int) -> List[int]:
-        """Neighbors of slot ``i`` in insertion order.  Do not mutate."""
+        """Out-neighbors of slot ``i`` in insertion order.  Do not mutate."""
         return self._adj[i]
 
+    def in_neighbors(self, i: int) -> List[int]:
+        """In-neighbors of slot ``i`` (same list as :meth:`neighbors` when undirected)."""
+        return self._in_adj[i]
+
     def degree(self, i: int) -> int:
-        """Degree of slot ``i``."""
+        """Out-degree of slot ``i``."""
         return len(self._adj[i])
 
     def has_edge(self, i: int, j: int) -> bool:
-        """Whether the undirected edge ``(i, j)`` is present."""
+        """Whether the edge ``(i, j)`` (``i -> j`` if directed) is present."""
         return j in self._adj[i]
 
     # ------------------------------------------------------------------ #
@@ -156,41 +191,73 @@ class CSRGraph:
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[Tuple[int, int]]]:
         """Return ``(indptr, indices, edge_ids, edge_pairs)``, rebuilding if stale.
 
-        ``indices[indptr[i]:indptr[i + 1]]`` are the neighbors of slot
-        ``i`` in insertion order; ``edge_ids`` maps every directed entry to
-        its canonical undirected edge id, and ``edge_pairs[e]`` is the
-        canonical ``(min, max)`` slot pair of edge ``e``.  Edge ids are
-        assigned in first-encounter order scanning slots ascending, which
-        matches the first-encounter order of
-        :meth:`repro.graph.graph.Graph.edges` on the mirrored label graph.
+        ``indices[indptr[i]:indptr[i + 1]]`` are the out-neighbors of slot
+        ``i`` in insertion order; ``edge_ids`` maps every entry to its edge
+        id, and ``edge_pairs[e]`` is the slot pair of edge ``e`` — the
+        canonical ``(min, max)`` pair for undirected graphs, the oriented
+        ``(tail, head)`` pair for directed ones.  Edge ids are assigned in
+        first-encounter order scanning slots ascending, which matches the
+        first-encounter order of :meth:`repro.graph.graph.Graph.edges` on
+        the mirrored label graph.
         """
         if not self._compiled:
             self._rebuild()
         return self._indptr, self._indices, self._edge_ids, self._edge_pairs
+
+    def compiled_in(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(in_indptr, in_indices, in_edge_ids)``, rebuilding if stale.
+
+        ``in_indices[in_indptr[i]:in_indptr[i + 1]]`` are the in-neighbors
+        of slot ``i`` in insertion order and ``in_edge_ids`` maps every
+        entry ``p -> i`` to the id of that edge in :meth:`compiled`'s
+        numbering.  For undirected graphs these are the *same arrays* as
+        the out-CSR (shared adjacency), so existing undirected callers see
+        identical objects.
+        """
+        if not self._compiled:
+            self._rebuild()
+        return self._in_indptr, self._in_indices, self._in_edge_ids
 
     def _invalidate(self) -> None:
         self._compiled = False
         self._indptr: Optional[np.ndarray] = None
         self._indices: Optional[np.ndarray] = None
         self._edge_ids: Optional[np.ndarray] = None
+        self._in_indptr: Optional[np.ndarray] = None
+        self._in_indices: Optional[np.ndarray] = None
+        self._in_edge_ids: Optional[np.ndarray] = None
         self._edge_pairs: List[Tuple[int, int]] = []
 
-    def _rebuild(self) -> None:
-        n = len(self._adj)
+    def _compile_lists(
+        self, lists: List[List[int]]
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """CSR-compile one family of adjacency lists (no edge ids yet)."""
+        n = len(lists)
         degrees = np.fromiter(
-            (len(neighbors) for neighbors in self._adj), dtype=INDEX_DTYPE, count=n
+            (len(neighbors) for neighbors in lists), dtype=INDEX_DTYPE, count=n
         )
         indptr = np.zeros(n + 1, dtype=INDEX_DTYPE)
         np.cumsum(degrees, out=indptr[1:])
         total = int(indptr[-1])
         indices = np.empty(total, dtype=INDEX_DTYPE)
+        cursor = 0
+        for neighbors in lists:
+            for j in neighbors:
+                indices[cursor] = j
+                cursor += 1
+        return indptr, indices, total
+
+    def _rebuild(self) -> None:
+        indptr, indices, total = self._compile_lists(self._adj)
         edge_ids = np.empty(total, dtype=INDEX_DTYPE)
         id_of: Dict[Tuple[int, int], int] = {}
         cursor = 0
         for i, neighbors in enumerate(self._adj):
             for j in neighbors:
-                indices[cursor] = j
-                pair = (i, j) if i <= j else (j, i)
+                if self._directed:
+                    pair = (i, j)
+                else:
+                    pair = (i, j) if i <= j else (j, i)
                 edge_id = id_of.get(pair)
                 if edge_id is None:
                     edge_id = len(id_of)
@@ -201,8 +268,24 @@ class CSRGraph:
         self._indices = indices
         self._edge_ids = edge_ids
         self._edge_pairs = list(id_of)
+        if self._directed:
+            in_indptr, in_indices, in_total = self._compile_lists(self._in_adj)
+            in_edge_ids = np.empty(in_total, dtype=INDEX_DTYPE)
+            cursor = 0
+            for j, parents in enumerate(self._in_adj):
+                for i in parents:
+                    in_edge_ids[cursor] = id_of[(i, j)]
+                    cursor += 1
+            self._in_indptr = in_indptr
+            self._in_indices = in_indices
+            self._in_edge_ids = in_edge_ids
+        else:
+            self._in_indptr = indptr
+            self._in_indices = indices
+            self._in_edge_ids = edge_ids
         self._compiled = True
         self.rebuild_count += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<CSRGraph |V|={self.num_vertices} |E|={self.num_edges}>"
+        kind = "directed" if self._directed else "undirected"
+        return f"<CSRGraph {kind} |V|={self.num_vertices} |E|={self.num_edges}>"

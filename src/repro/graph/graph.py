@@ -1,10 +1,11 @@
 """A mutable, unweighted graph with insertion-ordered adjacency storage.
 
-The class supports both undirected and directed graphs.  The incremental
-betweenness framework operates on undirected graphs (as in all of the
-paper's experiments); the static algorithms and the substrate itself also
-work on directed graphs, following out-links during search and in-links
-during backtracking as described in Section 3 of the paper.
+The class supports both undirected and directed graphs.  The paper's
+experiments are all undirected, but the full stack — static algorithms,
+the incremental framework with either compute backend, the stores and the
+parallel drivers — also operates on directed graphs, following out-links
+during search and in-links during dependency accumulation as described in
+Section 3 of the paper.
 
 Design notes
 ------------

@@ -56,7 +56,7 @@ WORKER_STORES = ("memory", "disk")
 # --------------------------------------------------------------------------- #
 def _build_worker_framework(payload: dict) -> IncrementalBetweenness:
     """Reconstruct this worker's graph, store and restricted framework."""
-    graph = Graph()
+    graph = Graph(directed=payload.get("directed", False))
     for vertex in payload["vertices"]:
         graph.add_vertex(vertex)
     for u, v in payload["edges"]:
@@ -70,7 +70,9 @@ def _build_worker_framework(payload: dict) -> IncrementalBetweenness:
         # dicts backend keeps the classic dict-of-records store.
         store = None if backend == "arrays" else InMemoryBDStore()
     elif store_kind == "disk":
-        store = DiskBDStore(graph.vertex_list(), sources=sources)
+        store = DiskBDStore(
+            graph.vertex_list(), sources=sources, directed=graph.directed
+        )
     else:  # pragma: no cover - validated by the driver
         raise ConfigurationError(f"unknown worker store {store_kind!r}")
 
@@ -293,6 +295,7 @@ class ProcessParallelBetweenness:
             payload = {
                 "vertices": vertices,
                 "edges": edges,
+                "directed": self._graph.directed,
                 "sources": sources,
                 "store": store,
                 "backend": backend,

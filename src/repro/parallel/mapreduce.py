@@ -70,7 +70,9 @@ class MapReduceBetweenness:
     ----------
     graph:
         Initial graph, replicated on every mapper (distributed-cache step of
-        Figure 4).
+        Figure 4).  Directed graphs are supported: the copy every mapper's
+        restricted framework receives preserves the orientation, and the
+        reducer sums oriented edge keys.
     num_mappers:
         Number of partitions / workers.
     store_factory:

@@ -95,6 +95,7 @@ def simulate_online_updates(
     framework: Optional[IncrementalBetweenness] = None,
     time_scale: float = 1.0,
     batch_size: int = 1,
+    backend: str = "dicts",
 ) -> OnlineReplayResult:
     """Replay timestamped ``updates`` on ``graph`` and account for deadlines.
 
@@ -125,6 +126,9 @@ def simulate_online_updates(
         A batch starts processing only once its last member has arrived, so
         batching trades per-update latency for amortised ``BD`` sweeps; the
         per-update records account for that waiting honestly.
+    backend:
+        Compute backend (``"dicts"`` or ``"arrays"``) of the framework
+        built here; ignored when an existing ``framework`` is passed in.
 
     Notes
     -----
@@ -138,7 +142,11 @@ def simulate_online_updates(
         raise ConfigurationError(f"num_mappers must be >= 1, got {num_mappers}")
     _check_batch_size(batch_size)
     arrivals = _relative_arrivals(updates, time_scale)
-    ibc = framework if framework is not None else IncrementalBetweenness(graph)
+    ibc = (
+        framework
+        if framework is not None
+        else IncrementalBetweenness(graph, backend=backend)
+    )
 
     def measure(chunk: Sequence[EdgeUpdate]) -> float:
         outcome = ibc.apply_updates(chunk)
@@ -162,6 +170,7 @@ def replay_online_updates_parallel(
     store: str = "memory",
     use_cpu_time: bool = True,
     source_store_path=None,
+    backend: str = "dicts",
 ) -> OnlineReplayResult:
     """Measured online replay on the real process-parallel executor.
 
@@ -188,6 +197,9 @@ def replay_online_updates_parallel(
         Optional durable :class:`~repro.storage.disk.DiskBDStore` file each
         worker reopens to seed its partition's records, skipping the Brandes
         bootstrap (see :class:`ProcessParallelBetweenness`).
+    backend:
+        Compute backend every worker runs its partition on (``"dicts"`` or
+        ``"arrays"``), forwarded to :class:`ProcessParallelBetweenness`.
     """
     _check_batch_size(batch_size)
     arrivals = _relative_arrivals(updates, time_scale)
@@ -196,6 +208,7 @@ def replay_online_updates_parallel(
         num_workers=num_workers,
         store=store,
         source_store_path=source_store_path,
+        backend=backend,
     ) as cluster:
 
         def measure(chunk: Sequence[EdgeUpdate]) -> float:

@@ -70,6 +70,12 @@ class ArrayBDStore(BDStore):
         it will own (the framework does) passes it to avoid incremental
         row growth during the bootstrap; otherwise rows grow geometrically
         on demand.
+    directed:
+        Declared orientation of the graph the records describe, or ``None``
+        (default) for orientation-agnostic.  No layout changes either way —
+        the flag only lets the framework refuse pairing the store with a
+        graph of the other orientation, mirroring the disk store's header
+        bit.
     """
 
     def __init__(
@@ -78,7 +84,9 @@ class ArrayBDStore(BDStore):
         capacity: Optional[int] = None,
         sources: Optional[Iterable[Vertex]] = (),
         row_capacity: Optional[int] = None,
+        directed: Optional[bool] = None,
     ) -> None:
+        self.directed = directed
         self._index = VertexIndex(vertices)
         initial = len(self._index)
         if capacity is None:

@@ -65,6 +65,7 @@ from repro.storage.codec import (
     record_size,
 )
 from repro.storage.header import (
+    FLAG_DIRECTED,
     HEADER_SIZE,
     encode_metadata,
     metadata_crc,
@@ -104,6 +105,11 @@ class DiskBDStore(BDStore):
     use_mmap:
         Map the record area and serve record loads as zero-copy numpy views
         (default).  ``False`` selects the buffered seek/read path.
+    directed:
+        Orientation of the graph the records will describe.  Persisted as a
+        header flag bit; :meth:`open` restores it and the framework refuses
+        to pair the store with a graph of the other orientation (the record
+        layout is identical either way, but the records' *meaning* is not).
     """
 
     def __init__(
@@ -113,6 +119,7 @@ class DiskBDStore(BDStore):
         capacity: Optional[int] = None,
         sources: Optional[Iterable[Vertex]] = None,
         use_mmap: bool = True,
+        directed: bool = False,
     ) -> None:
         index = VertexIndex(vertices)
         # Every vertex gets a column slot; only sources get a meaningful
@@ -158,6 +165,7 @@ class DiskBDStore(BDStore):
             source_set=source_set,
             owns_file=owns_file,
             use_mmap=use_mmap,
+            directed=directed,
         )
         self._format_file()
         self._setup_maps()
@@ -196,6 +204,7 @@ class DiskBDStore(BDStore):
             source_set=set(layout.sources),
             owns_file=False,
             use_mmap=use_mmap,
+            directed=layout.directed,
         )
         self._generation = layout.generation
         self._setup_maps()
@@ -227,6 +236,7 @@ class DiskBDStore(BDStore):
         source_set: Set[Vertex],
         owns_file: bool,
         use_mmap: bool,
+        directed: bool = False,
     ) -> None:
         """Initialise instance state shared by ``__init__`` and ``open``."""
         self._path = path
@@ -236,6 +246,7 @@ class DiskBDStore(BDStore):
         self._source_set = source_set
         self._owns_file = owns_file
         self._use_mmap = use_mmap
+        self._directed = directed
         self._closed = False
         self._bytes_read = 0
         self._bytes_written = 0
@@ -267,6 +278,11 @@ class DiskBDStore(BDStore):
     def capacity(self) -> int:
         """Number of vertex slots currently allocated per record."""
         return self._capacity
+
+    @property
+    def directed(self) -> bool:
+        """Orientation recorded in the store header (and enforced on resume)."""
+        return self._directed
 
     @property
     def uses_mmap(self) -> bool:
@@ -531,6 +547,9 @@ class DiskBDStore(BDStore):
     def _record_offset(self, slot: int) -> int:
         return HEADER_SIZE + slot * self._record_bytes
 
+    def _header_flags(self) -> int:
+        return FLAG_DIRECTED if self._directed else 0
+
     def _setup_maps(self) -> None:
         """(Re)create the mmap and the three strided column views."""
         self._record_bytes = record_size(self._capacity)
@@ -589,7 +608,11 @@ class DiskBDStore(BDStore):
         )
         self._file.seek(0)
         self._file.truncate()
-        self._file.write(pack_header(self._capacity, len(meta), metadata_crc(meta)))
+        self._file.write(
+            pack_header(
+                self._capacity, len(meta), metadata_crc(meta), self._header_flags()
+            )
+        )
         empty = empty_record(self._capacity)
         distance_offset, sigma_offset, _ = column_offsets(self._capacity)
         for slot in range(self._capacity):
@@ -630,7 +653,11 @@ class DiskBDStore(BDStore):
         self._file.truncate()
         self._file.write(meta)
         self._file.seek(0)
-        self._file.write(pack_header(self._capacity, len(meta), metadata_crc(meta)))
+        self._file.write(
+            pack_header(
+                self._capacity, len(meta), metadata_crc(meta), self._header_flags()
+            )
+        )
         self._file.flush()
         self._bytes_written += len(meta) + HEADER_SIZE
 
@@ -699,7 +726,11 @@ class DiskBDStore(BDStore):
 
         sibling = self._path.with_name(self._path.name + ".grow")
         with open(sibling, "w+b") as out:
-            out.write(pack_header(new_capacity, len(meta), metadata_crc(meta)))
+            out.write(
+                pack_header(
+                    new_capacity, len(meta), metadata_crc(meta), self._header_flags()
+                )
+            )
             for slot in range(new_capacity):
                 if (
                     slot < old_vertex_count

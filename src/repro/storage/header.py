@@ -44,6 +44,15 @@ _HEADER_STRUCT = struct.Struct("<4sHHQQI")
 #: Size in bytes of the fixed header; records start at this offset.
 HEADER_SIZE = 64
 
+#: Header flag bit: the store's records describe a *directed* graph.  A
+#: record file carries no orientation of its own (BD records are per-source
+#: either way), so this bit is what stops a directed store from being
+#: resumed as undirected (or vice versa) and silently misread.
+FLAG_DIRECTED = 0x1
+
+#: All header flag bits this build understands; anything else is rejected.
+KNOWN_FLAGS = FLAG_DIRECTED
+
 
 @dataclass
 class StoreLayout:
@@ -55,23 +64,27 @@ class StoreLayout:
     #: Bumped on the first record mutation of each store session, so
     #: checkpoints can detect that a store changed after they were written.
     generation: int = 0
+    #: Orientation of the graph the records describe (header flag bit).
+    directed: bool = False
 
 
-def pack_header(capacity: int, meta_size: int, meta_crc: int) -> bytes:
+def pack_header(
+    capacity: int, meta_size: int, meta_crc: int, flags: int = 0
+) -> bytes:
     """Pack the fixed header (padded to :data:`HEADER_SIZE` bytes)."""
     packed = _HEADER_STRUCT.pack(
-        STORE_MAGIC, STORE_VERSION, 0, capacity, meta_size, meta_crc
+        STORE_MAGIC, STORE_VERSION, flags, capacity, meta_size, meta_crc
     )
     return packed.ljust(HEADER_SIZE, b"\x00")
 
 
-def unpack_header(raw: bytes) -> Tuple[int, int, int]:
-    """Decode the fixed header; return ``(capacity, meta_size, meta_crc)``."""
+def unpack_header(raw: bytes) -> Tuple[int, int, int, int]:
+    """Decode the fixed header; return ``(capacity, meta_size, meta_crc, flags)``."""
     if len(raw) < HEADER_SIZE:
         raise StoreCorruptedError(
             f"file too short for a store header: {len(raw)} of {HEADER_SIZE} bytes"
         )
-    magic, version, _flags, capacity, meta_size, meta_crc = _HEADER_STRUCT.unpack(
+    magic, version, flags, capacity, meta_size, meta_crc = _HEADER_STRUCT.unpack(
         raw[: _HEADER_STRUCT.size]
     )
     if magic != STORE_MAGIC:
@@ -83,7 +96,12 @@ def unpack_header(raw: bytes) -> Tuple[int, int, int]:
             f"store format version {version} is not supported "
             f"(this build reads version {STORE_VERSION})"
         )
-    return capacity, meta_size, meta_crc
+    if flags & ~KNOWN_FLAGS:
+        raise StoreVersionError(
+            f"store header carries unknown flag bits {flags:#06x} "
+            f"(this build understands {KNOWN_FLAGS:#06x})"
+        )
+    return capacity, meta_size, meta_crc, flags
 
 
 def encode_metadata(
@@ -139,7 +157,7 @@ def read_layout(fileobj, file_size: int, record_size_of) -> StoreLayout:
         keep this module independent of the codec).
     """
     fileobj.seek(0)
-    capacity, meta_size, meta_crc = unpack_header(fileobj.read(HEADER_SIZE))
+    capacity, meta_size, meta_crc, flags = unpack_header(fileobj.read(HEADER_SIZE))
     meta_offset = HEADER_SIZE + capacity * record_size_of(capacity)
     if file_size < meta_offset + meta_size:
         raise StoreCorruptedError(
@@ -164,7 +182,11 @@ def read_layout(fileobj, file_size: int, record_size_of) -> StoreLayout:
             f"metadata lists sources outside the vertex index: {sorted(map(repr, unknown))}"
         )
     return StoreLayout(
-        capacity=capacity, vertices=vertices, sources=sources, generation=generation
+        capacity=capacity,
+        vertices=vertices,
+        sources=sources,
+        generation=generation,
+        directed=bool(flags & FLAG_DIRECTED),
     )
 
 

@@ -82,6 +82,49 @@ class TestGirvanNewman:
         assert result.edges_processed == 10
 
 
+class TestDirectedModularity:
+    def test_directed_two_communities_value(self):
+        # Two directed 2-cycles joined by one arc: m = 5 directed edges.
+        g = Graph.from_edges(
+            [(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)], directed=True
+        )
+        partition = [{0, 1}, {2, 3}]
+        # Leicht-Newman: sum_c [m_c/m - d_out_c * d_in_c / m^2]
+        # community A: m_c=2, d_out=3 (0->1,1->0,1->2), d_in=2
+        # community B: m_c=2, d_out=2, d_in=3
+        expected = (2 / 5 - 3 * 2 / 25) + (2 / 5 - 2 * 3 / 25)
+        assert modularity(g, partition) == pytest.approx(expected)
+
+    def test_directed_differs_from_symmetrised_formula(self):
+        # An orientation-skewed partition: the undirected formula would
+        # treat both communities alike; the directed null model must not.
+        g = Graph.from_edges(
+            [(0, 1), (0, 2), (0, 3), (1, 0), (4, 0)], directed=True
+        )
+        lopsided = modularity(g, [{0, 1}, {2, 3, 4}])
+        m = g.num_edges
+        # Hand-computed: A has m_c=2, d_out=4, d_in=3; B has m_c=0,
+        # d_out=1, d_in=2.
+        assert lopsided == pytest.approx((2 / m - 12 / m**2) + (0 - 2 / m**2))
+
+    def test_whole_graph_partition_is_zero_ish(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0)], directed=True)
+        # One community holding everything: m_c/m = 1 and the null term is
+        # d_out*d_in/m^2 = m*m/m^2 = 1, so Q = 0 exactly.
+        assert modularity(g, [{0, 1, 2}]) == pytest.approx(0.0)
+
+    def test_girvan_newman_runs_on_directed_graph(self):
+        # Two weakly-knit directed triangles with a single bridge arc.
+        edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]
+        g = Graph.from_edges(edges, directed=True)
+        result = girvan_newman(g, max_removals=3, use_incremental=True)
+        baseline = girvan_newman(g, max_removals=3, use_incremental=False)
+        # The incremental and recompute drivers must remove the very same
+        # arc sequence and discover the same (weak-connectivity) splits.
+        assert result.removed_edges == baseline.removed_edges
+        assert result.num_levels == baseline.num_levels >= 1
+
+
 class TestTopKMonitor:
     def test_snapshots_track_updates(self, two_communities):
         monitor = TopKMonitor(two_communities, k=3)
@@ -110,3 +153,48 @@ class TestTopKMonitor:
     def test_invalid_k(self, two_communities):
         with pytest.raises(ConfigurationError):
             TopKMonitor(two_communities, k=0)
+
+    def test_heap_ranking_matches_full_sort(self, two_communities):
+        """Regression: nlargest-style selection == the old full-sort path."""
+        monitor = TopKMonitor(two_communities, k=3)
+        stream = [
+            EdgeUpdate.addition(0, 6),
+            EdgeUpdate.removal(3, 4),
+            EdgeUpdate.addition(2, 5),
+        ]
+        for update in stream:
+            snapshot = monitor.process(update)
+            for ranked, scores in (
+                (snapshot.top_vertices, monitor._framework.vertex_betweenness()),
+                (snapshot.top_edges, monitor._framework.edge_betweenness()),
+            ):
+                full_sort = tuple(
+                    sorted(
+                        scores.items(), key=lambda item: (-item[1], repr(item[0]))
+                    )[: monitor.k]
+                )
+                assert ranked == full_sort
+
+    def test_backend_kwarg_gives_identical_snapshots(self, two_communities):
+        stream = [EdgeUpdate.addition(0, 6), EdgeUpdate.removal(3, 4)]
+        snapshots = {}
+        for backend in ("dicts", "arrays"):
+            monitor = TopKMonitor(two_communities, k=4, backend=backend)
+            monitor.process_stream(stream)
+            snapshots[backend] = monitor.snapshots
+        assert snapshots["dicts"] == snapshots["arrays"]
+
+    def test_store_kwarg_is_used(self, two_communities, tmp_path):
+        from repro.storage import DiskBDStore
+
+        store = DiskBDStore(
+            two_communities.vertex_list(), path=tmp_path / "topk.bin"
+        )
+        monitor = TopKMonitor(two_communities, k=2, store=store)
+        try:
+            assert monitor._framework.store is store
+            assert monitor.top_vertices() == TopKMonitor(
+                two_communities, k=2
+            ).top_vertices()
+        finally:
+            store.close()

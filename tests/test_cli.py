@@ -126,6 +126,73 @@ class TestCommands:
         with pytest.raises(StoreExistsError):
             run_cli(capsys, *args)
 
+    def test_speedup_arrays_backend(self, capsys):
+        """Regression: the PR-3 arrays kernel is reachable from the CLI."""
+        code, out = run_cli(
+            capsys,
+            "speedup", "--dataset", "synthetic-1k", "--vertices", "60",
+            "--edges", "2", "--kind", "add", "--backend", "arrays",
+        )
+        assert code == 0
+        assert "per-edge speedups" in out
+
+    def test_speedup_do_arrays_backend_with_resume(self, capsys, tmp_path):
+        store = tmp_path / "bd.bin"
+        checkpoint = tmp_path / "ck.bin"
+        code, out = run_cli(
+            capsys,
+            "speedup", "--dataset", "synthetic-1k", "--vertices", "40",
+            "--edges", "2", "--variant", "DO", "--backend", "arrays",
+            "--store-path", str(store), "--checkpoint", str(checkpoint),
+        )
+        assert code == 0
+        assert store.exists() and checkpoint.exists()
+
+        code, out = run_cli(
+            capsys,
+            "resume", "--checkpoint", str(checkpoint), "--edges", "2",
+            "--verify", "--backend", "arrays",
+        )
+        assert code == 0
+        assert "match" in out and "MISMATCH" not in out
+
+    def test_online_simulated_arrays_backend(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "online", "--dataset", "synthetic-1k", "--vertices", "40",
+            "--edges", "2", "--mappers", "1", "--backend", "arrays",
+        )
+        assert code == 0
+        assert "missed" in out
+
+    def test_console_entry_point_accepts_backend(self):
+        """`python -m repro.cli` (the console script body) takes --backend."""
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli",
+                "speedup", "--dataset", "synthetic-1k", "--vertices", "40",
+                "--edges", "1", "--backend", "arrays",
+            ],
+            capture_output=True, text=True, env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "per-edge speedups" in proc.stdout
+
+    def test_invalid_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(
+                capsys,
+                "speedup", "--dataset", "synthetic-1k", "--vertices", "40",
+                "--backend", "numpy",
+            )
+
     def test_online_store_path_requires_workers(self, capsys, tmp_path):
         with pytest.raises(SystemExit):
             run_cli(

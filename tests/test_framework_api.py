@@ -4,7 +4,6 @@ import pytest
 
 from repro.algorithms import brandes_betweenness
 from repro.core import EdgeUpdate, IncrementalBetweenness
-from repro.exceptions import DirectedGraphUnsupportedError
 from repro.graph import Graph
 from repro.storage import DiskBDStore, InMemoryBDStore
 from repro.storage.partition import partition_sources
@@ -14,11 +13,14 @@ from tests.helpers import assert_framework_matches_recompute, assert_scores_equa
 
 
 class TestConstruction:
-    def test_directed_graph_rejected(self):
+    def test_directed_graph_accepted(self):
         g = Graph(directed=True)
         g.add_edge(0, 1)
-        with pytest.raises(DirectedGraphUnsupportedError):
-            IncrementalBetweenness(g)
+        g.add_edge(1, 2)
+        ibc = IncrementalBetweenness(g)
+        reference = brandes_betweenness(g)
+        assert ibc.vertex_betweenness() == reference.vertex_scores
+        assert ibc.edge_betweenness() == reference.edge_scores
 
     def test_initial_scores_match_brandes(self, two_triangles_bridge):
         ibc = IncrementalBetweenness(two_triangles_bridge)

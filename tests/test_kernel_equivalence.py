@@ -230,14 +230,19 @@ class TestBrandesArraysBackend:
         assert scalar.vertex_scores == vector.vertex_scores
         assert scalar.edge_scores == vector.edge_scores
 
-    def test_arrays_rejects_predecessors_and_directed(self):
+    def test_arrays_rejects_predecessors(self):
         graph = Graph.from_edges([(0, 1)])
         with pytest.raises(ConfigurationError):
             brandes_betweenness(graph, backend="arrays", keep_predecessors=True)
+
+    def test_arrays_accepts_directed(self):
         directed = Graph(directed=True)
         directed.add_edge(0, 1)
-        with pytest.raises(ConfigurationError):
-            brandes_betweenness(directed, backend="arrays")
+        directed.add_edge(1, 2)
+        scalar = brandes_betweenness(directed)
+        vector = brandes_betweenness(directed, backend="arrays")
+        assert scalar.vertex_scores == vector.vertex_scores
+        assert scalar.edge_scores == vector.edge_scores
 
 
 class TestCSRMirror:

@@ -27,6 +27,7 @@ from repro.storage.header import (
     STORE_MAGIC,
     encode_metadata,
     metadata_crc,
+    FLAG_DIRECTED,
     pack_header,
     unpack_header,
 )
@@ -47,7 +48,16 @@ class TestHeader:
     def test_pack_unpack_round_trip(self):
         raw = pack_header(capacity=37, meta_size=120, meta_crc=0xDEADBEEF)
         assert len(raw) == HEADER_SIZE
-        assert unpack_header(raw) == (37, 120, 0xDEADBEEF)
+        assert unpack_header(raw) == (37, 120, 0xDEADBEEF, 0)
+
+    def test_directed_flag_round_trip(self):
+        raw = pack_header(4, 0, 0, flags=FLAG_DIRECTED)
+        assert unpack_header(raw) == (4, 0, 0, FLAG_DIRECTED)
+
+    def test_unknown_flags_rejected(self):
+        raw = pack_header(4, 0, 0, flags=0x80)
+        with pytest.raises(StoreVersionError):
+            unpack_header(raw)
 
     def test_short_header_rejected(self):
         with pytest.raises(StoreCorruptedError):
