@@ -12,7 +12,8 @@ The script
 1. generates a synthetic social graph (the Table 2 stand-in) and assigns
    synthetic arrival timestamps to its edges,
 2. bootstraps the framework on the first 90% of the edge history,
-3. replays the remaining arrivals through a :class:`TopKMonitor`,
+3. replays the remaining arrivals through a session with a
+   :class:`~repro.api.TopKTracker` subscriber,
 4. reports the top-k churn and, using the paper's capacity model
    (tU = tS * n/p + tM), the number of mappers required to process updates
    faster than they arrive.
@@ -22,7 +23,7 @@ Run with:  python examples/evolving_social_network.py
 
 from __future__ import annotations
 
-from repro.applications import TopKMonitor
+from repro import BetweennessConfig, BetweennessSession, TopKTracker
 from repro.generators import synthetic_social_graph
 from repro.generators.streams import EvolvingGraph
 from repro.parallel import OnlineCapacityModel, simulate_online_updates
@@ -44,12 +45,16 @@ def main() -> None:
     )
 
     # --- leader monitoring -------------------------------------------------
-    monitor = TopKMonitor(base, k=TOP_K)
-    print("\ninitial leaders:", [v for v, _ in monitor.top_vertices()])
-    for update in arrivals:
-        snapshot = monitor.process(update)
-    print("final leaders:  ", [v for v, _ in snapshot.top_vertices])
-    churn = monitor.ranking_churn()
+    # The tracker is an event subscriber: one session pass keeps the top-k
+    # ranking (and anything else subscribed) up to date.
+    session = BetweennessSession(base, BetweennessConfig.for_graph(base))
+    tracker = session.subscribe(TopKTracker(k=TOP_K))
+    print("\ninitial leaders:", [v for v, _ in tracker.top_vertices()])
+    for _ in session.stream(arrivals):
+        pass
+    print("final leaders:  ", [v for v, _ in tracker.snapshots[-1].top_vertices])
+    churn = tracker.ranking_churn()
+    session.close()
     print(
         f"top-{TOP_K} churn per arrival: total {sum(churn)} entries/exits over "
         f"{len(churn)} arrivals"

@@ -1,14 +1,18 @@
 #!/usr/bin/env python3
 """Out-of-core storage and partitioned (MapReduce-style) execution.
 
-Demonstrates the two scalability mechanisms of Section 5:
+Demonstrates the two scalability mechanisms of Section 5 — both driven
+through the unified session API, where they are just different
+:class:`~repro.api.BetweennessConfig` values:
 
-* the per-source betweenness data ``BD[.]`` lives in a columnar binary file
-  on disk (the "DO" configuration); updates read each source's record
-  sequentially, peek at just two distances to skip unaffected sources
-  (Proposition 3.1), and write repaired records back in place;
-* the source set is partitioned across several "mappers", each maintaining
-  partial scores over its own slice; the reducer sums the partials.
+* ``store="disk:///..."`` puts the per-source betweenness data ``BD[.]`` in
+  a columnar binary file on disk (the "DO" configuration); updates read
+  each source's record sequentially, peek at just two distances to skip
+  unaffected sources (Proposition 3.1), and write repaired records back in
+  place;
+* ``executor="mapreduce"`` partitions the source set across several
+  "mappers", each maintaining partial scores over its own slice; the
+  reducer sums the partials.
 
 Run with:  python examples/out_of_core_and_parallel.py
 """
@@ -18,10 +22,9 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro import DiskBDStore, IncrementalBetweenness
+from repro import BetweennessConfig, BetweennessSession
 from repro.algorithms import brandes_betweenness
 from repro.generators import addition_stream, removal_stream, synthetic_social_graph
-from repro.parallel import MapReduceBetweenness
 from repro.storage.codec import record_size
 
 NUM_VERTICES = 120
@@ -31,58 +34,67 @@ NUM_MAPPERS = 4
 def out_of_core_demo(graph) -> None:
     print("=== out-of-core (DO) configuration ===")
     with tempfile.TemporaryDirectory() as tmp:
-        store = DiskBDStore(graph.vertex_list(), path=Path(tmp) / "bd.bin")
-        framework = IncrementalBetweenness(graph, store=store)
-        print(
-            f"BD[.] file: {store.path.name}, capacity {store.capacity} vertices, "
-            f"{record_size(store.capacity)} bytes per source record"
+        config = BetweennessConfig.for_graph(
+            graph, store=f"disk:{Path(tmp) / 'bd.bin'}"
         )
-        read_before, written_before = store.bytes_read, store.bytes_written
+        with BetweennessSession(graph, config) as session:
+            store = session.framework.store
+            print(
+                f"BD[.] file: {store.path.name}, capacity {store.capacity} "
+                f"vertices, {record_size(store.capacity)} bytes per source record"
+            )
+            read_before, written_before = store.bytes_read, store.bytes_written
 
-        updates = addition_stream(graph, 3, rng=1) + removal_stream(graph, 3, rng=2)
-        skipped = processed = 0
-        for update in updates:
-            result = framework.apply(update)
-            skipped += result.sources_skipped
-            processed += result.sources_processed
-        print(
-            f"applied {len(updates)} updates: skipped {skipped}/{processed} "
-            f"source visits via the dd == 0 peek"
-        )
-        print(
-            f"disk traffic: {(store.bytes_read - read_before) / 1e6:.2f} MB read, "
-            f"{(store.bytes_written - written_before) / 1e6:.2f} MB written"
-        )
+            updates = addition_stream(graph, 3, rng=1) + removal_stream(
+                graph, 3, rng=2
+            )
+            skipped = processed = 0
+            for update in updates:
+                result = session.apply(update)
+                skipped += result.sources_skipped
+                processed += result.sources_processed
+            print(
+                f"applied {len(updates)} updates: skipped {skipped}/{processed} "
+                f"source visits via the dd == 0 peek"
+            )
+            print(
+                f"disk traffic: {(store.bytes_read - read_before) / 1e6:.2f} MB "
+                f"read, {(store.bytes_written - written_before) / 1e6:.2f} MB "
+                "written"
+            )
 
-        reference = brandes_betweenness(framework.graph)
-        worst = max(
-            abs(framework.vertex_score(v) - reference.vertex_scores[v])
-            for v in framework.graph.vertices()
-        )
-        print(f"max difference vs. from-scratch Brandes: {worst:.2e}")
-        store.close()
+            reference = brandes_betweenness(session.graph)
+            scores = session.vertex_betweenness()
+            worst = max(
+                abs(scores[v] - reference.vertex_scores[v])
+                for v in session.graph.vertices()
+            )
+            print(f"max difference vs. from-scratch Brandes: {worst:.2e}")
 
 
 def mapreduce_demo(graph) -> None:
     print("\n=== partitioned (MapReduce) execution ===")
-    cluster = MapReduceBetweenness(graph, num_mappers=NUM_MAPPERS)
-    sizes = [len(p) for p in cluster.partitions]
-    print(f"{NUM_MAPPERS} mappers, partition sizes: {sizes}")
+    config = BetweennessConfig.for_graph(
+        graph, executor="mapreduce", workers=NUM_MAPPERS
+    )
+    with BetweennessSession(graph, config) as session:
+        sizes = [len(p) for p in session.engine.partitions]
+        print(f"{NUM_MAPPERS} mappers, partition sizes: {sizes}")
 
-    updates = addition_stream(graph, 4, rng=3)
-    for update in updates:
-        report = cluster.apply(update)
-        print(
-            f"update {update.endpoints}: cluster wall-clock "
-            f"{1000 * report.wall_clock_seconds:.1f} ms "
-            f"(cumulative {1000 * report.cumulative_seconds:.1f} ms across mappers, "
-            f"merge {1000 * report.merge_seconds:.1f} ms)"
-        )
+        updates = addition_stream(graph, 4, rng=3)
+        for update in updates:
+            report = session.apply(update)
+            print(
+                f"update {update.endpoints}: cluster wall-clock "
+                f"{1000 * report.wall_clock_seconds:.1f} ms "
+                f"(cumulative {1000 * report.cumulative_seconds:.1f} ms across "
+                f"mappers, merge {1000 * report.merge_seconds:.1f} ms)"
+            )
 
-    reference = brandes_betweenness(cluster.mappers[0].graph)
-    reduced = cluster.vertex_betweenness()
-    worst = max(abs(reduced[v] - reference.vertex_scores[v]) for v in reduced)
-    print(f"reduced scores match from-scratch Brandes within {worst:.2e}")
+        reference = brandes_betweenness(session.graph)
+        reduced = session.vertex_betweenness()
+        worst = max(abs(reduced[v] - reference.vertex_scores[v]) for v in reduced)
+        print(f"reduced scores match from-scratch Brandes within {worst:.2e}")
 
 
 def main() -> None:

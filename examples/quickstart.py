@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Quickstart: maintain vertex and edge betweenness while a graph evolves.
 
-Builds a small "two communities + bridge" graph, bootstraps the incremental
-framework (Step 1 of the paper), then streams a few edge additions and
+Builds a small "two communities + bridge" graph, opens a
+:class:`~repro.api.BetweennessSession` (the unified entry point — Step 1 of
+the paper runs during the bootstrap), then streams a few edge additions and
 removals (Step 2) while printing the most central vertices and edges after
 each update.  Every printed score is exact — identical to recomputing
 Brandes' algorithm from scratch on the current graph — but obtained at a
@@ -13,7 +14,7 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import Graph, IncrementalBetweenness
+from repro import BetweennessConfig, BetweennessSession, EdgeUpdate, Graph
 from repro.algorithms import brandes_betweenness
 
 
@@ -27,12 +28,10 @@ def build_initial_graph() -> Graph:
     return Graph.from_edges(edges)
 
 
-def print_top(framework: IncrementalBetweenness, title: str, k: int = 3) -> None:
+def print_top(session: BetweennessSession, title: str, k: int = 3) -> None:
     print(f"\n--- {title} ---")
-    vertices = sorted(
-        framework.vertex_betweenness().items(), key=lambda item: -item[1]
-    )[:k]
-    edges = sorted(framework.edge_betweenness().items(), key=lambda item: -item[1])[:k]
+    vertices = session.top_k(k)
+    edges = session.top_k(k, edges=True)
     print("top vertices:", ", ".join(f"{v}={score:.1f}" for v, score in vertices))
     print("top edges:   ", ", ".join(f"{e}={score:.1f}" for e, score in edges))
 
@@ -41,36 +40,36 @@ def main() -> None:
     graph = build_initial_graph()
     print(f"initial graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
 
-    # Step 1: one offline Brandes run builds the per-source data BD[s].
-    framework = IncrementalBetweenness(graph)
-    print_top(framework, "initial betweenness (bridge 3-4 dominates)")
+    # One declarative config drives everything: backend, store, batching.
+    config = BetweennessConfig.for_graph(graph, store="memory://")
+    with BetweennessSession(graph, config) as session:
+        print_top(session, "initial betweenness (bridge 3-4 dominates)")
 
-    # Step 2: stream updates; each one repairs only the affected state.
-    updates = [
-        ("add", 0, 7),     # a second bridge between the communities
-        ("add", 1, 5),     # and a third
-        ("remove", 3, 4),  # the original bridge disappears
-        ("add", 8, 0),     # a brand-new vertex joins the left community
-    ]
-    for kind, u, v in updates:
-        if kind == "add":
-            result = framework.add_edge(u, v)
-        else:
-            result = framework.remove_edge(u, v)
-        print_top(framework, f"after {kind} ({u}, {v})")
-        print(
-            f"    sources skipped: {result.sources_skipped}/{result.sources_processed}"
-            f" ({100 * result.skip_fraction:.0f}%), "
-            f"update took {1000 * (result.elapsed_seconds or 0):.2f} ms"
+        # Step 2: stream updates; each one repairs only the affected state.
+        updates = [
+            EdgeUpdate.addition(0, 7),     # a second bridge between the communities
+            EdgeUpdate.addition(1, 5),     # and a third
+            EdgeUpdate.removal(3, 4),      # the original bridge disappears
+            EdgeUpdate.addition(8, 0),     # a brand-new vertex joins the left side
+        ]
+        for update in updates:
+            result = session.apply(update)
+            kind = "add" if update.is_addition else "remove"
+            print_top(session, f"after {kind} {update.endpoints}")
+            print(
+                f"    sources skipped: {result.sources_skipped}/"
+                f"{result.sources_processed}"
+                f" ({100 * result.skip_fraction:.0f}%), "
+                f"update took {1000 * (result.elapsed_seconds or 0):.2f} ms"
+            )
+
+        # Sanity: the maintained scores equal a from-scratch recomputation.
+        reference = brandes_betweenness(session.graph)
+        scores = session.vertex_betweenness()
+        worst = max(
+            abs(scores[v] - reference.vertex_scores[v]) for v in scores
         )
-
-    # Sanity: the maintained scores equal a from-scratch recomputation.
-    reference = brandes_betweenness(framework.graph)
-    worst = max(
-        abs(framework.vertex_score(v) - reference.vertex_scores[v])
-        for v in framework.graph.vertices()
-    )
-    print(f"\nmax difference vs. from-scratch Brandes: {worst:.2e}")
+        print(f"\nmax difference vs. from-scratch Brandes: {worst:.2e}")
 
 
 if __name__ == "__main__":

@@ -12,6 +12,7 @@ from repro.analysis.speedup import (
     build_framework,
     measure_brandes_seconds,
     measure_stream_speedups,
+    variant_config,
 )
 from repro.analysis.tables import (
     format_table,
@@ -33,6 +34,7 @@ __all__ = [
     "Variant",
     "SpeedupSeries",
     "build_framework",
+    "variant_config",
     "measure_brandes_seconds",
     "measure_stream_speedups",
     "format_table",

@@ -16,12 +16,13 @@ from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
 from repro.algorithms.brandes import brandes_betweenness
+from repro.api.config import BetweennessConfig
+from repro.api.session import BetweennessSession
 from repro.core.framework import IncrementalBetweenness
 from repro.core.result import UpdateResult
 from repro.core.updates import EdgeUpdate, batches
 from repro.exceptions import ConfigurationError
 from repro.graph.graph import Graph
-from repro.storage.disk import DiskBDStore
 from repro.utils.stats import SummaryStats, empirical_cdf, summarize
 from repro.utils.timing import Timer, timed
 
@@ -39,6 +40,41 @@ class Variant(enum.Enum):
     MP = "MP"
     MO = "MO"
     DO = "DO"
+
+
+def variant_config(
+    variant: Variant = Variant.MO,
+    directed: bool = False,
+    backend: str = "dicts",
+    batch_size: int = 1,
+    disk_path: Optional[Path] = None,
+    checkpoint_path: Optional[Path] = None,
+) -> BetweennessConfig:
+    """Translate one of the paper's MP / MO / DO variants into a config.
+
+    MP maintains predecessor lists in memory, MO is the in-memory
+    no-predecessor configuration, DO stores the records out of core (at
+    ``disk_path``, or a temporary file when absent).  The returned config is
+    a plain :class:`~repro.api.config.BetweennessConfig` — everything else
+    (store URI resolution, session construction) goes through the unified
+    service layer.
+    """
+    if not isinstance(variant, Variant):
+        raise ConfigurationError(f"unknown variant {variant!r}")
+    if variant is not Variant.DO and disk_path is not None:
+        raise ConfigurationError("disk_path only applies to the DO variant")
+    if variant is Variant.DO:
+        store = f"disk:{disk_path}" if disk_path is not None else "disk://"
+    else:
+        store = "memory://"
+    return BetweennessConfig(
+        backend=backend,
+        directed=directed,
+        batch_size=batch_size,
+        store=store,
+        maintain_predecessors=variant is Variant.MP,
+        checkpoint_path=str(checkpoint_path) if checkpoint_path else None,
+    )
 
 
 def build_framework(
@@ -59,20 +95,12 @@ def build_framework(
 
     ``backend`` selects the compute kernel (``"dicts"`` or ``"arrays"``)
     for the MO and DO variants; MP exists only in the dicts backend (the
-    framework itself rejects the combination).
+    config layer rejects the combination).
     """
-    if variant is Variant.MP:
-        return IncrementalBetweenness(
-            graph, maintain_predecessors=True, backend=backend
-        )
-    if variant is Variant.MO:
-        return IncrementalBetweenness(graph, backend=backend)
-    if variant is Variant.DO:
-        store = DiskBDStore(
-            graph.vertex_list(), path=disk_path, directed=graph.directed
-        )
-        return IncrementalBetweenness(graph, store=store, backend=backend)
-    raise ConfigurationError(f"unknown variant {variant!r}")
+    config = variant_config(
+        variant, directed=graph.directed, backend=backend, disk_path=disk_path
+    )
+    return BetweennessSession(graph, config).framework
 
 
 def measure_brandes_seconds(
@@ -126,6 +154,7 @@ def measure_stream_speedups(
     batch_size: int = 1,
     checkpoint_path: Optional[Path] = None,
     backend: str = "dicts",
+    config: Optional[BetweennessConfig] = None,
 ) -> SpeedupSeries:
     """Apply ``updates`` with the chosen variant and record per-edge speedups.
 
@@ -161,27 +190,48 @@ def measure_stream_speedups(
         Compute backend of the measured framework (``"dicts"`` or
         ``"arrays"``); the Brandes baseline always runs the dicts path so
         the denominator stays comparable across backends.
+    config:
+        A fully resolved :class:`~repro.api.config.BetweennessConfig` to
+        run under (the CLI passes one).  When given, it takes precedence
+        over the individual ``variant`` / ``disk_path`` / ``batch_size`` /
+        ``checkpoint_path`` / ``backend`` knobs, which remain as
+        conveniences for direct callers.
     """
-    if batch_size < 1:
-        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    if config is None:
+        config = variant_config(
+            variant,
+            directed=graph.directed,
+            backend=backend,
+            batch_size=batch_size,
+            disk_path=disk_path,
+            checkpoint_path=checkpoint_path,
+        )
+    if config.executor != "serial":
+        # The speedup experiment measures the serial framework (the MP/MO/DO
+        # variants of Figure 5) and reads serial result shapes; a parallel
+        # config would crash deep inside instead of failing clearly here.
+        raise ConfigurationError(
+            "measure_stream_speedups runs the serial executor only; use "
+            "`repro online --workers N` (or BetweennessSession directly) "
+            f"for parallel measurements, got executor={config.executor!r}"
+        )
     if baseline_seconds is None:
         baseline_seconds = measure_brandes_seconds(graph, repeats=baseline_repeats)
-    framework = build_framework(graph, variant, disk_path=disk_path, backend=backend)
     series = SpeedupSeries(
         label=label, variant=variant, baseline_seconds=baseline_seconds
     )
-    try:
-        if batch_size == 1:
+    with BetweennessSession(graph, config) as session:
+        if config.batch_size == 1:
             for update in updates:
-                result, elapsed = timed(framework.apply, update)
+                result, elapsed = timed(session.apply, update)
                 series.results.append(result)
                 series.update_seconds.append(elapsed)
                 series.speedups.append(
                     baseline_seconds / elapsed if elapsed > 0 else float("inf")
                 )
         else:
-            for chunk in batches(updates, batch_size):
-                batch_result, elapsed = timed(framework.apply_updates, chunk)
+            for chunk in batches(updates, config.batch_size):
+                batch_result, elapsed = timed(session.apply_batch, chunk)
                 per_update = elapsed / len(chunk)
                 for result in batch_result.results:
                     series.results.append(result)
@@ -191,8 +241,6 @@ def measure_stream_speedups(
                         if per_update > 0
                         else float("inf")
                     )
-        if checkpoint_path is not None:
-            framework.checkpoint(checkpoint_path)
-    finally:
-        framework.store.close()
+        if config.checkpoint_path is not None:
+            session.checkpoint()
     return series

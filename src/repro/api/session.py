@@ -1,0 +1,545 @@
+"""The unified session facade: one entry point for every execution mode.
+
+:class:`BetweennessSession` is the single public way to run the system.  It
+takes an initial graph plus a declarative
+:class:`~repro.api.config.BetweennessConfig` and hides, behind one stable
+surface, everything PRs 1–4 grew underneath: the serial framework (in
+memory, columnar or out of core), the batched update pipeline, the real
+multiprocessing executor and the simulated MapReduce cluster.  Adding a new
+backend, store or executor is a registry/config change — no call site ever
+threads a new kwarg again.
+
+The session is also *event-driven*: every update, batch, checkpoint and
+shutdown is published to subscribers (:mod:`repro.api.events`), which is
+how top-k monitoring and the online-replay deadline accounting are layered
+on top without reimplementing the update loop.
+
+Typical use::
+
+    from repro import BetweennessConfig, BetweennessSession
+
+    config = BetweennessConfig(backend="arrays", store="disk:///data/bd.bin",
+                               batch_size=32, checkpoint_path="/data/ck.bin")
+    with BetweennessSession(graph, config) as session:
+        for event in session.stream(updates):
+            print(event.batch_index, session.top_k(3))
+        session.checkpoint()
+
+    # later, a different process — no flags, the config travels inside:
+    session = resume_session("/data/ck.bin")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.api.config import BetweennessConfig
+from repro.api.events import (
+    BatchApplied,
+    BootstrapCompleted,
+    CheckpointWritten,
+    SessionClosed,
+    SessionEvent,
+    Subscriber,
+    UpdateApplied,
+)
+from repro.core.checkpoint import load_checkpoint
+from repro.core.framework import IncrementalBetweenness
+from repro.core.updates import EdgeUpdate, batches
+from repro.exceptions import ConfigurationError
+from repro.graph.graph import Graph
+from repro.parallel.executor import ProcessParallelBetweenness
+from repro.parallel.mapreduce import MapReduceBetweenness
+from repro.storage.base import BDStore
+from repro.storage.disk import DiskBDStore
+from repro.storage.factory import create_store, parse_store_uri
+from repro.types import Edge, EdgeScores, Vertex, VertexScores
+from repro.utils.stats import top_k_items
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """Immutable copy of a session's observable state at one moment."""
+
+    sequence: int
+    num_vertices: int
+    num_edges: int
+    vertex_scores: VertexScores
+    edge_scores: EdgeScores
+
+    def top_vertices(self, k: int) -> Tuple[Tuple[Vertex, float], ...]:
+        """The ``k`` highest-betweenness vertices of this snapshot."""
+        return tuple(top_k_items(self.vertex_scores.items(), k))
+
+    def top_edges(self, k: int) -> Tuple[Tuple[Edge, float], ...]:
+        """The ``k`` highest-betweenness edges of this snapshot."""
+        return tuple(top_k_items(self.edge_scores.items(), k))
+
+
+class BetweennessSession:
+    """Facade over every execution mode, driven by one declarative config.
+
+    Parameters
+    ----------
+    graph:
+        Initial graph.  Its orientation must match ``config.directed``.
+    config:
+        The declarative configuration; defaults to
+        ``BetweennessConfig.for_graph(graph)`` (serial, in-memory, dicts).
+    store:
+        Escape hatch for callers that already hold a live
+        :class:`~repro.storage.base.BDStore` (the deprecation shims and
+        some tests); overrides the config's store URI.  Serial executor
+        only.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[BetweennessConfig] = None,
+        store: Optional[BDStore] = None,
+        subscribers: Sequence[Subscriber] = (),
+    ) -> None:
+        if config is None:
+            config = BetweennessConfig.for_graph(graph)
+        if config.directed != graph.directed:
+            graph_kind = "directed" if graph.directed else "undirected"
+            config_kind = "directed" if config.directed else "undirected"
+            raise ConfigurationError(
+                f"config declares a {config_kind} graph but the given graph "
+                f"is {graph_kind}; set BetweennessConfig(directed=...) to "
+                "match (or use BetweennessConfig.for_graph)"
+            )
+        self._config = config
+        self._subscribers: List[Subscriber] = []
+        self._sequence = 0
+        self._batch_index = 0
+        self._batches_since_checkpoint = 0
+        self._closed = False
+        self._framework: Optional[IncrementalBetweenness] = None
+        self._cluster = None
+        # Registered before the bootstrap runs, so constructor-passed
+        # subscribers are the ones that can observe BootstrapCompleted.
+        for subscriber in subscribers:
+            self.subscribe(subscriber)
+
+        if config.executor == "serial":
+            if store is None:
+                store = create_store(
+                    config.store,
+                    graph.vertex_list(),
+                    directed=graph.directed,
+                    backend=config.backend,
+                )
+            self._framework = IncrementalBetweenness(
+                graph,
+                store=store,
+                backend=config.backend,
+                maintain_predecessors=config.maintain_predecessors,
+            )
+        elif store is not None:
+            raise ConfigurationError(
+                "an explicit store object is only supported by the serial "
+                "executor (parallel executors build per-worker stores)"
+            )
+        elif config.executor == "process":
+            self._cluster = ProcessParallelBetweenness(
+                graph,
+                num_workers=config.workers,
+                store=self._worker_store_kind(config.store),
+                source_store_path=config.seed_store_path,
+                backend=config.backend,
+            )
+        else:  # mapreduce — validated by the config
+            self._cluster = MapReduceBetweenness(
+                graph,
+                num_mappers=config.workers,
+                store_factory=self._mapper_store_factory(config.store),
+                backend=config.backend,
+            )
+        engine = self._framework if self._framework is not None else self._cluster
+        self._emit(
+            BootstrapCompleted,
+            num_vertices=engine.graph.num_vertices,
+            num_edges=engine.graph.num_edges,
+            num_sources=(
+                self._framework.num_sources
+                if self._framework is not None
+                else engine.graph.num_vertices
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Alternative constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_framework(
+        cls,
+        framework: IncrementalBetweenness,
+        config: Optional[BetweennessConfig] = None,
+        subscribers: Sequence[Subscriber] = (),
+    ) -> "BetweennessSession":
+        """Wrap an existing serial engine instance in a session.
+
+        Used by the resume path and the deprecation shims; the framework is
+        adopted as-is (no copy, no re-bootstrap), so the caller must not
+        keep driving it directly.
+        """
+        if config is None:
+            config = BetweennessConfig(
+                backend=framework.backend, directed=framework.graph.directed
+            )
+        self = cls.__new__(cls)
+        self._config = config
+        self._subscribers = []
+        self._sequence = 0
+        self._batch_index = 0
+        self._batches_since_checkpoint = 0
+        self._closed = False
+        self._framework = framework
+        self._cluster = None
+        for subscriber in subscribers:
+            self.subscribe(subscriber)
+        self._emit(
+            BootstrapCompleted,
+            num_vertices=framework.graph.num_vertices,
+            num_edges=framework.graph.num_edges,
+            num_sources=framework.num_sources,
+        )
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> BetweennessConfig:
+        """The session's (frozen) configuration."""
+        return self._config
+
+    @property
+    def graph(self) -> Graph:
+        """The engine's current view of the graph (do not mutate)."""
+        return self._engine().graph
+
+    @property
+    def framework(self) -> IncrementalBetweenness:
+        """The underlying serial engine (serial executor only)."""
+        if self._framework is None:
+            raise ConfigurationError(
+                f"the {self._config.executor!r} executor has no single "
+                "serial framework instance"
+            )
+        return self._framework
+
+    @property
+    def engine(self) -> Any:
+        """Whatever engine the config selected (framework or cluster)."""
+        return self._engine()
+
+    # ------------------------------------------------------------------ #
+    # Subscriptions
+    # ------------------------------------------------------------------ #
+    def subscribe(self, subscriber: Subscriber) -> Subscriber:
+        """Register a subscriber for all future events; returns it.
+
+        Accepts a plain callable taking one event, or any object exposing
+        ``on_event(event)`` (and optionally ``attach(session)``) — the
+        :class:`~repro.api.events.SessionSubscriber` protocol is duck-typed
+        so subscribers need no import of this package.
+        """
+        if hasattr(subscriber, "on_event"):
+            attach = getattr(subscriber, "attach", None)
+            if attach is not None:
+                attach(self)
+        elif not callable(subscriber):
+            raise ConfigurationError(
+                "subscriber must be callable or expose on_event(event), got "
+                f"{type(subscriber).__name__}"
+            )
+        self._subscribers.append(subscriber)
+        return subscriber
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        """Remove a previously registered subscriber (no-op when absent)."""
+        try:
+            self._subscribers.remove(subscriber)
+        except ValueError:
+            pass
+
+    def _emit(self, event_type, **fields) -> SessionEvent:
+        event = event_type(sequence=self._sequence, **fields)
+        self._sequence += 1
+        for subscriber in list(self._subscribers):
+            handler = getattr(subscriber, "on_event", None)
+            if handler is not None:
+                handler(event)
+            else:
+                subscriber(event)
+        return event
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def add_edge(self, u: Vertex, v: Vertex):
+        """Add one edge and refresh all scores; emits :class:`UpdateApplied`."""
+        return self.apply(EdgeUpdate.addition(u, v))
+
+    def remove_edge(self, u: Vertex, v: Vertex):
+        """Remove one edge and refresh all scores; emits :class:`UpdateApplied`."""
+        return self.apply(EdgeUpdate.removal(u, v))
+
+    def apply(self, update: EdgeUpdate):
+        """Apply a single update; returns the engine's result object."""
+        self._ensure_open()
+        result = self._engine().apply(update)
+        self._emit(UpdateApplied, update=update, result=result)
+        return result
+
+    def apply_batch(self, updates: Iterable[EdgeUpdate]):
+        """Apply one batch in a single source sweep; emits :class:`BatchApplied`.
+
+        Under the serial executor this is the batched pipeline
+        (:meth:`IncrementalBetweenness.apply_updates
+        <repro.core.framework.IncrementalBetweenness.apply_updates>`); under
+        ``process`` the batch is broadcast to the workers; under
+        ``mapreduce`` (which models per-update cluster rounds) the batch is
+        applied update by update and the result is the tuple of per-update
+        reports.
+        """
+        return self._apply_batch(list(updates))[0]
+
+    def _apply_batch(self, batch: List[EdgeUpdate]):
+        """Shared batch path; returns ``(engine_result, emitted_event)``.
+
+        The event is threaded back explicitly (rather than re-read from any
+        mutable "last event" state) because subscribers may emit further
+        events — e.g. a checkpoint — while handling this one.
+        """
+        self._ensure_open()
+        if self._framework is not None:
+            result = self._framework.apply_updates(batch)
+        elif isinstance(self._cluster, ProcessParallelBetweenness):
+            result = self._cluster.apply_batch(batch)
+        else:
+            result = tuple(self._cluster.apply(update) for update in batch)
+        batch_index = self._batch_index
+        self._batch_index += 1
+        event = self._emit(
+            BatchApplied,
+            updates=tuple(batch),
+            result=result,
+            batch_index=batch_index,
+        )
+        return result, event
+
+    def stream(
+        self,
+        updates: Iterable[EdgeUpdate],
+        batch_size: Optional[int] = None,
+    ) -> Iterator[BatchApplied]:
+        """Apply a stream in batches, yielding one event per batch (lazy).
+
+        This is the only batching loop in the system: the stream is chunked
+        into batches of ``batch_size`` (default: the config's) and each
+        chunk goes through :meth:`apply_batch`.  When the config sets a
+        checkpoint policy (``checkpoint_every`` + ``checkpoint_path``), a
+        checkpoint is written automatically every that many batches.
+
+        The generator is lazy — iterate it to drive the stream::
+
+            for event in session.stream(updates):
+                ...  # scores are current here; event.result has the stats
+        """
+        if batch_size is None:
+            batch_size = self._config.batch_size
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        for chunk in batches(updates, batch_size):
+            _, event = self._apply_batch(list(chunk))
+            self._batches_since_checkpoint += 1
+            if (
+                self._config.checkpoint_every is not None
+                and self._batches_since_checkpoint >= self._config.checkpoint_every
+            ):
+                self.checkpoint()
+                self._batches_since_checkpoint = 0
+            yield event
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def vertex_betweenness(self) -> VertexScores:
+        """Current (merged) vertex betweenness scores."""
+        return self._engine().vertex_betweenness()
+
+    def edge_betweenness(self) -> EdgeScores:
+        """Current (merged) edge betweenness scores."""
+        return self._engine().edge_betweenness()
+
+    def top_k(
+        self, k: int = 10, edges: bool = False
+    ) -> Tuple[Tuple[Any, float], ...]:
+        """The ``k`` most central vertices (or edges) as ``(item, score)``."""
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        scores = self.edge_betweenness() if edges else self.vertex_betweenness()
+        return tuple(top_k_items(scores.items(), k))
+
+    def snapshot(self) -> SessionSnapshot:
+        """An immutable copy of graph size and both score dictionaries."""
+        graph = self._engine().graph
+        return SessionSnapshot(
+            sequence=self._sequence,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            vertex_scores=self.vertex_betweenness(),
+            edge_scores=self.edge_betweenness(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / resume
+    # ------------------------------------------------------------------ #
+    def checkpoint(self, path: Optional[PathLike] = None) -> Path:
+        """Write a checkpoint sidecar with the session config embedded.
+
+        ``path`` defaults to the config's ``checkpoint_path``.  Because the
+        config travels inside the sidecar, :func:`resume_session` needs
+        nothing but the path — no flags, no kwargs.  Serial executor only
+        (a parallel session's state lives in per-worker stores).
+        """
+        self._ensure_open()
+        if self._framework is None:
+            raise ConfigurationError(
+                "checkpoint() requires the serial executor; collect scores "
+                "with snapshot() instead, or run serial sessions for "
+                "durable state"
+            )
+        if path is None:
+            path = self._config.checkpoint_path
+        if path is None:
+            raise ConfigurationError(
+                "no checkpoint path: pass one explicitly or set "
+                "BetweennessConfig.checkpoint_path"
+            )
+        written = self._framework.checkpoint(path, config=self._config.to_dict())
+        self._emit(CheckpointWritten, path=str(written))
+        return written
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the engine (stores, worker processes); idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._framework is not None:
+            self._framework.store.close()
+        elif isinstance(self._cluster, ProcessParallelBetweenness):
+            self._cluster.close()
+        elif self._cluster is not None:
+            for mapper in self._cluster.mappers:
+                mapper.store.close()
+        self._emit(SessionClosed)
+
+    def __enter__(self) -> "BetweennessSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _engine(self):
+        self._ensure_open()
+        return self._framework if self._framework is not None else self._cluster
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError("the session has been closed")
+
+    @staticmethod
+    def _worker_store_kind(uri: str) -> str:
+        """Map a (path-less) store URI onto the executor's per-worker kinds."""
+        scheme = parse_store_uri(uri).scheme
+        return "disk" if scheme == "disk" else "memory"
+
+    @staticmethod
+    def _mapper_store_factory(uri: str):
+        """Per-mapper store factory for the simulated cluster, from the URI."""
+        parsed = parse_store_uri(uri)
+        if parsed.scheme != "disk":
+            return None  # each mapper uses its backend's default RAM store
+
+        def factory(partition, graph):
+            return DiskBDStore(
+                graph.vertex_list(),
+                sources=list(partition.sources),
+                directed=graph.directed,
+            )
+
+        return factory
+
+
+def open_session(
+    graph: Graph,
+    config: Optional[BetweennessConfig] = None,
+    **overrides: Any,
+) -> BetweennessSession:
+    """Build a session from a graph, a config and/or field overrides.
+
+    ``overrides`` are :class:`~repro.api.config.BetweennessConfig` fields
+    applied on top of ``config`` (or of a fresh default matching the
+    graph's orientation)::
+
+        session = open_session(graph, backend="arrays", batch_size=16)
+    """
+    if config is None:
+        config = BetweennessConfig.for_graph(graph, **overrides)
+    elif overrides:
+        config = config.replace(**overrides)
+    return BetweennessSession(graph, config)
+
+
+def resume_session(
+    checkpoint_path: PathLike,
+    store: Optional[BDStore] = None,
+    config: Optional[BetweennessConfig] = None,
+    **overrides: Any,
+) -> BetweennessSession:
+    """Rebuild a session from a checkpoint written by :meth:`checkpoint`.
+
+    The configuration embedded in the sidecar is restored, so no flags or
+    kwargs are needed; pass ``config`` to replace it wholesale, or
+    individual :class:`~repro.api.config.BetweennessConfig` fields as
+    ``overrides`` (e.g. ``resume_session(path, backend="arrays")`` to
+    resume a dicts-backend checkpoint on the arrays kernel).  ``store``
+    optionally supplies the record store explicitly, exactly like
+    :meth:`IncrementalBetweenness.resume
+    <repro.core.framework.IncrementalBetweenness.resume>`.
+
+    The sidecar — which may embed a full ``BD[.]`` snapshot — is read and
+    deserialized exactly once here.
+    """
+    ckpt = load_checkpoint(checkpoint_path)
+    if config is None:
+        if ckpt.config is not None:
+            config = BetweennessConfig.from_dict(ckpt.config)
+        else:
+            # Pre-config sidecar (PR 2–4 era): reconstruct the minimum.
+            config = BetweennessConfig(directed=ckpt.directed)
+    if overrides:
+        config = config.replace(**overrides)
+    if config.executor != "serial":
+        # Checkpoints are only ever written by serial sessions; a restored
+        # parallel config would re-bootstrap rather than resume.
+        config = config.replace(executor="serial", workers=1, seed_store_path=None)
+    framework = IncrementalBetweenness.resume(
+        checkpoint_path, store=store, backend=config.backend, checkpoint=ckpt
+    )
+    return BetweennessSession.from_framework(framework, config=config)

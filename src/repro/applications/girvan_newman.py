@@ -10,9 +10,8 @@ order-of-magnitude speedups of Figure 9.
 
 Two execution modes share the same driver:
 
-* ``use_incremental=True`` — maintain edge betweenness with
-  :class:`~repro.core.framework.IncrementalBetweenness` (the paper's
-  method);
+* ``use_incremental=True`` — maintain edge betweenness through a
+  :class:`~repro.api.session.BetweennessSession` (the paper's method);
 * ``use_incremental=False`` — recompute with Brandes after every removal
   (the baseline the speedup is measured against).
 """
@@ -23,7 +22,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.algorithms.brandes import brandes_betweenness
-from repro.core.framework import IncrementalBetweenness
+from repro.api.config import BetweennessConfig
+from repro.api.session import BetweennessSession
 from repro.exceptions import ConfigurationError
 from repro.graph.components import connected_components
 from repro.graph.graph import Graph
@@ -142,9 +142,9 @@ def girvan_newman(
     working = graph.copy()
     result = GirvanNewmanResult(used_incremental=use_incremental)
 
-    incremental: Optional[IncrementalBetweenness] = None
+    session: Optional[BetweennessSession] = None
     if use_incremental:
-        incremental = IncrementalBetweenness(working)
+        session = BetweennessSession(working, BetweennessConfig.for_graph(working))
 
     num_components = len(connected_components(working))
     total_edges = working.num_edges
@@ -154,7 +154,7 @@ def girvan_newman(
         if working.num_edges == 0:
             break
         if use_incremental:
-            edge_scores = incremental.edge_betweenness()
+            edge_scores = session.edge_betweenness()
         else:
             edge_scores = brandes_betweenness(working).edge_scores
         # Highest-betweenness edge; ties broken deterministically by key so
@@ -164,7 +164,7 @@ def girvan_newman(
 
         working.remove_edge(u, v)
         if use_incremental:
-            incremental.remove_edge(u, v)
+            session.remove_edge(u, v)
         result.removed_edges.append(target)
         result.edges_processed += 1
 

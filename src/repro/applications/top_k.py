@@ -1,57 +1,49 @@
-"""Top-k betweenness monitoring over an edge stream.
+"""Top-k betweenness monitoring over an edge stream (deprecated shim).
 
 The paper's conclusion points at "online detection and prediction of
 emerging leaders and communities in social networks" as the application
-unlocked by keeping betweenness up to date.  :class:`TopKMonitor` implements
-the leader-detection half: it consumes an update stream, keeps the k most
-central vertices (and optionally edges) after every update, and records how
-the ranking churns over time.
+unlocked by keeping betweenness up to date.  The leader-detection half now
+lives in the session layer: a :class:`~repro.api.BetweennessSession` plus a
+:class:`~repro.api.TopKTracker` subscriber replays the stream once and
+maintains the rankings as events arrive.
+
+:class:`TopKMonitor` is kept as a thin deprecation shim over that pair —
+same constructor, same methods, bit-identical snapshots — so existing code
+keeps working while it migrates::
+
+    # old                                  # new
+    monitor = TopKMonitor(graph, k=10)     session = open_session(graph, ...)
+    monitor.process_stream(updates)        tracker = session.subscribe(TopKTracker(k=10))
+    monitor.ranking_churn()                for _ in session.stream(updates): ...
+                                           tracker.ranking_churn()
 """
 
 from __future__ import annotations
 
-import heapq
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.framework import IncrementalBetweenness
+from repro.api.config import BetweennessConfig
+from repro.api.session import BetweennessSession
+from repro.api.subscribers import TopKSnapshot, TopKTracker
 from repro.core.updates import EdgeUpdate
-from repro.exceptions import ConfigurationError
 from repro.graph.graph import Graph
 from repro.storage.base import BDStore
 from repro.types import Edge, Vertex
 
-
-@dataclass(frozen=True)
-class TopKSnapshot:
-    """Ranking state after one update."""
-
-    update: EdgeUpdate
-    top_vertices: Tuple[Tuple[Vertex, float], ...]
-    top_edges: Tuple[Tuple[Edge, float], ...]
-
-    def vertex_ranking(self) -> Tuple[Vertex, ...]:
-        """Just the vertices, in rank order."""
-        return tuple(vertex for vertex, _ in self.top_vertices)
-
-
-def _top_k(items, limit: int):
-    """The ``limit`` best-ranked ``(element, score)`` pairs.
-
-    Ranking order is descending score with ties broken by ``repr`` of the
-    element (exactly the historical full-sort order).  Selection runs
-    through ``heapq``'s bounded-heap machinery — O(n log k) per call
-    instead of the O(n log n) full sort the monitor used to pay on every
-    single stream element.
-    """
-    # nsmallest under the (-score, repr) key IS nlargest under the ranking
-    # order; heapq has no key-inverted nlargest for the string tie-break.
-    return heapq.nsmallest(limit, items, key=lambda item: (-item[1], repr(item[0])))
+__all__ = ["TopKMonitor", "TopKSnapshot", "TopKTracker"]
 
 
 @dataclass
 class TopKMonitor:
-    """Maintain the k most central vertices/edges while a graph evolves.
+    """Deprecated facade: maintain the k most central vertices/edges.
+
+    .. deprecated::
+        Use :func:`repro.api.open_session` with a subscribed
+        :class:`repro.api.TopKTracker` instead; this shim builds exactly
+        that pair underneath (so scores and snapshots are bit-identical)
+        and will be removed in a future release.
 
     Parameters
     ----------
@@ -62,10 +54,10 @@ class TopKMonitor:
     track_edges:
         Also keep the top-k edges by edge betweenness.
     backend:
-        Compute backend of the underlying framework (``"dicts"`` or
-        ``"arrays"``), forwarded verbatim.
+        Compute backend of the underlying session (``"dicts"`` or
+        ``"arrays"``), forwarded into its config.
     store:
-        Optional ``BD[.]`` store for the framework (e.g. a
+        Optional ``BD[.]`` store object for the session (e.g. a
         :class:`~repro.storage.disk.DiskBDStore` for out-of-core
         monitoring); the backend's default store is used otherwise.
     """
@@ -75,57 +67,56 @@ class TopKMonitor:
     track_edges: bool = True
     backend: str = "dicts"
     store: Optional[BDStore] = None
-    _framework: IncrementalBetweenness = field(init=False, repr=False)
-    snapshots: List[TopKSnapshot] = field(default_factory=list)
+    _session: BetweennessSession = field(init=False, repr=False)
+    _tracker: TopKTracker = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        if self.k < 1:
-            raise ConfigurationError(f"k must be >= 1, got {self.k}")
-        self._framework = IncrementalBetweenness(
-            self.graph, store=self.store, backend=self.backend
+        warnings.warn(
+            "TopKMonitor is deprecated; open a repro.api.BetweennessSession "
+            "and subscribe a repro.api.TopKTracker instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        config = BetweennessConfig.for_graph(self.graph, backend=self.backend)
+        self._session = BetweennessSession(self.graph, config, store=self.store)
+        self._tracker = self._session.subscribe(
+            TopKTracker(k=self.k, track_edges=self.track_edges)
         )
 
     # ------------------------------------------------------------------ #
     # Stream consumption
     # ------------------------------------------------------------------ #
+    @property
+    def snapshots(self) -> List[TopKSnapshot]:
+        """Ranking snapshots, one per processed update."""
+        return self._tracker.snapshots
+
+    @property
+    def _framework(self):
+        # Kept because historical callers (and tests) reached for the
+        # engine directly; the session's serial framework is that engine.
+        return self._session.framework
+
     def process(self, update: EdgeUpdate) -> TopKSnapshot:
         """Apply one update and snapshot the new ranking."""
-        self._framework.apply(update)
-        snapshot = TopKSnapshot(
-            update=update,
-            top_vertices=self.top_vertices(),
-            top_edges=self.top_edges() if self.track_edges else (),
-        )
-        self.snapshots.append(snapshot)
-        return snapshot
+        self._session.apply(update)
+        return self._tracker.snapshots[-1]
 
     def process_stream(self, updates: Sequence[EdgeUpdate]) -> List[TopKSnapshot]:
         """Apply a whole stream, returning one snapshot per update."""
         return [self.process(update) for update in updates]
 
     # ------------------------------------------------------------------ #
-    # Rankings
+    # Rankings and churn
     # ------------------------------------------------------------------ #
     def top_vertices(self, k: Optional[int] = None) -> Tuple[Tuple[Vertex, float], ...]:
         """Current top-k vertices as ``(vertex, score)`` pairs."""
-        limit = self.k if k is None else k
-        scores = self._framework.vertex_betweenness()
-        return tuple(_top_k(scores.items(), limit))
+        return self._tracker.top_vertices(k)
 
     def top_edges(self, k: Optional[int] = None) -> Tuple[Tuple[Edge, float], ...]:
         """Current top-k edges as ``(edge, score)`` pairs."""
-        limit = self.k if k is None else k
-        scores = self._framework.edge_betweenness()
-        return tuple(_top_k(scores.items(), limit))
+        return self._tracker.top_edges(k)
 
-    # ------------------------------------------------------------------ #
-    # Churn statistics
-    # ------------------------------------------------------------------ #
     def ranking_churn(self) -> List[int]:
         """Number of vertices entering/leaving the top-k between snapshots."""
-        churn: List[int] = []
-        for previous, current in zip(self.snapshots, self.snapshots[1:]):
-            before = set(previous.vertex_ranking())
-            after = set(current.vertex_ranking())
-            churn.append(len(before.symmetric_difference(after)))
-        return churn
+        return self._tracker.ranking_churn()

@@ -9,10 +9,20 @@ explored without writing Python::
     repro speedup --dataset synthetic-1k --backend arrays  # CSR kernel
     repro speedup --dataset facebook --variant DO \
         --store-path bd.bin --checkpoint ck.bin   # durable DO store + checkpoint
-    repro resume --checkpoint ck.bin --edges 10 --verify --backend arrays
+    repro resume --checkpoint ck.bin --edges 10 --verify
     repro online --dataset facebook --mappers 1,10,50
+    repro online --dataset facebook --workers 4 --store disk://
     repro communities --dataset synthetic-1k --removals 25
     repro proxies --dataset wikielections        # degree/closeness vs betweenness
+    repro --version
+
+Every experiment subcommand runs on the unified session API
+(:mod:`repro.api`): the flags below are assembled into one declarative
+:class:`~repro.api.BetweennessConfig`.  A pre-built config can be supplied
+as JSON via ``--config run.json`` (write one with
+``BetweennessConfig.save``); **explicit flags override config-file values,
+which override built-in defaults**.  Store backends are addressed by URI
+(``memory://``, ``arrays://``, ``disk:///path?mmap=true``).
 
 (``repro`` is installed as a console script; ``python -m repro.cli`` works
 identically.)
@@ -25,6 +35,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro import __version__
 from repro.algorithms import brandes_betweenness
 from repro.algorithms.other_centrality import closeness_centrality, degree_centrality
 from repro.analysis import (
@@ -32,10 +43,11 @@ from repro.analysis import (
     format_table,
     measure_stream_speedups,
     related_work_table,
+    variant_config,
 )
 from repro.analysis.correlation import compare_rankings
+from repro.api import BetweennessConfig, resume_session
 from repro.applications import girvan_newman, modularity
-from repro.core import IncrementalBetweenness
 from repro.generators import (
     addition_stream,
     available_datasets,
@@ -47,12 +59,23 @@ from repro.parallel import replay_online_updates_parallel, simulate_online_updat
 from repro.types import BACKENDS
 from repro.utils.timing import Timer
 
+#: Help-text suffix shared by every flag that can also come from --config.
+_PRECEDENCE = " (precedence: this flag > --config file > default)"
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Scalable online betweenness centrality - experiment CLI",
+        description=(
+            "Scalable online betweenness centrality - experiment CLI. "
+            "Experiment subcommands accept --config run.json (a serialized "
+            "BetweennessConfig); explicit flags override config-file values, "
+            "which override built-in defaults."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -68,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
         "speedup", help="per-edge speedup of the incremental framework over Brandes"
     )
     _add_dataset_arguments(speedup_parser)
+    _add_config_argument(speedup_parser)
     speedup_parser.add_argument("--edges", type=int, default=10, help="stream length")
     speedup_parser.add_argument(
         "--kind", choices=["add", "remove"], default="add", help="update kind"
@@ -75,13 +99,14 @@ def build_parser() -> argparse.ArgumentParser:
     speedup_parser.add_argument(
         "--variant",
         choices=[variant.value for variant in Variant],
-        default=Variant.MO.value,
-        help="framework configuration (MP, MO or DO)",
+        default=None,
+        help="framework configuration (MP, MO or DO; default MO); sets the "
+             "store URI and predecessor maintenance" + _PRECEDENCE,
     )
     speedup_parser.add_argument(
-        "--batch-size", type=int, default=1,
+        "--batch-size", type=int, default=None,
         help="apply the stream in batches of this many updates "
-             "(one source sweep per batch)",
+             "(one source sweep per batch; default 1)" + _PRECEDENCE,
     )
     _add_backend_argument(speedup_parser)
     speedup_parser.add_argument(
@@ -92,26 +117,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     speedup_parser.add_argument(
         "--checkpoint", type=Path, default=None,
-        help="write a framework checkpoint here after the stream, for a "
-             "later `repro resume`",
+        help="write a framework checkpoint here after the stream (the "
+             "resolved config is embedded, so `repro resume` needs no other "
+             "flags)",
     )
 
     resume_parser = subparsers.add_parser(
         "resume",
-        help="resume a framework from a checkpoint and apply more updates",
+        help="resume a session from a checkpoint and apply more updates "
+             "(the config embedded in the checkpoint is restored; flags "
+             "below override it)",
     )
     resume_parser.add_argument(
         "--checkpoint", type=Path, required=True,
         help="checkpoint sidecar written by `repro speedup --checkpoint`",
     )
+    _add_config_argument(resume_parser)
     resume_parser.add_argument("--edges", type=int, default=10, help="stream length")
     resume_parser.add_argument(
         "--kind", choices=["add", "remove"], default="add", help="update kind"
     )
     resume_parser.add_argument("--seed", type=int, default=7, help="random seed")
     resume_parser.add_argument(
-        "--batch-size", type=int, default=1,
-        help="apply the stream in batches of this many updates",
+        "--batch-size", type=int, default=None,
+        help="apply the stream in batches of this many updates"
+             + _PRECEDENCE,
     )
     resume_parser.add_argument(
         "--verify", action="store_true",
@@ -124,27 +154,34 @@ def build_parser() -> argparse.ArgumentParser:
         "online", help="online replay: missed deadlines vs number of mappers"
     )
     _add_dataset_arguments(online_parser)
+    _add_config_argument(online_parser)
     online_parser.add_argument("--edges", type=int, default=10, help="replayed arrivals")
     online_parser.add_argument(
-        "--mappers", default="1,10", help="comma-separated mapper counts "
-        "(simulated through the capacity model)"
+        "--mappers", default=None,
+        help="comma-separated mapper counts (simulated through the capacity "
+             "model); default 1,10, or the config file's workers under "
+             "executor=mapreduce" + _PRECEDENCE,
     )
     online_parser.add_argument(
         "--time-scale", type=float, default=0.002,
         help="compression factor applied to inter-arrival times",
     )
     online_parser.add_argument(
-        "--batch-size", type=int, default=1,
-        help="process arrivals in batches of this many updates",
+        "--batch-size", type=int, default=None,
+        help="process arrivals in batches of this many updates (default 1)"
+             + _PRECEDENCE,
     )
     online_parser.add_argument(
         "--workers", type=int, default=None,
         help="replay on this many REAL worker processes instead of the "
-             "capacity-model simulation (ignores --mappers)",
+             "capacity-model simulation (ignores --mappers)" + _PRECEDENCE,
     )
     online_parser.add_argument(
-        "--store", choices=["memory", "disk"], default="memory",
-        help="per-worker BD store used with --workers",
+        "--store", default=None,
+        help="per-worker BD store used with --workers, as a store URI "
+             "(memory:// or disk://; path-less — workers own private "
+             "temporary stores) or the legacy kinds memory/disk"
+             + _PRECEDENCE,
     )
     online_parser.add_argument(
         "--store-path", type=Path, default=None,
@@ -171,10 +208,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--backend", choices=list(BACKENDS), default="dicts",
+        "--backend", choices=list(BACKENDS), default=None,
         help="compute backend: the classic dict implementation or the "
              "array-native CSR kernel (bit-identical scores, vectorized "
-             "bootstrap)",
+             "bootstrap; default dicts)" + _PRECEDENCE,
+    )
+
+
+def _add_config_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--config", type=Path, default=None, metavar="PATH.json",
+        help="JSON-serialized BetweennessConfig supplying defaults for the "
+             "flags marked with a precedence note (explicit flags win)",
     )
 
 
@@ -187,6 +232,14 @@ def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
         help="override the stand-in vertex count",
     )
     parser.add_argument("--seed", type=int, default=7, help="random seed")
+
+
+def _base_config(args) -> BetweennessConfig:
+    """The config file's settings, or plain defaults when none was given."""
+    config_path = getattr(args, "config", None)
+    if config_path is not None:
+        return BetweennessConfig.load(config_path)
+    return BetweennessConfig()
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -236,20 +289,47 @@ def _run_profile(args) -> str:
     return format_table(["dataset", "|V|", "|E|", "AD", "CC", "ED"], [row])
 
 
+def _resolve_speedup_config(args, graph) -> BetweennessConfig:
+    """Flags > config file > defaults, resolved into one session config."""
+    base = _base_config(args)
+    if args.variant is not None or args.config is None:
+        # An explicit --variant (or the absence of any config file) routes
+        # through the MP/MO/DO mapping; a config file with no --variant is
+        # taken verbatim (its store URI already says where records live).
+        variant = Variant(args.variant) if args.variant is not None else Variant.MO
+        base = variant_config(
+            variant,
+            directed=graph.directed,
+            backend=base.backend,
+            batch_size=base.batch_size,
+            disk_path=args.store_path,
+        ).replace(checkpoint_path=base.checkpoint_path)
+    overrides = {"directed": graph.directed}
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if args.batch_size is not None:
+        overrides["batch_size"] = args.batch_size
+    if args.checkpoint is not None:
+        overrides["checkpoint_path"] = str(args.checkpoint)
+    return base.replace(**overrides)
+
+
 def _run_speedup(args) -> str:
     graph = _load(args)
-    if args.store_path is not None and Variant(args.variant) is not Variant.DO:
+    if args.store_path is not None and args.variant != Variant.DO.value:
         raise SystemExit("--store-path only applies to the DO variant")
+    config = _resolve_speedup_config(args, graph)
     if args.kind == "add":
         updates = addition_stream(graph, args.edges, rng=args.seed)
     else:
         updates = removal_stream(graph, args.edges, rng=args.seed)
+    variant = (
+        Variant.MP if config.maintain_predecessors
+        else Variant.DO if config.store.startswith("disk")
+        else Variant.MO
+    )
     series = measure_stream_speedups(
-        graph, updates, Variant(args.variant), label=args.dataset,
-        batch_size=args.batch_size,
-        disk_path=args.store_path,
-        checkpoint_path=args.checkpoint,
-        backend=args.backend,
+        graph, updates, variant, label=args.dataset, config=config
     )
     stats = series.summary()
     header = ["dataset", "kind", "variant", "batch", "edges", "min", "median",
@@ -257,8 +337,8 @@ def _run_speedup(args) -> str:
     row = [
         args.dataset,
         args.kind,
-        args.variant,
-        args.batch_size,
+        variant.value,
+        config.batch_size,
         len(series.speedups),
         round(stats.minimum, 1),
         round(stats.median, 1),
@@ -270,11 +350,24 @@ def _run_speedup(args) -> str:
 
 
 def _run_resume(args) -> tuple:
-    framework = IncrementalBetweenness.resume(args.checkpoint, backend=args.backend)
-    graph = framework.graph
+    # The checkpoint carries the config it was written under; --config and
+    # explicit flags override it in the usual order (flag > file > embedded).
+    overrides = {}
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if args.batch_size is not None:
+        overrides["batch_size"] = args.batch_size
+    session = resume_session(
+        args.checkpoint,
+        config=BetweennessConfig.load(args.config) if args.config else None,
+        **overrides,
+    )
+    config = session.config
+    graph = session.graph
     lines = [
         f"resumed from {args.checkpoint}: {graph.num_vertices} vertices, "
-        f"{graph.num_edges} edges, {framework.num_sources} sources",
+        f"{graph.num_edges} edges, {session.framework.num_sources} sources "
+        f"(backend {config.backend}, store {config.store})",
     ]
     verified = True
     try:
@@ -284,20 +377,18 @@ def _run_resume(args) -> tuple:
             updates = removal_stream(graph, args.edges, rng=args.seed)
         timer = Timer()
         with timer.measure():
-            if args.batch_size > 1:
-                framework.process_stream_batched(updates, args.batch_size)
-            else:
-                framework.process_stream(updates)
+            for _ in session.stream(updates, batch_size=config.batch_size):
+                pass
         lines.append(
             f"applied {len(updates)} {args.kind} updates in "
             f"{timer.total:.4f}s ({timer.total / max(1, len(updates)):.4f}s "
             "per update)"
         )
         if args.verify:
-            reference = brandes_betweenness(framework.graph)
+            reference = brandes_betweenness(session.graph)
             deviation = max(
                 (
-                    abs(framework.vertex_betweenness().get(v, 0.0) - score)
+                    abs(session.vertex_betweenness().get(v, 0.0) - score)
                     for v, score in reference.vertex_scores.items()
                 ),
                 default=0.0,
@@ -311,7 +402,7 @@ def _run_resume(args) -> tuple:
         if verified:
             # The updates just mutated the durable store, so the old sidecar
             # no longer describes it; refresh it for the next resume.
-            framework.checkpoint(args.checkpoint)
+            session.checkpoint(args.checkpoint)
             lines.append(f"checkpoint refreshed: {args.checkpoint}")
         else:
             lines.append(
@@ -320,42 +411,57 @@ def _run_resume(args) -> tuple:
                 "investigate before resuming again)"
             )
     finally:
-        framework.store.close()
+        session.close()
     return "\n".join(lines), 0 if verified else 1
 
 
 def _run_online(args) -> str:
+    base = _base_config(args)
+    backend = args.backend if args.backend is not None else base.backend
+    batch_size = args.batch_size if args.batch_size is not None else base.batch_size
+    workers = args.workers
+    if workers is None and base.executor == "process":
+        workers = base.workers
+    store = args.store if args.store is not None else base.store
+    if args.mappers is not None:
+        mappers_spec = args.mappers
+    elif base.executor == "mapreduce":
+        mappers_spec = str(base.workers)
+    else:
+        mappers_spec = "1,10"
+
     evolving = load_dataset(
         args.dataset, num_vertices=args.vertices, rng=args.seed, as_evolving=True
     )
     prefix = max(0, evolving.num_edges - args.edges)
-    base = evolving.base_graph(prefix)
+    base_graph = evolving.base_graph(prefix)
     future = evolving.future_updates(prefix)
-    if args.store_path is not None and args.workers is None:
+    if args.store_path is not None and workers is None:
         raise SystemExit("--store-path requires --workers (real executor)")
     rows = []
-    if args.workers is not None:
+    if workers is not None:
         result = replay_online_updates_parallel(
-            base,
+            base_graph,
             future,
-            num_workers=args.workers,
-            batch_size=args.batch_size,
+            num_workers=workers,
+            batch_size=batch_size,
             time_scale=args.time_scale,
-            store=args.store,
+            store=store,
             source_store_path=args.store_path,
-            backend=args.backend,
+            backend=backend,
         )
-        rows.append(_online_row(args.dataset, f"{args.workers} (real)", result))
+        rows.append(_online_row(args.dataset, f"{workers} (real)", result))
     else:
-        mapper_counts = [int(token) for token in args.mappers.split(",") if token]
+        mapper_counts = [int(token) for token in mappers_spec.split(",") if token]
         for mappers in mapper_counts:
             result = simulate_online_updates(
-                base,
+                base_graph,
                 future,
                 num_mappers=mappers,
                 time_scale=args.time_scale,
-                batch_size=args.batch_size,
-                backend=args.backend,
+                batch_size=batch_size,
+                backend=backend,
+                store=store,
             )
             rows.append(_online_row(args.dataset, mappers, result))
     return format_table(

@@ -56,6 +56,12 @@ class FrameworkCheckpoint:
     #: Whether the checkpointed graph is directed (sidecars written before
     #: directed support decode as ``False``, their only possibility).
     directed: bool = False
+    #: The session configuration (``BetweennessConfig.to_dict()``) that
+    #: produced this checkpoint, when one was in play.  It is stored as a
+    #: plain dict so the storage layer needs no knowledge of the API layer;
+    #: ``repro.api.resume_session`` rebuilds the config from it, which is
+    #: why resuming needs nothing but the checkpoint path.
+    config: Optional[Dict] = None
 
 
 def save_checkpoint(path: PathLike, checkpoint: FrameworkCheckpoint) -> Path:
@@ -74,6 +80,7 @@ def save_checkpoint(path: PathLike, checkpoint: FrameworkCheckpoint) -> Path:
             "snapshot": checkpoint.snapshot,
             "store_generation": checkpoint.store_generation,
             "directed": checkpoint.directed,
+            "config": checkpoint.config,
         },
     )
     return path
@@ -92,4 +99,5 @@ def load_checkpoint(path: PathLike) -> FrameworkCheckpoint:
         snapshot=payload["snapshot"],
         store_generation=payload.get("store_generation"),
         directed=bool(payload.get("directed", False)),
+        config=payload.get("config"),
     )

@@ -20,6 +20,7 @@ scores across instances.
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -294,7 +295,7 @@ class IncrementalBetweenness:
     # ------------------------------------------------------------------ #
     # Checkpoint / resume
     # ------------------------------------------------------------------ #
-    def checkpoint(self, path: PathLike) -> Path:
+    def checkpoint(self, path: PathLike, config: Optional[Dict] = None) -> Path:
         """Write a sidecar checkpoint so a later process can :meth:`resume`.
 
         The sidecar holds the graph, the global vertex/edge scores and the
@@ -303,6 +304,11 @@ class IncrementalBetweenness:
         its *path* is recorded — the records stay in the store file, which
         is flushed here; otherwise (in-memory or temporary store) a full
         ``BD[.]`` snapshot is embedded in the sidecar.
+
+        ``config`` optionally embeds a session configuration dict
+        (``BetweennessConfig.to_dict()``) into the sidecar, which is what
+        lets ``repro.api.resume_session`` restore a session from nothing
+        but the checkpoint path.
 
         Predecessor lists (the MP configuration) are not checkpointed; a
         resumed instance runs without them, which never changes scores.
@@ -330,6 +336,7 @@ class IncrementalBetweenness:
                 snapshot=snapshot,
                 store_generation=store_generation,
                 directed=self._graph.directed,
+                config=config,
             ),
         )
 
@@ -339,6 +346,7 @@ class IncrementalBetweenness:
         checkpoint_path: PathLike,
         store: Optional[BDStore] = None,
         backend: str = "dicts",
+        checkpoint: Optional[FrameworkCheckpoint] = None,
     ) -> "IncrementalBetweenness":
         """Rebuild an instance from a :meth:`checkpoint` sidecar — no Brandes.
 
@@ -348,8 +356,13 @@ class IncrementalBetweenness:
         checkpoint (reopened via :meth:`DiskBDStore.open
         <repro.storage.disk.DiskBDStore.open>`), or the snapshot embedded in
         the sidecar (loaded into a fresh in-memory store).
+
+        A caller that already parsed the sidecar (the session layer reads
+        the embedded config first) passes it as ``checkpoint`` so the file
+        — which may embed a full ``BD[.]`` snapshot — is not deserialized a
+        second time; ``checkpoint_path`` is then only used in messages.
         """
-        ckpt = load_checkpoint(checkpoint_path)
+        ckpt = checkpoint if checkpoint is not None else load_checkpoint(checkpoint_path)
         graph = Graph(directed=ckpt.directed)
         for vertex in ckpt.vertices:
             graph.add_vertex(vertex)
@@ -523,7 +536,21 @@ class IncrementalBetweenness:
     def process_stream_batched(
         self, updates: Iterable[EdgeUpdate], batch_size: int
     ) -> List[BatchResult]:
-        """Apply a stream in consecutive batches of at most ``batch_size``."""
+        """Deprecated: apply a stream in consecutive batches.
+
+        .. deprecated::
+            The chunk-and-sweep loop now lives in one place —
+            :meth:`repro.api.BetweennessSession.stream`; this shim forwards
+            to the same :meth:`apply_updates` machinery (scores are
+            bit-identical) and will be removed in a future release.
+        """
+        warnings.warn(
+            "IncrementalBetweenness.process_stream_batched is deprecated; "
+            "drive the stream through repro.api.BetweennessSession.stream "
+            "(batch_size lives in BetweennessConfig)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return [self.apply_updates(chunk) for chunk in batches(updates, batch_size)]
 
     def add_source(self, vertex: Vertex) -> None:
@@ -616,33 +643,15 @@ class IncrementalBetweenness:
         return lists
 
     def _apply(self, update: EdgeUpdate) -> UpdateResult:
-        u, v = update.endpoints
-        if update.kind is UpdateKind.ADDITION:
-            self._apply_graph_addition(u, v)
-        elif update.kind is UpdateKind.REMOVAL:
-            self._apply_graph_removal(u, v)
-        else:  # pragma: no cover - defensive, enum is closed
-            raise UpdateError(f"unknown update kind {update.kind!r}")
+        """A single update is a batch of one — the batched sweep is the engine.
 
-        result = UpdateResult(update=update)
-        sources = list(self._store.sources())
-        to_load = self._sources_to_load(sources, [update])
-        for source in sources:
-            if to_load is not None:
-                skip = source not in to_load
-            else:
-                skip = self._can_skip(source, u, v)
-            if skip:
-                result.record(SourceUpdateStats(case=UpdateCase.SKIP))
-                continue
-            data = self._load_record(source)
-            stats = self._repair_record(source, data, update)
-            result.record(stats)
-            self._save_record(source, data)
-
-        if update.kind is UpdateKind.REMOVAL:
-            self._edge_scores.pop(self._edge_key(u, v), None)
-        return result
+        The one-at-a-time and batched paths used to be two separate
+        implementations of the same Step-2 sweep (validate, peek, repair,
+        fold, finalize); they are deduplicated here, so every invariant —
+        Proposition 3.1 skips, vertex births, edge-score key lifecycle —
+        lives in exactly one place (:meth:`_apply_batch`).
+        """
+        return self._apply_batch([update], None).results[0]
 
     # ------------------------------------------------------------------ #
     # Batched pipeline internals
@@ -856,30 +865,3 @@ class IncrementalBetweenness:
             else:
                 self._edge_scores.pop(key, None)
 
-    def _can_skip(self, source: Vertex, u: Vertex, v: Vertex) -> bool:
-        """Cheap pre-check of Proposition 3.1 using only two stored distances."""
-        du, dv = self._store.endpoint_distances(source, u, v)
-        return self._distances_skip(du, dv)
-
-    def _apply_graph_addition(self, u: Vertex, v: Vertex) -> None:
-        if u == v:
-            raise UpdateError("self loops are not supported")
-        if self._graph.has_edge(u, v):
-            raise UpdateError(f"edge ({u!r}, {v!r}) is already in the graph")
-        new_vertices = [w for w in (u, v) if not self._graph.has_vertex(w)]
-        self._graph_add_edge(u, v)
-        self._edge_scores[self._edge_key(u, v)] = 0.0
-        for vertex in new_vertices:
-            # Existing sources may start reaching the new vertex, so the
-            # store needs a slot for it even when another instance owns it
-            # (and the arrays backend needs the slot before the score
-            # facade can address the vertex).
-            self._register_vertex(vertex)
-            self._vertex_scores.setdefault(vertex, 0.0)
-            if not self._restricted:
-                self._store.add_source(vertex)
-
-    def _apply_graph_removal(self, u: Vertex, v: Vertex) -> None:
-        if not self._graph.has_edge(u, v):
-            raise UpdateError(f"edge ({u!r}, {v!r}) is not in the graph")
-        self._graph_remove_edge(u, v)

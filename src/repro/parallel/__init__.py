@@ -35,6 +35,7 @@ from repro.parallel.scaling import (
     weak_scaling,
 )
 from repro.parallel.online import (
+    OnlineDeadlineLedger,
     OnlineReplayResult,
     OnlineUpdateRecord,
     replay_online_updates_parallel,
@@ -52,6 +53,7 @@ __all__ = [
     "required_workers",
     "strong_scaling",
     "weak_scaling",
+    "OnlineDeadlineLedger",
     "OnlineReplayResult",
     "OnlineUpdateRecord",
     "simulate_online_updates",

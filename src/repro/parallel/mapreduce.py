@@ -122,6 +122,11 @@ class MapReduceBetweenness:
         return self._num_mappers
 
     @property
+    def graph(self) -> Graph:
+        """The driver's view of the current graph (do not mutate)."""
+        return self._graph
+
+    @property
     def partitions(self) -> Sequence[SourcePartition]:
         """The source partitions."""
         return tuple(self._partitions)

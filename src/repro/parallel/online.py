@@ -7,23 +7,31 @@ time.  An update "misses" its deadline when the system is still busy when
 the next edge arrives; Table 5 reports the fraction of missed edges and the
 average delay as the number of mappers grows.
 
-This module performs that replay.  The per-update processing time can come
-from an actual run of the (single-machine) framework scaled through the
-capacity model of Section 5.3, which is how a cluster of ``p`` mappers is
-simulated without a cluster: the measured per-source time on one machine is
-divided across ``p`` workers and the merge cost added back.
+Both replay flavours are built on the unified session API: the stream is
+driven through :meth:`repro.api.BetweennessSession.stream` and the deadline
+accounting is an event **subscriber** (:class:`OnlineDeadlineLedger`)
+consuming the emitted :class:`~repro.api.events.BatchApplied` events — not
+a parallel reimplementation of the update loop.  What differs between the
+flavours is only where processing time comes from:
+
+* :func:`simulate_online_updates` — the update is actually processed once,
+  on a single machine, and its measured cost is divided across ``p``
+  simulated mappers through the capacity model of Section 5.3
+  (``tU = tS * n/p + tM``);
+* :func:`replay_online_updates_parallel` — the batch runs on the real
+  multiprocessing executor and the slowest worker's measured time is used
+  directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.core.framework import IncrementalBetweenness
 from repro.core.updates import EdgeUpdate
 from repro.exceptions import ConfigurationError
 from repro.graph.graph import Graph
-from repro.parallel.executor import ProcessParallelBetweenness
 from repro.parallel.scaling import OnlineCapacityModel
 
 
@@ -87,6 +95,74 @@ class OnlineReplayResult:
         return (self.num_mappers, 100.0 * self.missed_fraction, self.average_delay)
 
 
+class OnlineDeadlineLedger:
+    """Session subscriber performing the single-server deadline accounting.
+
+    Subscribed to a session and fed by its :class:`BatchApplied` events, it
+    reproduces the paper's queueing semantics: a batch becomes runnable when
+    its last member arrives, every member completes when the batch does, and
+    a member is late when that completion falls after its own next-arrival
+    deadline.  ``processing_time_of`` maps one event to the batch's
+    processing time in (simulated or measured) seconds — the only thing the
+    two replay flavours disagree about.
+    """
+
+    def __init__(
+        self,
+        arrivals: Sequence[float],
+        num_mappers: int,
+        batch_size: int,
+        processing_time_of: Callable[[object], float],
+    ) -> None:
+        self._arrivals = list(arrivals)
+        self._processing_time_of = processing_time_of
+        self._busy_until = 0.0
+        self._position = 0
+        self.result = OnlineReplayResult(
+            num_mappers=num_mappers, batch_size=batch_size
+        )
+
+    # The subscriber protocol: the session hands every event here; only
+    # completed batches matter for the accounting.
+    def attach(self, session) -> None:  # pragma: no cover - nothing to grab
+        pass
+
+    def on_event(self, event) -> None:
+        from repro.api.events import BatchApplied
+
+        if not isinstance(event, BatchApplied) or not event.updates:
+            return
+        chunk = event.updates
+        chunk_start = self._position
+        self._position += len(chunk)
+        arrivals = self._arrivals
+        ready = arrivals[self._position - 1]
+        processing_time = self._processing_time_of(event)
+        start_time = max(ready, self._busy_until)
+        completion = start_time + processing_time
+        self._busy_until = completion
+
+        for offset, update in enumerate(chunk):
+            index = chunk_start + offset
+            interarrival = (
+                float("inf") if index == 0 else arrivals[index] - arrivals[index - 1]
+            )
+            # An update is "on time" when it completes before the next
+            # arrival; the last update of the stream cannot be late.
+            if index + 1 < len(arrivals):
+                deadline = arrivals[index + 1]
+            else:
+                deadline = completion + 1.0
+            self.result.records.append(
+                OnlineUpdateRecord(
+                    update=update,
+                    interarrival_time=interarrival,
+                    processing_time=processing_time,
+                    delay=max(0.0, completion - deadline),
+                )
+            )
+
+
 def simulate_online_updates(
     graph: Graph,
     updates: Sequence[EdgeUpdate],
@@ -96,6 +172,7 @@ def simulate_online_updates(
     time_scale: float = 1.0,
     batch_size: int = 1,
     backend: str = "dicts",
+    store: str = "memory://",
 ) -> OnlineReplayResult:
     """Replay timestamped ``updates`` on ``graph`` and account for deadlines.
 
@@ -114,21 +191,25 @@ def simulate_online_updates(
     merge_time:
         The model's ``tM`` (seconds).
     framework:
-        Optionally reuse an existing framework instance (must have been
-        built on ``graph``); a fresh in-memory one is created otherwise.
+        Optionally reuse an existing engine instance (must have been built
+        on ``graph``); it is wrapped in a session as-is.  A fresh serial
+        session is opened otherwise.
     time_scale:
         Multiplier applied to inter-arrival times, handy for exploring
         "what if edges arrived k times faster" scenarios.
     batch_size:
-        Process arrivals in batches of up to this many updates through the
-        batched pipeline
-        (:meth:`~repro.core.framework.IncrementalBetweenness.apply_updates`).
-        A batch starts processing only once its last member has arrived, so
+        Process arrivals in batches of up to this many updates.  A batch
+        starts processing only once its last member has arrived, so
         batching trades per-update latency for amortised ``BD`` sweeps; the
         per-update records account for that waiting honestly.
     backend:
-        Compute backend (``"dicts"`` or ``"arrays"``) of the framework
-        built here; ignored when an existing ``framework`` is passed in.
+        Compute backend (``"dicts"`` or ``"arrays"``) of the session opened
+        here; ignored when an existing ``framework`` is passed in.
+    store:
+        Store URI for the session's ``BD[.]`` records (the single machine
+        that really processes each update); also accepts the legacy
+        ``"memory"`` / ``"disk"`` kinds.  Ignored when ``framework`` is
+        passed in.
 
     Notes
     -----
@@ -138,18 +219,31 @@ def simulate_online_updates(
     arrival and the moment its processing completes, minus nothing — i.e. a
     delay of zero means it finished before the next arrival.
     """
+    # Imported lazily: the api layer imports this package's executors, so a
+    # module-level import would be circular.
+    from repro.api.config import BetweennessConfig
+    from repro.api.session import BetweennessSession
+
     if num_mappers < 1:
         raise ConfigurationError(f"num_mappers must be >= 1, got {num_mappers}")
     _check_batch_size(batch_size)
     arrivals = _relative_arrivals(updates, time_scale)
-    ibc = (
-        framework
-        if framework is not None
-        else IncrementalBetweenness(graph, backend=backend)
-    )
 
-    def measure(chunk: Sequence[EdgeUpdate]) -> float:
-        outcome = ibc.apply_updates(chunk)
+    if framework is not None:
+        session = BetweennessSession.from_framework(framework)
+    else:
+        session = BetweennessSession(
+            graph,
+            BetweennessConfig.for_graph(
+                graph,
+                backend=backend,
+                batch_size=batch_size,
+                store=_store_uri(store),
+            ),
+        )
+
+    def measure(event) -> float:
+        outcome = event.result
         pair_sweeps = max(1, outcome.sources_processed)
         model = OnlineCapacityModel(
             time_per_source=(outcome.elapsed_seconds or 0.0) / pair_sweeps,
@@ -158,7 +252,12 @@ def simulate_online_updates(
         )
         return model.update_time(num_mappers)
 
-    return _replay(updates, arrivals, num_mappers, batch_size, measure)
+    ledger = session.subscribe(
+        OnlineDeadlineLedger(arrivals, num_mappers, batch_size, measure)
+    )
+    for _ in session.stream(updates, batch_size=batch_size):
+        pass
+    return ledger.result
 
 
 def replay_online_updates_parallel(
@@ -176,8 +275,8 @@ def replay_online_updates_parallel(
 
     Unlike :func:`simulate_online_updates`, which processes every update on
     one machine and *derives* cluster time from the capacity model, this
-    replay runs each batch on :class:`ProcessParallelBetweenness` worker
-    processes and uses their measured times directly.
+    replay opens a ``process``-executor session (one restricted framework
+    per worker process) and uses the workers' measured times directly.
 
     Parameters
     ----------
@@ -186,7 +285,9 @@ def replay_online_updates_parallel(
     batch_size:
         Updates per executor round; see :func:`simulate_online_updates`.
     store:
-        Per-worker ``BD`` store kind (``"memory"`` or ``"disk"``).
+        Per-worker ``BD`` store: a store URI (``memory://``, ``disk://``;
+        path-less, since each worker owns a private temporary store) or one
+        of the legacy kinds ``"memory"`` / ``"disk"``.
     use_cpu_time:
         Account the slowest worker's *CPU* time as the processing time
         (default), which models every mapper owning a dedicated core — the
@@ -196,28 +297,48 @@ def replay_online_updates_parallel(
     source_store_path:
         Optional durable :class:`~repro.storage.disk.DiskBDStore` file each
         worker reopens to seed its partition's records, skipping the Brandes
-        bootstrap (see :class:`ProcessParallelBetweenness`).
+        bootstrap.
     backend:
         Compute backend every worker runs its partition on (``"dicts"`` or
-        ``"arrays"``), forwarded to :class:`ProcessParallelBetweenness`.
+        ``"arrays"``).
     """
+    from repro.api.config import BetweennessConfig
+    from repro.api.session import BetweennessSession
+
     _check_batch_size(batch_size)
     arrivals = _relative_arrivals(updates, time_scale)
-    with ProcessParallelBetweenness(
-        graph,
-        num_workers=num_workers,
-        store=store,
-        source_store_path=source_store_path,
+    config = BetweennessConfig(
         backend=backend,
-    ) as cluster:
+        directed=graph.directed,
+        batch_size=batch_size,
+        executor="process",
+        workers=num_workers,
+        store=_store_uri(store),
+        seed_store_path=(
+            str(source_store_path) if source_store_path is not None else None
+        ),
+    )
 
-        def measure(chunk: Sequence[EdgeUpdate]) -> float:
-            report = cluster.apply_batch(chunk)
-            if use_cpu_time:
-                return report.max_cpu_seconds
-            return report.wall_clock_seconds
+    def measure(event) -> float:
+        report = event.result
+        if use_cpu_time:
+            return report.max_cpu_seconds
+        return report.wall_clock_seconds
 
-        return _replay(updates, arrivals, num_workers, batch_size, measure)
+    with BetweennessSession(graph, config) as session:
+        ledger = session.subscribe(
+            OnlineDeadlineLedger(arrivals, num_workers, batch_size, measure)
+        )
+        for _ in session.stream(updates):
+            pass
+        return ledger.result
+
+
+def _store_uri(store: str) -> str:
+    """Accept a store URI or one of the legacy ``memory``/``disk`` kinds."""
+    if ":" in store:
+        return store
+    return f"{store}://"
 
 
 def _check_batch_size(batch_size: int) -> None:
@@ -236,50 +357,3 @@ def _relative_arrivals(
         raise ConfigurationError("every replayed update needs a timestamp")
     first_arrival = updates[0].timestamp
     return [(update.timestamp - first_arrival) * time_scale for update in updates]
-
-
-def _replay(
-    updates: Sequence[EdgeUpdate],
-    arrivals: Sequence[float],
-    num_mappers: int,
-    batch_size: int,
-    measure,
-) -> OnlineReplayResult:
-    """Single-server queueing accounting shared by both replay flavours.
-
-    ``measure(chunk)`` applies one batch and returns its processing time in
-    (simulated or measured) seconds.  A batch becomes runnable when its last
-    member arrives; every member completes when the batch does, and is late
-    when that completion falls after the member's own next-arrival deadline.
-    Callers validate ``batch_size`` before their bootstrap work.
-    """
-    result = OnlineReplayResult(num_mappers=num_mappers, batch_size=batch_size)
-    busy_until = 0.0
-    for chunk_start in range(0, len(updates), batch_size):
-        chunk = list(updates[chunk_start : chunk_start + batch_size])
-        ready = arrivals[chunk_start + len(chunk) - 1]
-        processing_time = measure(chunk)
-        start_time = max(ready, busy_until)
-        completion = start_time + processing_time
-        busy_until = completion
-
-        for offset, update in enumerate(chunk):
-            index = chunk_start + offset
-            interarrival = (
-                float("inf") if index == 0 else arrivals[index] - arrivals[index - 1]
-            )
-            # An update is "on time" when it completes before the next
-            # arrival; the last update of the stream cannot be late.
-            if index + 1 < len(updates):
-                deadline = arrivals[index + 1]
-            else:
-                deadline = completion + 1.0
-            result.records.append(
-                OnlineUpdateRecord(
-                    update=update,
-                    interarrival_time=interarrival,
-                    processing_time=processing_time,
-                    delay=max(0.0, completion - deadline),
-                )
-            )
-    return result

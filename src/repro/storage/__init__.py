@@ -7,18 +7,34 @@ columnar binary format, read sequentially source by source, updated in
 place, and skipped entirely (after peeking at just two distances) when an
 update does not affect the source.
 
-Two interchangeable backends implement the same :class:`BDStore` interface:
+Three interchangeable backends implement the same :class:`BDStore`
+interface:
 
 * :class:`InMemoryBDStore` — the "MO" configuration (in memory, no
   predecessor lists);
+* :class:`ArrayBDStore` — the columnar in-RAM store backing the array
+  kernel (also a full :class:`BDStore`);
 * :class:`DiskBDStore` — the "DO" configuration (on disk, no predecessor
   lists), using the columnar layout of Section 5.1.
+
+Stores are addressed declaratively by **URI** (``memory://``, ``arrays://``,
+``disk:///path?mmap=true``) through :func:`create_store`; third-party
+backends plug in with :func:`register_store_scheme` (see
+:mod:`repro.storage.factory` and ``docs/api.md``).
 """
 
 from repro.storage.base import BDStore
 from repro.storage.memory import InMemoryBDStore
 from repro.storage.arrays import ArrayBDStore
 from repro.storage.disk import DiskBDStore
+from repro.storage.factory import (
+    StoreRequest,
+    StoreURI,
+    create_store,
+    parse_store_uri,
+    register_store_scheme,
+    registered_store_schemes,
+)
 from repro.storage.header import STORE_MAGIC, STORE_VERSION, StoreLayout
 from repro.storage.index import VertexIndex
 from repro.storage.partition import SourcePartition, partition_sources
@@ -28,6 +44,12 @@ __all__ = [
     "InMemoryBDStore",
     "ArrayBDStore",
     "DiskBDStore",
+    "StoreURI",
+    "StoreRequest",
+    "create_store",
+    "parse_store_uri",
+    "register_store_scheme",
+    "registered_store_schemes",
     "VertexIndex",
     "SourcePartition",
     "partition_sources",

@@ -1,0 +1,304 @@
+"""Store URIs and the store factory/registry.
+
+Before the service layer existed, every entry point threaded its own
+``store=`` / ``store_path=`` / ``use_mmap=`` kwargs down to whichever
+:class:`~repro.storage.base.BDStore` it happened to build — and every new
+backend meant another cross-cutting kwarg sweep.  This module replaces that
+with one declarative surface: a **store URI** names the backend and its
+options, and a **registry** maps URI schemes to factories, so third-party
+stores plug in without touching any call site.
+
+Built-in schemes
+----------------
+
+``memory://``
+    The compute backend's natural in-RAM store: the classic dict-of-records
+    :class:`~repro.storage.memory.InMemoryBDStore` under the ``dicts``
+    backend, the columnar :class:`~repro.storage.arrays.ArrayBDStore` under
+    the ``arrays`` backend (whose kernel repairs records through the column
+    protocol the dict store cannot serve).  No query parameters.
+
+``arrays://``
+    Always the columnar :class:`~repro.storage.arrays.ArrayBDStore`,
+    whichever backend computes over it (it implements the full record
+    interface, so the ``dicts`` backend can run on it too).  No query
+    parameters.
+
+``disk://`` / ``disk:///abs/path`` / ``disk:relative/path``
+    The durable out-of-core :class:`~repro.storage.disk.DiskBDStore`.
+    Without a path a temporary file is used and deleted on close; with a
+    path the store is created there (an existing non-empty file is refused,
+    exactly like constructing :class:`DiskBDStore` directly).  Query
+    parameters: ``mmap=true|false`` (default true) and ``capacity=<int>``
+    (pre-allocated vertex slots).
+
+Unknown schemes and unknown/invalid query parameters are rejected with
+:class:`~repro.exceptions.ConfigurationError` at parse time, so a typo in a
+config file fails before any expensive bootstrap runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.exceptions import ConfigurationError
+from repro.storage.arrays import ArrayBDStore
+from repro.storage.base import BDStore
+from repro.storage.disk import DiskBDStore
+from repro.storage.memory import InMemoryBDStore
+from repro.types import Vertex, validate_backend
+
+
+@dataclass(frozen=True)
+class StoreURI:
+    """A parsed, validated store URI.
+
+    ``scheme`` is always lower-case and registered; ``path`` is the
+    file-system path carried by the URI (empty for path-less stores);
+    ``params`` are the validated query parameters.
+    """
+
+    scheme: str
+    path: str = ""
+    params: Dict[str, str] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        query = "&".join(f"{key}={value}" for key, value in self.params.items())
+        # A relative path must render as "scheme:path" — "scheme://path"
+        # would put the first segment into the host component, which
+        # parse_store_uri (rightly) refuses; keep str() round-trippable.
+        if self.path and not self.path.startswith("/"):
+            rendered = f"{self.scheme}:{self.path}"
+        else:
+            rendered = f"{self.scheme}://{self.path}"
+        return f"{rendered}?{query}" if query else rendered
+
+
+@dataclass(frozen=True)
+class StoreRequest:
+    """Everything a store factory may need to build a concrete store.
+
+    The framework/session layer fills this in from the graph and the
+    resolved configuration; a factory reads what it needs and ignores the
+    rest (an in-RAM store has no use for ``uri.path``, a path-less one no
+    use for ``capacity``).
+    """
+
+    uri: StoreURI
+    vertices: Tuple[Vertex, ...]
+    sources: Optional[Tuple[Vertex, ...]] = None
+    directed: bool = False
+    backend: str = "dicts"
+
+
+#: A factory turns a :class:`StoreRequest` into a live store.
+StoreFactory = Callable[[StoreRequest], BDStore]
+
+
+@dataclass(frozen=True)
+class _SchemeEntry:
+    factory: StoreFactory
+    allowed_params: Tuple[str, ...] = ()
+    accepts_path: bool = True
+
+
+_REGISTRY: Dict[str, _SchemeEntry] = {}
+
+
+def register_store_scheme(
+    scheme: str,
+    factory: StoreFactory,
+    allowed_params: Sequence[str] = (),
+    accepts_path: bool = True,
+    replace: bool = False,
+) -> None:
+    """Register ``factory`` to serve store URIs with the given ``scheme``.
+
+    Third-party stores use this to become addressable from
+    :class:`~repro.api.BetweennessConfig` (and therefore from config files
+    and the CLI) without any changes to the library:
+
+    >>> register_store_scheme("redis", build_redis_store,
+    ...                       allowed_params=("db",))   # doctest: +SKIP
+
+    ``allowed_params`` whitelists the query parameters
+    :func:`parse_store_uri` accepts for the scheme; anything else is
+    rejected with :class:`~repro.exceptions.ConfigurationError`.  Schemes
+    are case-insensitive.  Re-registering an existing scheme requires
+    ``replace=True`` (guarding against accidental shadowing of built-ins).
+    """
+    key = scheme.lower()
+    if not key or not key.isidentifier():
+        raise ConfigurationError(f"invalid store scheme {scheme!r}")
+    if key in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"store scheme {key!r} is already registered; pass replace=True "
+            "to override it"
+        )
+    _REGISTRY[key] = _SchemeEntry(
+        factory=factory,
+        allowed_params=tuple(allowed_params),
+        accepts_path=accepts_path,
+    )
+
+
+def registered_store_schemes() -> Tuple[str, ...]:
+    """The registered URI schemes, sorted (for error messages and docs)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def parse_store_uri(uri: str) -> StoreURI:
+    """Parse and validate a store URI against the registry.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` for an unknown
+    scheme, an unknown query parameter, a malformed query string, or a path
+    handed to a scheme that takes none.
+    """
+    if not isinstance(uri, str) or not uri.strip():
+        raise ConfigurationError(f"store URI must be a non-empty string, got {uri!r}")
+    split = urlsplit(uri)
+    scheme = split.scheme.lower()
+    if not scheme:
+        raise ConfigurationError(
+            f"store URI {uri!r} has no scheme; expected one of "
+            f"{registered_store_schemes()} (e.g. 'memory://' or "
+            "'disk:///path/to/bd.bin')"
+        )
+    entry = _REGISTRY.get(scheme)
+    if entry is None:
+        raise ConfigurationError(
+            f"unknown store scheme {scheme!r} in {uri!r}; registered schemes: "
+            f"{registered_store_schemes()}"
+        )
+    if split.fragment:
+        raise ConfigurationError(f"store URI {uri!r} must not carry a fragment")
+    # ``disk://bd.bin`` would put "bd.bin" into the netloc and silently
+    # lose it; require the unambiguous forms instead.
+    if split.netloc:
+        raise ConfigurationError(
+            f"store URI {uri!r} has a host component {split.netloc!r}; use "
+            f"'{scheme}:///absolute/path' or '{scheme}:relative/path'"
+        )
+    path = split.path
+    if path and not entry.accepts_path:
+        raise ConfigurationError(
+            f"store scheme {scheme!r} does not take a path, got {path!r}"
+        )
+    params: Dict[str, str] = {}
+    if split.query:
+        try:
+            pairs = parse_qsl(
+                split.query, keep_blank_values=True, strict_parsing=True
+            )
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"malformed query string in store URI {uri!r}: {exc}"
+            ) from exc
+        for key, value in pairs:
+            if key not in entry.allowed_params:
+                raise ConfigurationError(
+                    f"unknown query parameter {key!r} for store scheme "
+                    f"{scheme!r}; allowed: {entry.allowed_params or '(none)'}"
+                )
+            if key in params:
+                raise ConfigurationError(
+                    f"duplicate query parameter {key!r} in store URI {uri!r}"
+                )
+            params[key] = value
+    return StoreURI(scheme=scheme, path=path, params=params)
+
+
+def create_store(
+    uri: str,
+    vertices: Sequence[Vertex],
+    sources: Optional[Sequence[Vertex]] = None,
+    directed: bool = False,
+    backend: str = "dicts",
+) -> BDStore:
+    """Resolve a store URI into a live :class:`~repro.storage.base.BDStore`.
+
+    This is the single construction path the session layer (and any other
+    caller) uses; the ad-hoc ``store=`` / ``store_path=`` kwargs of the
+    engine classes remain as the low-level mechanism the resolved store is
+    handed to.
+    """
+    parsed = parse_store_uri(uri)
+    request = StoreRequest(
+        uri=parsed,
+        vertices=tuple(vertices),
+        sources=tuple(sources) if sources is not None else None,
+        directed=bool(directed),
+        backend=validate_backend(backend),
+    )
+    return _REGISTRY[parsed.scheme].factory(request)
+
+
+# --------------------------------------------------------------------------- #
+# Built-in factories
+# --------------------------------------------------------------------------- #
+def _parse_bool(value: str, key: str, uri: StoreURI) -> bool:
+    lowered = value.lower()
+    if lowered in ("true", "1", "yes"):
+        return True
+    if lowered in ("false", "0", "no"):
+        return False
+    raise ConfigurationError(
+        f"query parameter {key}={value!r} of store URI {uri} is not a "
+        "boolean (use true/false)"
+    )
+
+
+def _parse_int(value: str, key: str, uri: StoreURI) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        raise ConfigurationError(
+            f"query parameter {key}={value!r} of store URI {uri} is not an "
+            "integer"
+        ) from None
+
+
+def _build_array_store(request: StoreRequest) -> ArrayBDStore:
+    row_capacity = len(request.sources if request.sources is not None
+                       else request.vertices)
+    return ArrayBDStore(
+        request.vertices,
+        row_capacity=row_capacity,
+        directed=request.directed,
+    )
+
+
+def _build_memory_store(request: StoreRequest) -> BDStore:
+    # The arrays kernel repairs records through the column protocol, which
+    # the dict store cannot serve — its natural in-RAM store is the
+    # columnar one.
+    if request.backend == "arrays":
+        return _build_array_store(request)
+    return InMemoryBDStore()
+
+
+def _build_disk_store(request: StoreRequest) -> DiskBDStore:
+    params = request.uri.params
+    use_mmap = _parse_bool(params.get("mmap", "true"), "mmap", request.uri)
+    capacity = (
+        _parse_int(params["capacity"], "capacity", request.uri)
+        if "capacity" in params
+        else None
+    )
+    return DiskBDStore(
+        request.vertices,
+        path=request.uri.path or None,
+        capacity=capacity,
+        sources=request.sources,
+        use_mmap=use_mmap,
+        directed=request.directed,
+    )
+
+
+register_store_scheme("memory", _build_memory_store, accepts_path=False)
+register_store_scheme("arrays", _build_array_store, accepts_path=False)
+register_store_scheme(
+    "disk", _build_disk_store, allowed_params=("mmap", "capacity")
+)

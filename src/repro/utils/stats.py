@@ -7,9 +7,25 @@ exactly those artefacts from a list of per-edge measurements.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
+
+
+def top_k_items(items: Iterable[Tuple[object, float]], k: int) -> List[Tuple[object, float]]:
+    """The ``k`` best-ranked ``(element, score)`` pairs.
+
+    Ranking order is descending score with ties broken by ``repr`` of the
+    element (the historical full-sort order of the top-k monitor, kept so
+    rankings stay deterministic for any hashable element type).  Selection
+    runs through ``heapq``'s bounded-heap machinery — O(n log k) instead of
+    an O(n log n) full sort.  Shared by the session facade's ``top_k()``
+    and the top-k subscriber.
+    """
+    # nsmallest under the (-score, repr) key IS nlargest under the ranking
+    # order; heapq has no key-inverted nlargest for the string tie-break.
+    return heapq.nsmallest(k, items, key=lambda item: (-item[1], repr(item[0])))
 
 
 def median(values: Sequence[float]) -> float:

@@ -125,7 +125,11 @@ class TestDirectedModularity:
         assert result.num_levels == baseline.num_levels >= 1
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestTopKMonitor:
+    """Exercises the deprecated shim; the warning itself is asserted in
+    tests/test_api_config.py."""
+
     def test_snapshots_track_updates(self, two_communities):
         monitor = TopKMonitor(two_communities, k=3)
         snapshot = monitor.process(EdgeUpdate.addition(0, 5))

@@ -48,7 +48,8 @@ def assert_matches_serial(graph, updates, batch_size, store_factory=None):
         serial.apply(update)
     store = store_factory() if store_factory else None
     batched = IncrementalBetweenness(graph, store=store)
-    batched.process_stream_batched(updates, batch_size)
+    for chunk in batches(updates, batch_size):
+        batched.apply_updates(chunk)
     assert_scores_equal(
         batched.vertex_betweenness(), serial.vertex_betweenness(), TOLERANCE, "vertex"
     )
@@ -184,12 +185,11 @@ class TestBatchedBookkeeping:
         updates = random_update_sequence(graph, 12, seed=13, new_vertex_probability=0.0)
         one_by_one = IncrementalBetweenness(graph)
         loads_serial = sum(
-            r.sources_loaded for r in one_by_one.process_stream_batched(updates, 1)
+            one_by_one.apply_updates(chunk).sources_loaded
+            for chunk in batches(updates, 1)
         )
         batched = IncrementalBetweenness(graph)
-        loads_batched = sum(
-            r.sources_loaded for r in batched.process_stream_batched(updates, 12)
-        )
+        loads_batched = batched.apply_updates(updates).sources_loaded
         assert loads_batched <= loads_serial
         assert_scores_equal(
             batched.vertex_betweenness(), one_by_one.vertex_betweenness(), TOLERANCE

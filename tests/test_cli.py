@@ -201,3 +201,127 @@ class TestCommands:
                 "--edges", "2", "--mappers", "1",
                 "--store-path", str(tmp_path / "bd.bin"),
             )
+
+
+class TestVersionAndConfig:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_config_file_supplies_defaults(self, capsys, tmp_path):
+        from repro.api import BetweennessConfig
+
+        config_path = tmp_path / "run.json"
+        BetweennessConfig(backend="arrays", batch_size=2).save(config_path)
+        code, out = run_cli(
+            capsys,
+            "speedup", "--dataset", "synthetic-1k", "--vertices", "40",
+            "--edges", "2", "--config", str(config_path),
+        )
+        assert code == 0
+        # The batch column reflects the config file's batch_size.
+        assert "| 2 " in out or "| 2|" in out.replace(" ", "")
+
+    def test_flags_override_config_file(self, capsys, tmp_path):
+        from repro.api import BetweennessConfig
+
+        config_path = tmp_path / "run.json"
+        BetweennessConfig(batch_size=4).save(config_path)
+        code, out = run_cli(
+            capsys,
+            "speedup", "--dataset", "synthetic-1k", "--vertices", "40",
+            "--edges", "2", "--config", str(config_path), "--batch-size", "1",
+        )
+        assert code == 0
+        assert "| 4 " not in out
+
+    def test_config_file_store_uri_is_used(self, capsys, tmp_path):
+        from repro.api import BetweennessConfig
+
+        store = tmp_path / "bd.bin"
+        config_path = tmp_path / "run.json"
+        BetweennessConfig(store=f"disk:{store}").save(config_path)
+        code, _ = run_cli(
+            capsys,
+            "speedup", "--dataset", "synthetic-1k", "--vertices", "40",
+            "--edges", "1", "--config", str(config_path),
+        )
+        assert code == 0
+        assert store.exists()
+
+    def test_bad_config_file_rejected(self, capsys, tmp_path):
+        from repro.exceptions import ConfigurationError
+
+        config_path = tmp_path / "bad.json"
+        config_path.write_text('{"backend": "numpy"}')
+        with pytest.raises(ConfigurationError):
+            run_cli(
+                capsys,
+                "speedup", "--dataset", "synthetic-1k", "--vertices", "40",
+                "--config", str(config_path),
+            )
+
+    def test_resume_needs_no_flags_after_arrays_checkpoint(self, capsys, tmp_path):
+        """The checkpoint-embedded config drives resume: no --backend needed."""
+        store = tmp_path / "bd.bin"
+        checkpoint = tmp_path / "ck.bin"
+        code, _ = run_cli(
+            capsys,
+            "speedup", "--dataset", "synthetic-1k", "--vertices", "40",
+            "--edges", "2", "--variant", "DO", "--backend", "arrays",
+            "--store-path", str(store), "--checkpoint", str(checkpoint),
+        )
+        assert code == 0
+
+        code, out = run_cli(
+            capsys, "resume", "--checkpoint", str(checkpoint), "--edges", "2",
+            "--verify",
+        )
+        assert code == 0
+        assert "backend arrays" in out
+        assert "match" in out and "MISMATCH" not in out
+
+    def test_speedup_rejects_parallel_config(self, capsys, tmp_path):
+        from repro.api import BetweennessConfig
+        from repro.exceptions import ConfigurationError
+
+        config_path = tmp_path / "run.json"
+        BetweennessConfig(executor="process", workers=2).save(config_path)
+        with pytest.raises(ConfigurationError, match="serial executor"):
+            run_cli(
+                capsys,
+                "speedup", "--dataset", "synthetic-1k", "--vertices", "40",
+                "--edges", "1", "--config", str(config_path),
+            )
+
+    def test_online_simulate_honours_config_store_and_mappers(
+        self, capsys, tmp_path
+    ):
+        from repro.api import BetweennessConfig
+
+        config_path = tmp_path / "run.json"
+        BetweennessConfig(executor="mapreduce", workers=3, store="disk://").save(
+            config_path
+        )
+        code, out = run_cli(
+            capsys,
+            "online", "--dataset", "synthetic-1k", "--vertices", "40",
+            "--edges", "2", "--config", str(config_path),
+        )
+        assert code == 0
+        # One simulated row, at the config's worker count.
+        assert out.count("synthetic-1k") == 1
+        assert "| 3 " in out
+
+    def test_online_accepts_store_uri(self, capsys):
+        code, out = run_cli(
+            capsys,
+            "online", "--dataset", "synthetic-1k", "--vertices", "40",
+            "--edges", "2", "--workers", "2", "--store", "memory://",
+        )
+        assert code == 0
+        assert "(real)" in out

@@ -69,6 +69,7 @@ class TestFullPipelines:
         result = girvan_newman(evolving.base_graph(), max_removals=5)
         assert result.edges_processed == 5
 
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
     def test_monitor_ranking_matches_recomputed_ranking(self, social_graph):
         monitor = TopKMonitor(social_graph, k=5)
         updates = addition_stream(social_graph, 3, rng=9)

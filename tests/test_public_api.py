@@ -1,0 +1,69 @@
+"""Public-API snapshot: the import surface is frozen against a golden file.
+
+``docs/api.md`` documents the supported surface; this test pins it.  Any
+addition, removal or rename in the ``repro``, ``repro.api`` or
+``repro.storage`` export lists must update ``tests/data/public_api.txt`` in
+the same change (and ``docs/api.md`` with it) — silent drift between the
+code, the docs and the golden file is exactly what this guards against.
+
+To regenerate after an intentional change::
+
+    PYTHONPATH=src python tests/test_public_api.py --regenerate
+"""
+
+from pathlib import Path
+
+GOLDEN = Path(__file__).parent / "data" / "public_api.txt"
+
+
+def _current_surface() -> str:
+    import repro
+    import repro.api
+    import repro.storage
+
+    lines = []
+    for module in (repro, repro.api, repro.storage):
+        for name in sorted(module.__all__):
+            lines.append(f"{module.__name__}.{name}")
+    return "\n".join(lines) + "\n"
+
+
+def test_all_names_resolve():
+    import repro
+    import repro.api
+    import repro.storage
+
+    for module in (repro, repro.api, repro.storage):
+        missing = [name for name in module.__all__ if not hasattr(module, name)]
+        assert not missing, f"{module.__name__}.__all__ names missing: {missing}"
+
+
+def test_public_surface_matches_golden_file():
+    assert GOLDEN.exists(), (
+        f"golden file {GOLDEN} is missing; regenerate it with "
+        "`PYTHONPATH=src python tests/test_public_api.py --regenerate`"
+    )
+    expected = GOLDEN.read_text(encoding="utf-8")
+    actual = _current_surface()
+    assert actual == expected, (
+        "public import surface changed; if intentional, update docs/api.md "
+        "and regenerate tests/data/public_api.txt with "
+        "`PYTHONPATH=src python tests/test_public_api.py --regenerate`\n"
+        + "".join(
+            f"  {line}\n"
+            for line in sorted(
+                set(actual.splitlines()) ^ set(expected.splitlines())
+            )
+        )
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(_current_surface(), encoding="utf-8")
+        print(f"wrote {GOLDEN}")
+    else:
+        print(_current_surface(), end="")
