@@ -29,11 +29,22 @@ on:
 
 from __future__ import annotations
 
+from collections import deque
+from typing import Callable, Deque, Dict, FrozenSet, List, Optional, Set, Tuple
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.algorithms.brandes import SourceData
-from repro.core.repair import RepairPlan
+from repro.core.flat import (
+    FlatBatchState,
+    FlatScratch,
+    first_occurrence,
+    group_by_level,
+    slice_positions,
+)
+from repro.core.jit import scatter_add
+from repro.core.repair import FlatRepairPlan, RepairPlan
 from repro.graph.graph import Graph
 from repro.types import Edge, EdgeScores, Vertex, VertexScores
 
@@ -404,3 +415,898 @@ def _accumulate_directed(
     return AccumulationResult(
         new_delta=new_delta, vertices_touched=len(region)
     )
+
+
+# --------------------------------------------------------------------------- #
+# Vectorized (slot-space) variants
+# --------------------------------------------------------------------------- #
+def accumulate_flat(
+    state: FlatBatchState,
+    source: int,
+    distance: np.ndarray,
+    sigma: np.ndarray,
+    delta: np.ndarray,
+    plan: FlatRepairPlan,
+    vscore: np.ndarray,
+    registry,
+    scratch: FlatScratch,
+    exclude_new_edge: bool,
+    removed_reg_id: int = -1,
+) -> Tuple[np.ndarray, int]:
+    """Vectorized dependency accumulation over a :class:`FlatRepairPlan`.
+
+    ``distance`` / ``sigma`` / ``delta`` are the *old* (pre-update) columns,
+    ``plan`` carries the post-repair working columns, ``vscore`` the flat
+    vertex-score array and ``registry`` the kernel's
+    ``EdgeScoreRegistry`` (duck-typed: ``values`` array plus
+    ``activate_written``).  Returns ``(new_delta_column, vertices_touched)``;
+    the caller writes the column back and zeroes disconnected slots.
+
+    Chunks are processed whole because no dependency write can land on a
+    *member of the chunk that emits it*: new-DAG writes target parents one
+    level up; old-DAG writes target non-affected old-parents, which by the
+    undirected rigidity sit at the same or a lower new level and are never
+    chunk-mates (plan chunks are all-affected, fringe chunks all-fringe).
+    Per float accumulator the scatter order is the scalar visitation order:
+    chunk order is deque (FIFO append) order, flattened edges follow
+    adjacency order, and each edge's new-contribution precedes its
+    old-contribution via the even/odd sort keys.
+    """
+    if state.directed:
+        return _accumulate_directed_flat(
+            state,
+            source,
+            distance,
+            sigma,
+            delta,
+            plan,
+            vscore,
+            registry,
+            scratch,
+            exclude_new_edge,
+            removed_reg_id,
+        )
+    n = state.n
+    in_indptr = state.in_indptr
+    in_indices = state.in_indices
+    in_edge_ids = state.in_edge_ids
+    reg_of_edge = state.reg_of_edge
+    first_of = scratch.first_of
+    wd = plan.work_distance
+    ws = plan.work_sigma
+    affected = plan.affected_mask
+    high, low = plan.high, plan.low
+
+    nd = delta.copy()
+    tracked = np.zeros(n, dtype=np.bool_)
+    touched = 0
+    buckets: Dict[int, Deque[np.ndarray]] = {}
+    for level, members in plan.levels:
+        buckets.setdefault(level, deque()).append(members)
+        nd[members] = 0.0
+        tracked[members] = True
+        touched += members.size
+
+    # Removal seeding: subtract the removed edge's old dependency from its
+    # tail and its own score entry before the sweep (Alg. 2 lines 11-13).
+    if plan.removed_edge_dependency is not None:
+        red = plan.removed_edge_dependency
+        if not tracked[high]:
+            tracked[high] = True
+            touched += 1
+            seed_level = int(wd[high])
+            if seed_level != -1:
+                buckets.setdefault(seed_level, deque()).append(
+                    np.array([high], dtype=np.int64)
+                )
+        nd[high] -= red
+        rid = np.array([removed_reg_id], dtype=np.int64)
+        registry.activate_written(rid)
+        registry.values[removed_reg_id] -= red
+
+    processed = np.zeros(n, dtype=np.bool_)
+    max_level = max(buckets) if buckets else 0
+    for level in range(max_level, 0, -1):
+        queue = buckets.get(level)
+        if not queue:
+            continue
+        while queue:
+            chunk = queue.popleft()
+            chunk = chunk[~processed[chunk]]
+            if chunk.size == 0:
+                continue
+            processed[chunk] = True
+
+            wdo = distance[chunk]
+            deln = nd[chunk]
+            delo = np.where(wdo != -1, delta[chunk], 0.0)
+
+            positions, counts = slice_positions(in_indptr, chunk)
+            if positions.size:
+                par = in_indices[positions]
+                eid = reg_of_edge[in_edge_ids[positions]]
+                rep = np.repeat(np.arange(chunk.size, dtype=np.int64), counts)
+                pdn = wd[par]
+                pdo = distance[par]
+                new_e = (pdn != -1) & (pdn + 1 == level)
+                old_e = (wdo[rep] != -1) & (pdo != -1) & (pdo + 1 == wdo[rep])
+                if exclude_new_edge:
+                    # The freshly added edge met the old parent/child
+                    # distance relation but did not exist before the update.
+                    member = chunk[rep]
+                    old_e &= ~(
+                        ((member == high) | (member == low))
+                        & ((par == high) | (par == low))
+                    )
+
+                i_new = np.flatnonzero(new_e)
+                i_old = np.flatnonzero(old_e)
+                c_new = (
+                    ws[par[i_new]] / ws[chunk][rep[i_new]]
+                    * (1.0 + deln[rep[i_new]])
+                )
+                c_old = (
+                    sigma[par[i_old]] / sigma[chunk][rep[i_old]]
+                    * (1.0 + delo[rep[i_old]])
+                )
+
+                # Dependency flow: new contributions to every new-DAG parent,
+                # old ones subtracted from non-affected old-DAG parents only
+                # (affected parents rebuild from scratch).  Even/odd keys
+                # interleave them back into per-edge new-before-old order.
+                nd_keep = ~affected[par[i_old]]
+                i_old_nd = i_old[nd_keep]
+                order = np.argsort(
+                    np.concatenate((2 * i_new, 2 * i_old_nd + 1))
+                )
+                nd_targets = np.concatenate((par[i_new], par[i_old_nd]))[order]
+                nd_values = np.concatenate((c_new, -c_old[nd_keep]))[order]
+
+                # Fringe vertices enter the sweep the first time a write
+                # lands on them, in write order; rigidity puts them at the
+                # current level (live queue) or below (their own bucket).
+                fresh = first_occurrence(
+                    nd_targets[~tracked[nd_targets]], first_of
+                )
+                if fresh.size:
+                    tracked[fresh] = True
+                    touched += fresh.size
+                    for lvl, members in group_by_level(
+                        fresh, wd[fresh].astype(np.int64)
+                    ):
+                        if lvl == level:
+                            queue.append(members)
+                        else:
+                            buckets.setdefault(lvl, deque()).append(members)
+                scatter_add(nd, nd_targets, nd_values)
+
+                # Edge scores take both flows on every DAG edge.
+                eorder = np.argsort(np.concatenate((2 * i_new, 2 * i_old + 1)))
+                e_targets = np.concatenate((eid[i_new], eid[i_old]))[eorder]
+                e_values = np.concatenate((c_new, -c_old))[eorder]
+                registry.activate_written(e_targets)
+                scatter_add(registry.values, e_targets, e_values)
+
+            # Same association as the scalar update — (score + new) - old,
+            # two sequential float ops — not score + (new - old).
+            keep = chunk != source
+            targets = chunk[keep]
+            vscore[targets] = vscore[targets] + deln[keep] - delo[keep]
+
+    # Disconnected vertices: dependency disappears along with every old-DAG
+    # edge among them (Algorithm 10).
+    disconnected = plan.disconnected
+    if disconnected.size:
+        wdo = distance[disconnected]
+        delo = np.where(wdo != -1, delta[disconnected], 0.0)
+        keep = disconnected != source
+        vscore[disconnected[keep]] -= delo[keep]
+        positions, counts = slice_positions(in_indptr, disconnected)
+        if positions.size:
+            par = in_indices[positions]
+            eid = reg_of_edge[in_edge_ids[positions]]
+            rep = np.repeat(
+                np.arange(disconnected.size, dtype=np.int64), counts
+            )
+            pdo = distance[par]
+            old_e = (wdo[rep] != -1) & (pdo != -1) & (pdo + 1 == wdo[rep])
+            i_old = np.flatnonzero(old_e)
+            c_old = (
+                sigma[par[i_old]] / sigma[disconnected][rep[i_old]]
+                * (1.0 + delo[rep[i_old]])
+            )
+            targets = eid[i_old]
+            registry.activate_written(targets)
+            scatter_add(registry.values, targets, -c_old)
+
+    return nd, touched
+
+
+def _accumulate_directed_flat(
+    state: FlatBatchState,
+    source: int,
+    distance: np.ndarray,
+    sigma: np.ndarray,
+    delta: np.ndarray,
+    plan: FlatRepairPlan,
+    vscore: np.ndarray,
+    registry,
+    scratch: FlatScratch,
+    exclude_new_edge: bool,
+    removed_reg_id: int,
+) -> Tuple[np.ndarray, int]:
+    """Vectorized :func:`_accumulate_directed` (three order-free phases).
+
+    Region membership, not order, determines every result here: phase 2 is
+    a pure function of the new DAG evaluated level-synchronously, and phase
+    3 touches each vertex- and edge-accumulator from exactly one region
+    vertex's scan (new contribution before old, like the scalar loop) — so
+    the scalar's set-iteration seed order need not be reproduced.
+    """
+    n = state.n
+    indptr, indices = state.indptr, state.indices
+    in_indptr = state.in_indptr
+    in_indices = state.in_indices
+    in_edge_ids = state.in_edge_ids
+    reg_of_edge = state.reg_of_edge
+    first_of = scratch.first_of
+    wd = plan.work_distance
+    ws = plan.work_sigma
+    high, low = plan.high, plan.low
+
+    # ------------------------------------------------------------------ #
+    # Phase 1: upward closure of the changed region.
+    # ------------------------------------------------------------------ #
+    region_mask = np.zeros(n, dtype=np.bool_)
+    region_chunks: List[np.ndarray] = []
+    frontier: Deque[np.ndarray] = deque()
+
+    def join(candidates: np.ndarray) -> None:
+        fresh = first_occurrence(candidates[~region_mask[candidates]], first_of)
+        if fresh.size:
+            region_mask[fresh] = True
+            region_chunks.append(fresh)
+            frontier.append(fresh)
+
+    seeds = [members for _level, members in plan.levels]
+    if plan.disconnected.size:
+        seeds.append(plan.disconnected)
+    if plan.removed_edge_dependency is not None:
+        seeds.append(np.array([high], dtype=np.int64))
+    if seeds:
+        join(seeds[0] if len(seeds) == 1 else np.concatenate(seeds))
+    while frontier:
+        members = frontier.popleft()
+        positions, counts = slice_positions(in_indptr, members)
+        if positions.size == 0:
+            continue
+        par = in_indices[positions]
+        rep = np.repeat(np.arange(members.size, dtype=np.int64), counts)
+        wdn = wd[members][rep]
+        wdo = distance[members][rep]
+        pdn = wd[par]
+        pdo = distance[par]
+        joins = ((wdn != -1) & (pdn != -1) & (pdn + 1 == wdn)) | (
+            (wdo != -1) & (pdo != -1) & (pdo + 1 == wdo)
+        )
+        join(par[joins])
+    region = (
+        region_chunks[0]
+        if len(region_chunks) == 1
+        else np.concatenate(region_chunks)
+        if region_chunks
+        else np.empty(0, dtype=np.int64)
+    )
+
+    # ------------------------------------------------------------------ #
+    # Phase 2: new dependencies by descending new distance.
+    # ------------------------------------------------------------------ #
+    nd = delta.copy()
+    reach = region[wd[region] != -1]
+    if reach.size:
+        reach_levels = wd[reach].astype(np.int64)
+        for level in np.unique(reach_levels)[::-1]:
+            members = reach[reach_levels == level]
+            segments = np.zeros(members.size, dtype=np.float64)
+            positions, counts = slice_positions(indptr, members)
+            if positions.size:
+                children = indices[positions]
+                rep = np.repeat(
+                    np.arange(members.size, dtype=np.int64), counts
+                )
+                child_mask = wd[children] == level + 1
+                if child_mask.any():
+                    # Children outside the region contribute their stored
+                    # (unchanged) dependency, which nd still holds.
+                    terms = (
+                        ws[members][rep[child_mask]]
+                        / ws[children[child_mask]]
+                        * (1.0 + nd[children[child_mask]])
+                    )
+                    scatter_add(segments, rep[child_mask], terms)
+            nd[members] = segments
+
+    # ------------------------------------------------------------------ #
+    # Phase 3: fold the corrections into the global scores.
+    # ------------------------------------------------------------------ #
+    if plan.removed_edge_dependency is not None:
+        rid = np.array([removed_reg_id], dtype=np.int64)
+        registry.activate_written(rid)
+        registry.values[removed_reg_id] -= plan.removed_edge_dependency
+
+    if region.size:
+        wdn_v = wd[region]
+        wdo_v = distance[region]
+        wdeln = np.where(wdn_v != -1, nd[region], 0.0)
+        wdelo = np.where(wdo_v != -1, delta[region], 0.0)
+        # (score + new) - old, matching the scalar update's association.
+        keep = region != source
+        targets = region[keep]
+        vscore[targets] = vscore[targets] + wdeln[keep] - wdelo[keep]
+
+        positions, counts = slice_positions(in_indptr, region)
+        if positions.size:
+            par = in_indices[positions]
+            eid = reg_of_edge[in_edge_ids[positions]]
+            rep = np.repeat(np.arange(region.size, dtype=np.int64), counts)
+            pdn = wd[par]
+            pdo = distance[par]
+            wdn_r = wdn_v[rep]
+            wdo_r = wdo_v[rep]
+            new_p = (wdn_r != -1) & (pdn != -1) & (pdn + 1 == wdn_r)
+            old_p = (wdo_r != -1) & (pdo != -1) & (pdo + 1 == wdo_r)
+            if exclude_new_edge:
+                old_p &= ~((par == high) & (region[rep] == low))
+            i_new = np.flatnonzero(new_p)
+            i_old = np.flatnonzero(old_p)
+            c_new = (
+                ws[par[i_new]] / ws[region][rep[i_new]]
+                * (1.0 + wdeln[rep[i_new]])
+            )
+            c_old = (
+                sigma[par[i_old]] / sigma[region][rep[i_old]]
+                * (1.0 + wdelo[rep[i_old]])
+            )
+            # Each directed edge id is scanned from exactly one region
+            # vertex, so two ordered scatters keep every accumulator's
+            # new-before-old sequence.
+            targets = eid[i_new]
+            registry.activate_written(targets)
+            scatter_add(registry.values, targets, c_new)
+            targets = eid[i_old]
+            registry.activate_written(targets)
+            scatter_add(registry.values, targets, -c_old)
+
+    return nd, int(region.size)
+
+
+class CohortScoreStreams:
+    """Deferred write streams for the batch-shared score accumulators.
+
+    The solo sweep is *source-outer*: every float that source ``s``
+    contributes to ``vscore`` or an edge score — across all updates of the
+    batch — lands before any contribution of a later source.  The cohort
+    sweep is update-outer, so instead of writing during the sweep it
+    records ``(source ordinal, target, value)`` triples here; nothing
+    reads either accumulator mid-batch (registry pops and score reads all
+    happen in batch finalization), so applying the streams once at the end
+    of the sweep — stably sorted by ordinal, which keeps each source's
+    update-then-emission order intact — reproduces the solo float
+    sequence per accumulator exactly.
+    """
+
+    def __init__(self) -> None:
+        self.vs_g: List[np.ndarray] = []
+        self.vs_slot: List[np.ndarray] = []
+        self.vs_val: List[np.ndarray] = []
+        self.es_g: List[np.ndarray] = []
+        self.es_id: List[np.ndarray] = []
+        self.es_val: List[np.ndarray] = []
+
+    def extend(
+        self,
+        ordinals: np.ndarray,
+        vs_k: List[np.ndarray],
+        vs_slot: List[np.ndarray],
+        vs_val: List[np.ndarray],
+        es_k: List[np.ndarray],
+        es_id: List[np.ndarray],
+        es_val: List[np.ndarray],
+    ) -> None:
+        """Adopt one sweep's local-``k`` streams, remapped to ordinals."""
+        for part in vs_k:
+            self.vs_g.append(ordinals[part])
+        self.vs_slot.extend(vs_slot)
+        self.vs_val.extend(vs_val)
+        for part in es_k:
+            self.es_g.append(ordinals[part])
+        self.es_id.extend(es_id)
+        self.es_val.extend(es_val)
+
+    def flush(self, vscore: np.ndarray, registry) -> None:
+        """Apply both streams in source-major (ordinal) order."""
+        if self.vs_g:
+            g = np.concatenate(self.vs_g)
+            order = np.argsort(g, kind="stable")
+            scatter_add(
+                vscore,
+                np.concatenate(self.vs_slot)[order],
+                np.concatenate(self.vs_val)[order],
+            )
+        if self.es_g:
+            g = np.concatenate(self.es_g)
+            order = np.argsort(g, kind="stable")
+            ids = np.concatenate(self.es_id)[order]
+            registry.activate_written(ids)
+            scatter_add(registry.values, ids, np.concatenate(self.es_val)[order])
+        self.vs_g, self.vs_slot, self.vs_val = [], [], []
+        self.es_g, self.es_id, self.es_val = [], [], []
+
+
+
+def accumulate_cohort(
+    state: FlatBatchState,
+    work_distance: np.ndarray,
+    work_sigma: np.ndarray,
+    old_distance: np.ndarray,
+    old_sigma: np.ndarray,
+    new_delta: np.ndarray,
+    old_delta: np.ndarray,
+    affected_rows: Optional[np.ndarray],
+    sources: np.ndarray,
+    highs: np.ndarray,
+    lows: np.ndarray,
+    ordinals: np.ndarray,
+    chunk_k: np.ndarray,
+    chunk_s: np.ndarray,
+    chunk_l: np.ndarray,
+    rem_k: np.ndarray,
+    rem_red: np.ndarray,
+    rem_rid: np.ndarray,
+    disc_k: np.ndarray,
+    disc_s: np.ndarray,
+    streams: CohortScoreStreams,
+    exclude_new_edge: bool,
+    pair_first: np.ndarray,
+) -> np.ndarray:
+    """Dependency accumulation for a whole cohort of sources at once.
+
+    All jobs repair the *same* update, so they share one compiled
+    snapshot; the sweep runs in (job ordinal ``k``, vertex slot) pair
+    space, which multiplies chunk widths by the cohort size and amortises
+    the per-chunk numpy dispatch cost that dominates solo
+    :func:`accumulate_flat` on small per-source regions.
+
+    Bit-identity with the solo sweep run source by source in batch order
+    holds per float accumulator:
+
+    * per-source ``nd`` cells live in disjoint rows of ``new_delta``, and
+      within a row the write sequence is exactly the solo sequence (each
+      ``k``'s subsequence of the merged chunk deque is its solo chunk
+      sequence, and fringe admission order is emission order);
+    * the shared ``vscore`` / edge-score arrays are never *read* during the
+      batch sweep, so their writes are recorded into ``streams`` (see
+      :class:`CohortScoreStreams`) and applied source-major after the whole
+      batch — the solo loop-nest order;
+    * every recorded value is computed from the same operands with the same
+      ops as solo (``+(-x)`` replacing ``-x`` is bitwise identical in
+      IEEE-754).
+
+    Inputs describe the slab's jobs in stacked form: ``(m, n)`` work
+    columns plus pristine pre-update stacks (``old_*``; ``new_delta``
+    starts as a copy of ``old_delta`` and is turned into the post-update
+    delta rows in place), ``(m,)`` job vectors, the merged plan chunks as
+    ``(k, slot, level)`` triples, removal seeds as ``(k, dependency,
+    registry id)`` columns, and structural-removal disconnected sets as
+    ``(k, slot)`` pair columns in per-job discovery order.  Returns the
+    per-job touched-pair counts; the repaired delta is left in
+    ``new_delta``.
+    """
+    if state.directed:
+        return _accumulate_directed_cohort(
+            state,
+            work_distance,
+            work_sigma,
+            old_distance,
+            old_sigma,
+            new_delta,
+            old_delta,
+            sources,
+            highs,
+            lows,
+            ordinals,
+            chunk_k,
+            chunk_s,
+            rem_k,
+            rem_red,
+            rem_rid,
+            disc_k,
+            disc_s,
+            streams,
+            exclude_new_edge,
+            pair_first,
+        )
+    n = state.n
+    m = len(sources)
+    in_indptr = state.in_indptr
+    in_indices = state.in_indices
+    in_edge_ids = state.in_edge_ids
+    reg_of_edge = state.reg_of_edge
+    wd_flat = work_distance.reshape(-1)
+    ws_flat = work_sigma.reshape(-1)
+    od_flat = old_distance.reshape(-1)
+    os_flat = old_sigma.reshape(-1)
+    nd_flat = new_delta.reshape(-1)
+    odel_flat = old_delta.reshape(-1)
+    aff_flat = affected_rows.reshape(-1)
+
+    tracked = np.zeros(m * n, dtype=np.bool_)
+    processed = np.zeros(m * n, dtype=np.bool_)
+
+    # Plan chunks, merged per level: each k's members arrive in its solo
+    # chunk order, so its subsequence of every bucket equals the solo deque.
+    buckets: Dict[int, Deque[Tuple[np.ndarray, np.ndarray]]] = {}
+    if chunk_k.size:
+        chunk_pid = chunk_k * n + chunk_s
+        nd_flat[chunk_pid] = 0.0
+        tracked[chunk_pid] = True
+        for level, sel in group_by_level(
+            np.arange(chunk_k.size, dtype=np.int64), chunk_l
+        ):
+            buckets.setdefault(level, deque()).append(
+                (chunk_k[sel], chunk_s[sel])
+            )
+
+    # Deferred shared-score streams: (k, target, value).
+    es_k: List[np.ndarray] = []
+    es_id: List[np.ndarray] = []
+    es_val: List[np.ndarray] = []
+    vs_k: List[np.ndarray] = []
+    vs_slot: List[np.ndarray] = []
+    vs_val: List[np.ndarray] = []
+
+    # Removal seeding, merged across the cohort (Alg. 2 lines 11-13): one
+    # seed chunk per level, appended after the plan chunks like each solo
+    # seed follows its own plan chunks.  Seed pairs are per-job distinct,
+    # so the fancy-indexed subtraction has no duplicate targets.
+    if rem_k.size:
+        rh = highs[rem_k]
+        rem_pid = rem_k * n + rh
+        fresh_sel = ~tracked[rem_pid]
+        tracked[rem_pid[fresh_sel]] = True
+        seed_sel = fresh_sel & (wd_flat[rem_pid] != -1)
+        sk = rem_k[seed_sel]
+        sh = rh[seed_sel]
+        for lvl, sel in group_by_level(
+            np.arange(sk.size, dtype=np.int64),
+            wd_flat[rem_pid[seed_sel]].astype(np.int64),
+        ):
+            buckets.setdefault(lvl, deque()).append((sk[sel], sh[sel]))
+        nd_flat[rem_pid] -= rem_red
+        es_k.append(rem_k)
+        es_id.append(rem_rid)
+        es_val.append(-rem_red)
+
+    max_level = max(buckets) if buckets else 0
+    for level in range(max_level, 0, -1):
+        queue = buckets.get(level)
+        if not queue:
+            continue
+        while queue:
+            kc, chunk = queue.popleft()
+            mpid = kc * n + chunk
+            alive = ~processed[mpid]
+            if not alive.all():
+                kc = kc[alive]
+                chunk = chunk[alive]
+                mpid = mpid[alive]
+            if chunk.size == 0:
+                continue
+            processed[mpid] = True
+
+            wdo = od_flat[mpid]
+            deln = nd_flat[mpid]
+            delo = np.where(wdo != -1, odel_flat[mpid], 0.0)
+
+            positions, counts = slice_positions(in_indptr, chunk)
+            if positions.size:
+                par = in_indices[positions]
+                eid = reg_of_edge[in_edge_ids[positions]]
+                rep = np.repeat(np.arange(chunk.size, dtype=np.int64), counts)
+                krep = kc[rep]
+                ppid = krep * n + par
+                pdn = wd_flat[ppid]
+                pdo = od_flat[ppid]
+                new_e = (pdn != -1) & (pdn + 1 == level)
+                old_e = (wdo[rep] != -1) & (pdo != -1) & (pdo + 1 == wdo[rep])
+                if exclude_new_edge:
+                    member = chunk[rep]
+                    hi = highs[krep]
+                    lo = lows[krep]
+                    old_e &= ~(
+                        ((member == hi) | (member == lo))
+                        & ((par == hi) | (par == lo))
+                    )
+
+                i_new = np.flatnonzero(new_e)
+                i_old = np.flatnonzero(old_e)
+                c_new = (
+                    ws_flat[ppid[i_new]]
+                    / ws_flat[mpid][rep[i_new]]
+                    * (1.0 + deln[rep[i_new]])
+                )
+                c_old = (
+                    os_flat[ppid[i_old]]
+                    / os_flat[mpid][rep[i_old]]
+                    * (1.0 + delo[rep[i_old]])
+                )
+
+                nd_keep = ~aff_flat[ppid[i_old]]
+                i_old_nd = i_old[nd_keep]
+                order = np.argsort(
+                    np.concatenate((2 * i_new, 2 * i_old_nd + 1))
+                )
+                nd_pid = np.concatenate((ppid[i_new], ppid[i_old_nd]))[order]
+                nd_values = np.concatenate((c_new, -c_old[nd_keep]))[order]
+
+                fresh = first_occurrence(nd_pid[~tracked[nd_pid]], pair_first)
+                if fresh.size:
+                    tracked[fresh] = True
+                    fk = fresh // n
+                    fs = fresh - fk * n
+                    flvl = wd_flat[fresh].astype(np.int64)
+                    for lvl, sel in group_by_level(
+                        np.arange(fk.size, dtype=np.int64), flvl
+                    ):
+                        pair_chunk = (fk[sel], fs[sel])
+                        if lvl == level:
+                            queue.append(pair_chunk)
+                        else:
+                            buckets.setdefault(lvl, deque()).append(pair_chunk)
+                scatter_add(nd_flat, nd_pid, nd_values)
+
+                eorder = np.argsort(np.concatenate((2 * i_new, 2 * i_old + 1)))
+                es_k.append(np.concatenate((krep[i_new], krep[i_old]))[eorder])
+                es_id.append(np.concatenate((eid[i_new], eid[i_old]))[eorder])
+                es_val.append(np.concatenate((c_new, -c_old))[eorder])
+
+            # Two deferred single adds per member — +new then -old — replay
+            # the solo (score + new) - old association exactly.
+            keep = chunk != sources[kc]
+            tk = kc[keep]
+            ts = chunk[keep]
+            vs_k.append(np.repeat(tk, 2))
+            vs_slot.append(np.repeat(ts, 2))
+            vals = np.empty(ts.size * 2, dtype=np.float64)
+            vals[0::2] = deln[keep]
+            vals[1::2] = -delo[keep]
+            vs_val.append(vals)
+
+    # Disconnected tails, merged across the cohort (Algorithm 10): each
+    # k's entries keep their solo order, and the ordinal-stable flush puts
+    # them after that k's sweep entries like the solo epilogue.
+    if disc_k.size:
+        dpid = disc_k * n + disc_s
+        wdo = od_flat[dpid]
+        delo = np.where(wdo != -1, odel_flat[dpid], 0.0)
+        keep = disc_s != sources[disc_k]
+        vs_k.append(disc_k[keep])
+        vs_slot.append(disc_s[keep])
+        vs_val.append(-delo[keep])
+        positions, counts = slice_positions(in_indptr, disc_s)
+        if positions.size:
+            par = in_indices[positions]
+            eid = reg_of_edge[in_edge_ids[positions]]
+            rep = np.repeat(np.arange(disc_s.size, dtype=np.int64), counts)
+            ppid = disc_k[rep] * n + par
+            pdo = od_flat[ppid]
+            old_e = (wdo[rep] != -1) & (pdo != -1) & (pdo + 1 == wdo[rep])
+            i_old = np.flatnonzero(old_e)
+            c_old = (
+                os_flat[ppid[i_old]]
+                / os_flat[dpid][rep[i_old]]
+                * (1.0 + delo[rep[i_old]])
+            )
+            es_k.append(disc_k[rep[i_old]])
+            es_id.append(eid[i_old])
+            es_val.append(-c_old)
+
+    streams.extend(ordinals, vs_k, vs_slot, vs_val, es_k, es_id, es_val)
+    return tracked.reshape(m, n).sum(axis=1).astype(np.int64)
+
+
+def _accumulate_directed_cohort(
+    state: FlatBatchState,
+    work_distance: np.ndarray,
+    work_sigma: np.ndarray,
+    old_distance: np.ndarray,
+    old_sigma: np.ndarray,
+    new_delta: np.ndarray,
+    old_delta: np.ndarray,
+    sources: np.ndarray,
+    highs: np.ndarray,
+    lows: np.ndarray,
+    ordinals: np.ndarray,
+    chunk_k: np.ndarray,
+    chunk_s: np.ndarray,
+    rem_k: np.ndarray,
+    rem_red: np.ndarray,
+    rem_rid: np.ndarray,
+    disc_k: np.ndarray,
+    disc_s: np.ndarray,
+    streams: CohortScoreStreams,
+    exclude_new_edge: bool,
+    pair_first: np.ndarray,
+) -> np.ndarray:
+    """Cohort variant of :func:`_accumulate_directed_flat`.
+
+    The three solo phases are order-free (see the solo docstring), so the
+    pair-space lift only has to preserve *per-accumulator* sequences: the
+    phase-2 level loop runs over global absolute levels (a per-k no-op on
+    levels a region lacks), and phase 3 emits all new contributions before
+    all old ones so the ordinal-stable flush yields the solo
+    new-before-old order per edge id within each source.
+    """
+    n = state.n
+    m = len(sources)
+    indptr, indices = state.indptr, state.indices
+    in_indptr = state.in_indptr
+    in_indices = state.in_indices
+    in_edge_ids = state.in_edge_ids
+    reg_of_edge = state.reg_of_edge
+    wd_flat = work_distance.reshape(-1)
+    ws_flat = work_sigma.reshape(-1)
+    od_flat = old_distance.reshape(-1)
+    os_flat = old_sigma.reshape(-1)
+    nd_flat = new_delta.reshape(-1)
+    odel_flat = old_delta.reshape(-1)
+
+    # ------------------------------------------------------------------ #
+    # Phase 1: upward closure of every job's changed region.
+    # ------------------------------------------------------------------ #
+    region_mask = np.zeros(m * n, dtype=np.bool_)
+    region_chunks: List[np.ndarray] = []
+    frontier: Deque[Tuple[np.ndarray, np.ndarray]] = deque()
+
+    def join(cpid: np.ndarray) -> None:
+        fresh = first_occurrence(cpid[~region_mask[cpid]], pair_first)
+        if fresh.size:
+            region_mask[fresh] = True
+            region_chunks.append(fresh)
+            fk = fresh // n
+            frontier.append((fk, fresh - fk * n))
+
+    seed_pids: List[np.ndarray] = [chunk_k * n + chunk_s]
+    if disc_k.size:
+        seed_pids.append(disc_k * n + disc_s)
+    if rem_k.size:
+        seed_pids.append(rem_k * n + highs[rem_k])
+    join(np.concatenate(seed_pids))
+    while frontier:
+        fk, fs = frontier.popleft()
+        positions, counts = slice_positions(in_indptr, fs)
+        if positions.size == 0:
+            continue
+        rep = np.repeat(np.arange(fs.size, dtype=np.int64), counts)
+        fpid = fk * n + fs
+        ppid = fk[rep] * n + in_indices[positions]
+        wdn = wd_flat[fpid][rep]
+        wdo = od_flat[fpid][rep]
+        pdn = wd_flat[ppid]
+        pdo = od_flat[ppid]
+        joins = ((wdn != -1) & (pdn != -1) & (pdn + 1 == wdn)) | (
+            (wdo != -1) & (pdo != -1) & (pdo + 1 == wdo)
+        )
+        join(ppid[joins])
+    if region_chunks:
+        region_pid = (
+            region_chunks[0]
+            if len(region_chunks) == 1
+            else np.concatenate(region_chunks)
+        )
+    else:
+        region_pid = np.empty(0, dtype=np.int64)
+    region_k = region_pid // n
+    region_s = region_pid - region_k * n
+
+    # ------------------------------------------------------------------ #
+    # Phase 2: new dependencies by descending (global) new distance.
+    # ------------------------------------------------------------------ #
+    rwd = wd_flat[region_pid]
+    sel = rwd != -1
+    reach_pid = region_pid[sel]
+    reach_levels = rwd[sel].astype(np.int64)
+    if reach_pid.size:
+        for level in np.unique(reach_levels)[::-1]:
+            msel = reach_levels == level
+            mpid = reach_pid[msel]
+            mk = mpid // n
+            ms = mpid - mk * n
+            segments = np.zeros(mpid.size, dtype=np.float64)
+            positions, counts = slice_positions(indptr, ms)
+            if positions.size:
+                rep = np.repeat(np.arange(ms.size, dtype=np.int64), counts)
+                kpid = mk[rep] * n + indices[positions]
+                child_mask = wd_flat[kpid] == level + 1
+                if child_mask.any():
+                    terms = (
+                        ws_flat[mpid][rep[child_mask]]
+                        / ws_flat[kpid[child_mask]]
+                        * (1.0 + nd_flat[kpid[child_mask]])
+                    )
+                    scatter_add(segments, rep[child_mask], terms)
+            nd_flat[mpid] = segments
+
+    # ------------------------------------------------------------------ #
+    # Phase 3: fold the corrections into the global scores (deferred).
+    # ------------------------------------------------------------------ #
+    es_k: List[np.ndarray] = []
+    es_id: List[np.ndarray] = []
+    es_val: List[np.ndarray] = []
+    vs_k: List[np.ndarray] = []
+    vs_slot: List[np.ndarray] = []
+    vs_val: List[np.ndarray] = []
+
+    if rem_k.size:
+        es_k.append(rem_k)
+        es_id.append(rem_rid)
+        es_val.append(-rem_red)
+
+    if region_pid.size:
+        wdn_v = wd_flat[region_pid]
+        wdo_v = od_flat[region_pid]
+        wdeln = np.where(wdn_v != -1, nd_flat[region_pid], 0.0)
+        wdelo = np.where(wdo_v != -1, odel_flat[region_pid], 0.0)
+        keep = region_s != sources[region_k]
+        tk = region_k[keep]
+        ts = region_s[keep]
+        vs_k.append(np.repeat(tk, 2))
+        vs_slot.append(np.repeat(ts, 2))
+        vals = np.empty(ts.size * 2, dtype=np.float64)
+        vals[0::2] = wdeln[keep]
+        vals[1::2] = -wdelo[keep]
+        vs_val.append(vals)
+
+        positions, counts = slice_positions(in_indptr, region_s)
+        if positions.size:
+            par = in_indices[positions]
+            eid = reg_of_edge[in_edge_ids[positions]]
+            rep = np.repeat(np.arange(region_s.size, dtype=np.int64), counts)
+            krep = region_k[rep]
+            ppid = krep * n + par
+            pdn = wd_flat[ppid]
+            pdo = od_flat[ppid]
+            wdn_r = wdn_v[rep]
+            wdo_r = wdo_v[rep]
+            new_p = (wdn_r != -1) & (pdn != -1) & (pdn + 1 == wdn_r)
+            old_p = (wdo_r != -1) & (pdo != -1) & (pdo + 1 == wdo_r)
+            if exclude_new_edge:
+                old_p &= ~(
+                    (par == highs[krep]) & (region_s[rep] == lows[krep])
+                )
+            i_new = np.flatnonzero(new_p)
+            i_old = np.flatnonzero(old_p)
+            c_new = (
+                ws_flat[ppid[i_new]]
+                / ws_flat[region_pid][rep[i_new]]
+                * (1.0 + wdeln[rep[i_new]])
+            )
+            c_old = (
+                os_flat[ppid[i_old]]
+                / os_flat[region_pid][rep[i_old]]
+                * (1.0 + wdelo[rep[i_old]])
+            )
+            # All news before all olds: after the ordinal-stable flush each
+            # job's stream is its seed, then its news, then its olds — and
+            # each directed edge id is scanned from exactly one region
+            # vertex of a job, so per-accumulator order matches the solo
+            # scatters.
+            es_k.append(krep[i_new])
+            es_id.append(eid[i_new])
+            es_val.append(c_new)
+            es_k.append(krep[i_old])
+            es_id.append(eid[i_old])
+            es_val.append(-c_old)
+
+    streams.extend(ordinals, vs_k, vs_slot, vs_val, es_k, es_id, es_val)
+    return region_mask.reshape(m, n).sum(axis=1).astype(np.int64)

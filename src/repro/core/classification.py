@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.algorithms.brandes import SourceData
 from repro.core.updates import EdgeUpdate
@@ -169,3 +169,74 @@ def _has_other_predecessor(graph: Graph, data: SourceData, low: Vertex) -> bool:
         if data.distance.get(neighbor) == target_level:
             return True
     return False
+
+
+def classify_flat(state, distance) -> Tuple[UpdateCase, int, int]:
+    """Slot-space :func:`classify` over a record's raw distance column.
+
+    ``state`` is the :class:`~repro.core.flat.FlatBatchState` of the update
+    (graph already reflecting it, endpoints as slots) and ``distance`` the
+    length-``n`` int16 column (``-1`` = unreachable).  Returns
+    ``(case, high, low)`` with slot endpoints (``-1`` when skipped); the
+    decision tree is a literal transcription of :func:`classify` /
+    :func:`_classify_directed` with ``-1`` standing in for ``None``.
+    """
+    us, vs = state.us, state.vs
+    du = int(distance[us])
+    dv = int(distance[vs])
+    if state.directed:
+        if du == -1:
+            return UpdateCase.SKIP, -1, -1
+        if state.is_addition:
+            if dv == -1:
+                return UpdateCase.ADD_STRUCTURAL, us, vs
+            dd = dv - du
+            if dd <= 0:
+                return UpdateCase.SKIP, -1, -1
+            if dd == 1:
+                return UpdateCase.ADD_NO_STRUCTURE, us, vs
+            return UpdateCase.ADD_STRUCTURAL, us, vs
+        if dv == -1:
+            return UpdateCase.SKIP, -1, -1
+        if dv - du != 1:
+            return UpdateCase.SKIP, -1, -1
+        if _has_other_predecessor_flat(state, distance, vs):
+            return UpdateCase.REMOVE_NO_STRUCTURE, us, vs
+        return UpdateCase.REMOVE_STRUCTURAL, us, vs
+
+    if du == -1 and dv == -1:
+        return UpdateCase.SKIP, -1, -1
+    # Order the endpoints: uH is closer to the source (unreachable counts
+    # as infinitely far; ties keep u as uH, like the dict classifier).
+    if dv == -1 or (du != -1 and du <= dv):
+        high, low, d_high, d_low = us, vs, du, dv
+    else:
+        high, low, d_high, d_low = vs, us, dv, du
+
+    if state.is_addition:
+        if d_low == -1:
+            return UpdateCase.ADD_STRUCTURAL, high, low
+        dd = d_low - d_high
+        if dd == 0:
+            return UpdateCase.SKIP, -1, -1
+        if dd == 1:
+            return UpdateCase.ADD_NO_STRUCTURE, high, low
+        return UpdateCase.ADD_STRUCTURAL, high, low
+
+    if d_low == -1 or d_high == -1:
+        return UpdateCase.SKIP, -1, -1
+    if d_low - d_high == 0:
+        return UpdateCase.SKIP, -1, -1
+    if _has_other_predecessor_flat(state, distance, low):
+        return UpdateCase.REMOVE_NO_STRUCTURE, high, low
+    return UpdateCase.REMOVE_STRUCTURAL, high, low
+
+
+def _has_other_predecessor_flat(state, distance, low: int) -> bool:
+    """Flat form of :func:`_has_other_predecessor` over the in-CSR."""
+    target_level = int(distance[low]) - 1
+    start = state.in_indptr[low]
+    stop = state.in_indptr[low + 1]
+    if start == stop:
+        return False
+    return bool((distance[state.in_indices[start:stop]] == target_level).any())

@@ -1,0 +1,163 @@
+"""Shared primitives of the vectorized (slot-space) update-sweep repair.
+
+The vectorized repair phases in :mod:`repro.core.addition`,
+:mod:`repro.core.removal` and :mod:`repro.core.accumulation` all work on the
+same raw material: a compiled CSR snapshot of the graph *as of one update of
+the batch* (:class:`FlatBatchState`), the record's column arrays, and a
+couple of order-preserving array tricks.  This module holds that common
+ground.
+
+The two tricks carry the bit-identity burden:
+
+* :func:`slice_positions` flattens the adjacency slices of a vertex array in
+  *vertex order* — the exact sequence a scalar ``for v: for nbr in adj[v]``
+  double loop visits;
+* :func:`first_occurrence` deduplicates such a flattened sequence keeping the
+  first copy of every slot in encounter order — the exact sequence in which
+  a scalar loop guarded by a "seen" set admits them.
+
+Everything else in the vectorized phases is arithmetic on arrays arranged by
+these two orders, applied through the ordered scatter-add of
+:mod:`repro.core.jit`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FlatBatchState",
+    "FlatScratch",
+    "slice_positions",
+    "first_occurrence",
+    "group_by_level",
+]
+
+
+class FlatBatchState:
+    """Compiled slot-space graph snapshot for one update of a batch.
+
+    Holds the out- and in-CSR families of the graph *after* applying the
+    batch prefix up to and including this update (the state every scalar
+    repair of this update sees), plus ``reg_of_edge`` mapping this
+    snapshot's edge ids to persistent :class:`~repro.core.kernel.\
+EdgeScoreRegistry` ids, so edge-score contributions land in the same
+    accumulator across snapshots.
+    """
+
+    __slots__ = (
+        "n",
+        "directed",
+        "indptr",
+        "indices",
+        "edge_ids",
+        "in_indptr",
+        "in_indices",
+        "in_edge_ids",
+        "reg_of_edge",
+        "us",
+        "vs",
+        "is_addition",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        directed: bool,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        edge_ids: np.ndarray,
+        in_indptr: np.ndarray,
+        in_indices: np.ndarray,
+        in_edge_ids: np.ndarray,
+        reg_of_edge: np.ndarray,
+        us: int,
+        vs: int,
+        is_addition: bool,
+    ) -> None:
+        self.n = n
+        self.directed = directed
+        self.indptr = indptr
+        self.indices = indices
+        self.edge_ids = edge_ids
+        self.in_indptr = in_indptr
+        self.in_indices = in_indices
+        self.in_edge_ids = in_edge_ids
+        self.reg_of_edge = reg_of_edge
+        self.us = us
+        self.vs = vs
+        self.is_addition = is_addition
+
+
+class FlatScratch:
+    """Reusable length-``n`` scratch arrays for the vectorized repair.
+
+    ``first_of`` backs :func:`first_occurrence`; ``position_of`` and
+    ``member_mask`` back the accumulation sweep's same-level write-hazard
+    detection.  ``member_mask`` must be all-``False`` between uses (every
+    user restores it); the other two carry no invariant.
+    """
+
+    __slots__ = ("n", "first_of", "position_of", "member_mask")
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.first_of = np.empty(n, dtype=np.int64)
+        self.position_of = np.empty(n, dtype=np.int64)
+        self.member_mask = np.zeros(n, dtype=np.bool_)
+
+
+def slice_positions(
+    indptr: np.ndarray, vertices: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flattened ``indices`` positions of every vertex's adjacency slice.
+
+    Returns ``(positions, counts)`` where ``positions`` walks the slices in
+    ``vertices`` order — i.e. the exact order a scalar loop ``for v in
+    vertices: for nbr in adj[v]`` would visit them.
+    """
+    starts = indptr[vertices]
+    counts = indptr[vertices + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), counts
+    offsets = np.cumsum(counts) - counts
+    positions = np.arange(total, dtype=np.int64) + np.repeat(
+        starts - offsets, counts
+    )
+    return positions, counts
+
+
+def first_occurrence(values: np.ndarray, scratch: np.ndarray) -> np.ndarray:
+    """First copy of every slot in ``values``, in encounter order.
+
+    ``scratch`` is a length-``n`` int64 array (slots index into it); its
+    contents are overwritten before every read.  Reversed assignment makes
+    the *first* occurrence win, so comparing each element's recorded first
+    position with its own position keeps exactly the first copy of every
+    slot — no sort, no hashing.
+    """
+    if values.size <= 1:
+        return values
+    flat = np.arange(values.size, dtype=np.int64)
+    scratch[values[::-1]] = flat[::-1]
+    return values[scratch[values] == flat]
+
+
+def group_by_level(
+    vertices: np.ndarray, levels: np.ndarray
+) -> List[Tuple[int, np.ndarray]]:
+    """Split ``vertices`` into per-level groups, preserving order within each.
+
+    The scalar code appends each vertex to ``buckets[level]`` while
+    iterating ``vertices``; a stable selection per distinct level reproduces
+    every bucket's append order exactly.
+    """
+    out: List[Tuple[int, np.ndarray]] = []
+    if vertices.size == 0:
+        return out
+    for level in np.unique(levels):
+        out.append((int(level), vertices[levels == level]))
+    return out

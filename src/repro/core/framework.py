@@ -130,6 +130,7 @@ class IncrementalBetweenness:
         self._graph = graph.copy()
         self._backend = validate_backend(backend)
         self._kernel: Optional[ArrayKernel] = None
+        self._vector_batch = False
         self._restricted = sources is not None
         self._maintain_predecessors = maintain_predecessors
         self._predecessors: Dict[Vertex, Dict[Vertex, set]] = {}
@@ -248,6 +249,7 @@ class IncrementalBetweenness:
         self._graph = graph.copy()
         self._backend = validate_backend(backend)
         self._kernel = None
+        self._vector_batch = False
         self._restricted = restricted
         self._maintain_predecessors = False
         self._predecessors = {}
@@ -583,15 +585,6 @@ class IncrementalBetweenness:
         if self._kernel is not None:
             self._kernel.remove_edge(u, v)
 
-    def _graph_remove_vertex(self, vertex: Vertex) -> None:
-        """Remove an (isolated) vertex from the label graph.
-
-        The CSR mirror keeps the slot — slots are permanent, exactly like
-        the store's column slots — which is harmless: an isolated slot is
-        never reached by any traversal.
-        """
-        self._graph.remove_vertex(vertex)
-
     def _register_vertex(self, vertex: Vertex) -> None:
         """Give a stream-born vertex a store slot (and CSR/score slots)."""
         if self._kernel is not None:
@@ -606,10 +599,16 @@ class IncrementalBetweenness:
             return self._kernel.load(source)
         return self._store.get(source)
 
-    def _repair_record(self, source: Vertex, data, update: EdgeUpdate):
+    def _repair_record(
+        self,
+        source: Vertex,
+        data,
+        update: EdgeUpdate,
+        update_index: Optional[int] = None,
+    ):
         """Run one (source, update) repair on the loaded record."""
         if self._kernel is not None:
-            return self._kernel.repair(data, update)
+            return self._kernel.repair(data, update, update_index)
         return update_source(
             self._graph,
             data,
@@ -684,40 +683,136 @@ class IncrementalBetweenness:
         # Sweep the existing sources once each (Step 2, loop inverted).
         sources = list(self._store.sources())
         to_load = self._sources_to_load(sources, batch)
+        kernel_batch = (
+            self._kernel.begin_batch(batch) if self._kernel is not None else False
+        )
+        self._vector_batch = kernel_batch
+        try:
+            if kernel_batch and self._kernel.cohort_capable:
+                self._sweep_batch_cohort(
+                    sources, to_load, adopted, batch, results, batch_result
+                )
+            else:
+                for source in sources:
+                    if to_load is not None:
+                        first = to_load.get(source)
+                        skip = first is None
+                    else:
+                        first = 0
+                        skip = self._peek_all_skip(source, batch)
+                    if skip:
+                        for result in results:
+                            result.record(
+                                SourceUpdateStats(case=UpdateCase.SKIP)
+                            )
+                        batch_result.sources_peek_skipped += 1
+                        continue
+                    data = self._load_record(source)
+                    batch_result.sources_loaded += 1
+                    # Updates before the source's first failing peek are
+                    # proven skips on an untouched record — recorded
+                    # without replaying.
+                    for index in range(first):
+                        results[index].record(
+                            SourceUpdateStats(case=UpdateCase.SKIP)
+                        )
+                    self._replay_batch_for_source(
+                        source, data, first, batch, results
+                    )
+                    self._save_record(source, data)
+
+                # Sources born inside the batch replay only their suffix.
+                for vertex, birth in sorted(
+                    adopted.items(), key=lambda item: item[1]
+                ):
+                    if self._kernel is not None:
+                        # The identity record goes into the column store
+                        # first and is then repaired in place — same final
+                        # state as the dict path's build-then-put, with no
+                        # intermediate dict record.
+                        self._store.add_source(vertex)
+                        data = self._kernel.load(vertex)
+                    else:
+                        data = SourceData(source=vertex)
+                        data.distance[vertex] = 0
+                        data.sigma[vertex] = 1
+                        data.delta[vertex] = 0.0
+                    self._replay_batch_for_source(
+                        vertex, data, birth, batch, results
+                    )
+                    self._save_record(vertex, data)
+                    batch_result.sources_loaded += 1
+        finally:
+            self._vector_batch = False
+            if kernel_batch:
+                self._kernel.end_batch()
+
+        self._finalize_batch(batch, births)
+        return batch_result
+
+    def _sweep_batch_cohort(
+        self,
+        sources: List[Vertex],
+        to_load: Optional[Dict[Vertex, int]],
+        adopted: Dict[Vertex, int],
+        batch: List[EdgeUpdate],
+        results: List[UpdateResult],
+        batch_result: BatchResult,
+    ) -> None:
+        """Update-outer sweep: each update repairs its whole cohort at once.
+
+        Source-outer replay (the solo path) runs every (source, update)
+        repair on its own tiny region; flipping the loop nest lets the
+        kernel accumulate one update across *all* affected sources in a
+        single pair-space sweep (:meth:`ArrayKernel.repair_update_cohort`),
+        which is where the batched sweep's speedup comes from.  Peek
+        semantics, per-update stats and the final record/score state are
+        identical to the source-outer loop.
+        """
+        active: List[Tuple[Vertex, int]] = []
         for source in sources:
             if to_load is not None:
-                skip = source not in to_load
+                first = to_load.get(source)
+                skip = first is None
             else:
+                first = 0
                 skip = self._peek_all_skip(source, batch)
             if skip:
                 for result in results:
                     result.record(SourceUpdateStats(case=UpdateCase.SKIP))
                 batch_result.sources_peek_skipped += 1
                 continue
-            data = self._load_record(source)
-            batch_result.sources_loaded += 1
-            self._replay_batch_for_source(source, data, 0, batch, results)
-            self._save_record(source, data)
-
-        # Sources born inside the batch replay only their suffix of it.
+            for index in range(first):
+                results[index].record(SourceUpdateStats(case=UpdateCase.SKIP))
+            active.append((source, first))
+        # Row growth reallocates the store's matrices, so every born source
+        # gets its row before any record view is opened.
         for vertex, birth in sorted(adopted.items(), key=lambda item: item[1]):
-            if self._kernel is not None:
-                # The identity record goes into the column store first and
-                # is then repaired in place — same final state as the dict
-                # path's build-then-put, with no intermediate dict record.
-                self._store.add_source(vertex)
-                data = self._kernel.load(vertex)
-            else:
-                data = SourceData(source=vertex)
-                data.distance[vertex] = 0
-                data.sigma[vertex] = 1
-                data.delta[vertex] = 0.0
-            self._replay_batch_for_source(vertex, data, birth, batch, results)
-            self._save_record(vertex, data)
-            batch_result.sources_loaded += 1
-
-        self._finalize_batch(batch, births)
-        return batch_result
+            self._store.add_source(vertex)
+            active.append((vertex, birth))
+        loaded = [
+            (source, self._kernel.load(source), first)
+            for source, first in active
+        ]
+        batch_result.sources_loaded += len(loaded)
+        for index in range(len(batch)):
+            cohort = [
+                (ordinal, data)
+                for ordinal, (_source, data, first) in enumerate(loaded)
+                if first <= index
+            ]
+            if not cohort:
+                continue
+            stats_list = self._kernel.repair_update_cohort(
+                [data for _ordinal, data in cohort],
+                [ordinal for ordinal, _data in cohort],
+                index,
+            )
+            for stats in stats_list:
+                results[index].record(stats)
+        self._kernel.flush_cohort_scores()
+        for source, data, _first in loaded:
+            self._save_record(source, data)
 
     def _resolve_adoptions(
         self, adopt: Optional[Iterable[Vertex]], births: Dict[Vertex, int]
@@ -748,16 +843,18 @@ class IncrementalBetweenness:
 
     def _sources_to_load(
         self, sources: List[Vertex], batch: List[EdgeUpdate]
-    ) -> Optional[set]:
+    ) -> Optional[Dict[Vertex, int]]:
         """Vectorized Proposition 3.1 peek over the whole source set.
 
         Arrays backend only: one fancy-indexed gather over the stored
         distance columns decides, for every source at once, whether the
         batch can possibly affect it — the same decision the scalar
-        per-source peek makes, without a Python loop over sources.
-        Returns ``None`` when unavailable (dicts backend, or a store that
-        cannot serve distance blocks), in which case the caller falls back
-        to the scalar peek.
+        per-source peek makes, without a Python loop over sources.  The
+        result maps each possibly-affected source to the index of the
+        first update whose peek fails; earlier updates are proven skips
+        and need not be replayed.  Returns ``None`` when unavailable
+        (dicts backend, or a store that cannot serve distance blocks), in
+        which case the caller falls back to the scalar peek.
         """
         if self._kernel is None or not sources:
             return None
@@ -814,33 +911,49 @@ class IncrementalBetweenness:
         Updates before ``start_index`` (the source's birth) mutate the graph
         but are not repaired, matching the serial path where the source did
         not exist yet.
+
+        The rewind restores adjacency *snapshots* rather than applying
+        inverse updates: re-adding a removed edge would append it at the
+        end of its endpoints' neighbor lists, perturbing iteration order
+        for every subsequent source and thereby the floating-point
+        summation order of their repairs.  Snapshot restore keeps each
+        source's roll starting from the bit-identical pre-batch order —
+        the same order the compiled snapshots of the vectorized path see.
+
+        Inside a vectorized batch window the rolling is skipped entirely:
+        every repair reads a compiled per-update snapshot taken by
+        :meth:`ArrayKernel.begin_batch`, and nothing in the flat repair
+        path consults the label graph or the live CSR mirror.
         """
-        applied: List[Tuple[EdgeUpdate, Tuple[Vertex, ...]]] = []
+        if self._vector_batch:
+            for index, update in enumerate(batch):
+                if index < start_index:
+                    continue
+                stats = self._repair_record(source, data, update, index)
+                results[index].record(stats)
+            return
+        endpoints = {w for update in batch for w in update.endpoints}
+        graph_snapshot = self._graph.adjacency_snapshot(endpoints)
+        kernel_snapshot = (
+            self._kernel.adjacency_snapshot(endpoints)
+            if self._kernel is not None
+            else None
+        )
         try:
             for index, update in enumerate(batch):
                 u, v = update.endpoints
                 if update.kind is UpdateKind.ADDITION:
-                    added = tuple(
-                        w for w in (u, v) if not self._graph.has_vertex(w)
-                    )
                     self._graph_add_edge(u, v)
                 else:
-                    added = ()
                     self._graph_remove_edge(u, v)
-                applied.append((update, added))
                 if index < start_index:
                     continue
                 stats = self._repair_record(source, data, update)
                 results[index].record(stats)
         finally:
-            for update, added in reversed(applied):
-                u, v = update.endpoints
-                if update.kind is UpdateKind.ADDITION:
-                    self._graph_remove_edge(u, v)
-                    for vertex in added:
-                        self._graph_remove_vertex(vertex)
-                else:
-                    self._graph_add_edge(u, v)
+            self._graph.restore_adjacency(graph_snapshot)
+            if kernel_snapshot is not None:
+                self._kernel.restore_adjacency(kernel_snapshot)
 
     def _finalize_batch(
         self, batch: List[EdgeUpdate], births: Dict[Vertex, int]

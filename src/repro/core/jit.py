@@ -1,0 +1,89 @@
+"""Optional Numba acceleration for the vectorized repair kernel.
+
+The update-sweep repair (:mod:`repro.core.accumulation` and friends) is
+expressed almost entirely in whole-array numpy operations, but its single
+irreducible inner loop — the ordered scatter-add that lands every
+contribution on its accumulator in the scalar visitation order — goes through ``np.add.at``,
+which is markedly slower than a compiled loop.  When Numba is installed
+(``pip install repro[jit]``) that loop is JIT-compiled; otherwise the pure
+numpy implementation is used.  Both execute the *same* additions on the same
+operands in the same sequence, so results are bit-identical either way —
+the JIT is a speed switch, never a semantics switch.
+
+Control surface:
+
+* auto-detection at import: the JIT is used iff ``numba`` imports cleanly;
+* ``REPRO_DISABLE_JIT=1`` in the environment forces the numpy fallback even
+  with Numba installed (the CI matrix runs both legs);
+* :func:`set_jit_enabled` toggles at runtime (used by the differential
+  tests to run one stream through both implementations in one process).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = [
+    "DISABLE_ENV",
+    "jit_available",
+    "jit_enabled",
+    "set_jit_enabled",
+    "scatter_add",
+]
+
+#: Environment variable that disables the JIT even when Numba is present.
+DISABLE_ENV = "REPRO_DISABLE_JIT"
+
+try:  # pragma: no cover - exercised only when numba is installed
+    import numba as _numba  # type: ignore[import-not-found]
+
+    _HAVE_NUMBA = True
+except Exception:  # pragma: no cover - the baked-in environment has no numba
+    _numba = None
+    _HAVE_NUMBA = False
+
+_enabled = _HAVE_NUMBA and not os.environ.get(DISABLE_ENV)
+
+
+def jit_available() -> bool:
+    """Whether Numba imported successfully (regardless of the enable flag)."""
+    return _HAVE_NUMBA
+
+
+def jit_enabled() -> bool:
+    """Whether scatter-adds currently dispatch to the compiled loop."""
+    return _enabled
+
+
+def set_jit_enabled(on: bool) -> bool:
+    """Enable/disable the JIT at runtime; returns the *effective* state.
+
+    Enabling is a request, not a guarantee — without Numba the fallback
+    stays in force and ``False`` is returned.
+    """
+    global _enabled
+    _enabled = bool(on) and _HAVE_NUMBA
+    return _enabled
+
+
+if _HAVE_NUMBA:  # pragma: no cover - exercised only when numba is installed
+
+    @_numba.njit(cache=True)
+    def _scatter_add_jit(acc, idx, vals):  # type: ignore[no-untyped-def]
+        for k in range(idx.shape[0]):
+            acc[idx[k]] += vals[k]
+
+    def scatter_add(acc: np.ndarray, idx: np.ndarray, vals: np.ndarray) -> None:
+        """Ordered ``acc[idx[k]] += vals[k]`` for ``k = 0, 1, ...`` in sequence."""
+        if _enabled:
+            _scatter_add_jit(acc, idx, vals)
+        else:
+            np.add.at(acc, idx, vals)
+
+else:
+
+    def scatter_add(acc: np.ndarray, idx: np.ndarray, vals: np.ndarray) -> None:
+        """Ordered ``acc[idx[k]] += vals[k]`` for ``k = 0, 1, ...`` in sequence."""
+        np.add.at(acc, idx, vals)

@@ -31,6 +31,8 @@ sequence, and the two backends return byte-for-byte equal scores.
 
 from __future__ import annotations
 
+import os
+from time import perf_counter
 from typing import (
     Dict,
     Iterable,
@@ -38,13 +40,31 @@ from typing import (
     List,
     Optional,
     Sequence,
-    Set,
     Tuple,
 )
 
 import numpy as np
 
 from repro.algorithms.brandes import BrandesResult, SourceData
+from repro.core.accumulation import (
+    CohortScoreStreams,
+    accumulate_cohort,
+    accumulate_flat,
+)
+from repro.core.addition import (
+    repair_addition_structural_cohort,
+    repair_addition_structural_flat,
+    repair_same_level_cohort,
+    repair_same_level_flat,
+)
+from repro.core.classification import UpdateCase, classify_flat
+from repro.core.flat import FlatBatchState, FlatScratch
+from repro.core.removal import (
+    repair_removal_same_level_flat,
+    repair_removal_structural_cohort,
+    repair_removal_structural_flat,
+)
+from repro.core.repair import FlatRepairPlan
 from repro.core.result import SourceUpdateStats
 from repro.core.source_update import update_source
 from repro.core.updates import EdgeUpdate
@@ -63,9 +83,17 @@ from repro.types import UNREACHABLE, Vertex, canonical_edge
 
 __all__ = [
     "ArrayKernel",
+    "EdgeScoreRegistry",
     "FlatSourceData",
     "brandes_betweenness_arrays",
 ]
+
+#: Environment variable forcing the scalar (per-vertex) repair path.
+VECTOR_ENV = "REPRO_VECTOR_REPAIR"
+
+#: Environment variable forcing solo (per-source) flat repairs — disables
+#: the cohort sweep without touching the vectorized path itself.
+COHORT_ENV = "REPRO_COHORT_REPAIR"
 
 
 def _slot_edge_key(i: int, j: int) -> Tuple[int, int]:
@@ -76,6 +104,155 @@ def _slot_edge_key(i: int, j: int) -> Tuple[int, int]:
 def _directed_slot_edge_key(i: int, j: int) -> Tuple[int, int]:
     """Oriented slot-pair key for directed graphs (no canonicalisation)."""
     return (i, j)
+
+
+class EdgeScoreRegistry:
+    """Slot-pair edge scores as a flat float64 array behind a dict facade.
+
+    The vectorized accumulation folds a whole level's edge contributions
+    into one scatter-add, which needs every edge score to live at a stable
+    integer id.  The registry assigns each slot pair a *permanent* id on
+    first sight (ids survive the edge being removed and re-added, so every
+    compiled snapshot of a batch maps its edge ids to the same
+    accumulators) and keeps the scores in :attr:`values` with an
+    :attr:`active` mask tracking which pairs currently "exist" as dict
+    keys.
+
+    The mapping face reproduces plain-dict semantics for the scalar repair
+    path and the label facade: ``pop`` deactivates *and zeroes* the slot,
+    so a re-added edge starts from the same ``get(key, 0.0)`` baseline the
+    dict backend sees.  Iteration runs in ascending id order — a permuted
+    key order relative to the dict backend, which only equality / per-key
+    comparisons observe (none of the consumers depend on insertion order).
+    """
+
+    __slots__ = ("_id_of", "_pairs", "values", "active", "_count")
+
+    def __init__(self) -> None:
+        self._id_of: Dict[Tuple[int, int], int] = {}
+        self._pairs: List[Tuple[int, int]] = []
+        self.values = np.zeros(8, dtype=np.float64)
+        self.active = np.zeros(8, dtype=np.bool_)
+        self._count = 0
+
+    def _ensure_capacity(self, needed: int) -> None:
+        capacity = len(self.values)
+        if needed <= capacity:
+            return
+        grown = max(needed, capacity + (capacity >> 1) + 1)
+        values = np.zeros(grown, dtype=np.float64)
+        values[:capacity] = self.values
+        active = np.zeros(grown, dtype=np.bool_)
+        active[:capacity] = self.active
+        self.values = values
+        self.active = active
+
+    # -- id management (vectorized path) ------------------------------- #
+    def ensure_id(self, pair: Tuple[int, int]) -> int:
+        """Permanent id of ``pair``, assigning one on first sight."""
+        edge_id = self._id_of.get(pair)
+        if edge_id is None:
+            edge_id = len(self._pairs)
+            self._id_of[pair] = edge_id
+            self._pairs.append(pair)
+            self._ensure_capacity(edge_id + 1)
+        return edge_id
+
+    def ensure_ids(self, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
+        """Ids of a compiled snapshot's ``edge_pairs``, in snapshot order."""
+        out = np.empty(len(pairs), dtype=np.int64)
+        for position, pair in enumerate(pairs):
+            out[position] = self.ensure_id(pair)
+        return out
+
+    def activate_written(self, ids: np.ndarray) -> None:
+        """Make every id in ``ids`` an active key before it is scattered to.
+
+        Freshly activated slots start from 0.0 — the ``get(key, 0.0)``
+        baseline the scalar accumulation uses for unseen edges.
+        """
+        inactive = ids[~self.active[ids]]
+        if inactive.size:
+            fresh = np.unique(inactive)
+            self.values[fresh] = 0.0
+            self.active[fresh] = True
+            self._count += int(fresh.size)
+
+    def reset(self, pairs: Sequence[Tuple[int, int]], scores: np.ndarray) -> None:
+        """Replace the whole registry (bootstrap): ``pairs[k]`` gets id ``k``."""
+        self._id_of = {pair: edge_id for edge_id, pair in enumerate(pairs)}
+        self._pairs = list(pairs)
+        count = len(self._pairs)
+        capacity = max(count, 8)
+        self.values = np.zeros(capacity, dtype=np.float64)
+        self.values[:count] = scores
+        self.active = np.zeros(capacity, dtype=np.bool_)
+        self.active[:count] = True
+        self._count = count
+
+    # -- mapping face (scalar path + label facade) ---------------------- #
+    def get(self, key: Tuple[int, int], default=None):
+        edge_id = self._id_of.get(key)
+        if edge_id is None or not self.active[edge_id]:
+            return default
+        return float(self.values[edge_id])
+
+    def __getitem__(self, key: Tuple[int, int]) -> float:
+        edge_id = self._id_of.get(key)
+        if edge_id is None or not self.active[edge_id]:
+            raise KeyError(key)
+        return float(self.values[edge_id])
+
+    def __setitem__(self, key: Tuple[int, int], value: float) -> None:
+        edge_id = self.ensure_id(key)
+        if not self.active[edge_id]:
+            self.active[edge_id] = True
+            self._count += 1
+        self.values[edge_id] = value
+
+    def setdefault(self, key: Tuple[int, int], default: float = 0.0) -> float:
+        edge_id = self.ensure_id(key)
+        if not self.active[edge_id]:
+            self.active[edge_id] = True
+            self._count += 1
+            self.values[edge_id] = default
+        return float(self.values[edge_id])
+
+    def pop(self, key: Tuple[int, int], default=None):
+        edge_id = self._id_of.get(key)
+        if edge_id is None or not self.active[edge_id]:
+            return default
+        value = float(self.values[edge_id])
+        self.active[edge_id] = False
+        self.values[edge_id] = 0.0
+        self._count -= 1
+        return value
+
+    def __contains__(self, key: Tuple[int, int]) -> bool:
+        edge_id = self._id_of.get(key)
+        return edge_id is not None and bool(self.active[edge_id])
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        active = self.active
+        for edge_id, pair in enumerate(self._pairs):
+            if active[edge_id]:
+                yield pair
+
+    def __len__(self) -> int:
+        return self._count
+
+    def keys(self) -> List[Tuple[int, int]]:
+        return list(self)
+
+    def items(self) -> Iterator[Tuple[Tuple[int, int], float]]:
+        active = self.active
+        values = self.values
+        for edge_id, pair in enumerate(self._pairs):
+            if active[edge_id]:
+                yield pair, float(values[edge_id])
+
+    def copy(self) -> Dict[Tuple[int, int], float]:
+        return dict(self.items())
 
 
 # --------------------------------------------------------------------------- #
@@ -574,9 +751,17 @@ class ArrayKernel:
         self.csr = CSRGraph.from_graph(graph, index)
         self._vscore = np.zeros(max(len(index), 1), dtype=np.float64)
         self._vscore_mv = memoryview(self._vscore)
-        self._escore: Dict[Tuple[int, int], float] = {}
+        self._escore = EdgeScoreRegistry()
         self._slot_graph = _SlotGraphView(self.csr)
         self._slot_scores = _SlotVertexScores(self)
+        self._vector_enabled = os.environ.get(VECTOR_ENV, "1") != "0"
+        self._batch_states: Optional[List[FlatBatchState]] = None
+        self._scratch: Optional[FlatScratch] = None
+        self._cohort_streams: Optional[CohortScoreStreams] = None
+        #: When set to a dict, the flat repair path accumulates per-phase
+        #: wall-clock seconds into the keys "classify" / "repair" /
+        #: "accumulate" (benchmark instrumentation, off by default).
+        self.phase_timings: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------ #
     # Facades
@@ -615,6 +800,30 @@ class ArrayKernel:
         """Mirror a label-graph edge removal."""
         self.csr.remove_edge(self.index.slot(u), self.index.slot(v))
 
+    def adjacency_snapshot(self, labels: Iterable[Vertex]) -> tuple:
+        """Capture the CSR rows of ``labels`` for an order-exact rewind.
+
+        Labels without a slot yet (stream births rolled in later) are
+        remembered and their rows cleared on restore — slots are permanent,
+        so clearing is exactly the freshly registered state.
+        """
+        slots: List[int] = []
+        unregistered: List[Vertex] = []
+        for label in labels:
+            if label in self.index:
+                slots.append(self.index.slot(label))
+            else:
+                unregistered.append(label)
+        return self.csr.adjacency_snapshot(slots), unregistered
+
+    def restore_adjacency(self, snapshot: tuple) -> None:
+        """Reinstate CSR rows captured by :meth:`adjacency_snapshot`."""
+        (rows, num_edges), unregistered = snapshot
+        for label in unregistered:
+            if label in self.index:
+                rows[self.index.slot(label)] = None
+        self.csr.restore_adjacency((rows, num_edges))
+
     # ------------------------------------------------------------------ #
     # Records
     # ------------------------------------------------------------------ #
@@ -636,10 +845,77 @@ class ArrayKernel:
             )
 
     # ------------------------------------------------------------------ #
-    # Step 2: per-source repair (shared machinery, slot space)
+    # Step 2: per-source repair (vectorized by default, scalar fallback)
     # ------------------------------------------------------------------ #
-    def repair(self, data: FlatSourceData, update: EdgeUpdate) -> SourceUpdateStats:
-        """Run one (source, update) repair on the flat record."""
+    def begin_batch(self, batch: Sequence[EdgeUpdate]) -> bool:
+        """Compile per-update graph snapshots for a vectorized batch sweep.
+
+        Rolls a clone of the CSR mirror forward through the batch, stashing
+        the compiled out-/in-CSR families after every update — the graph
+        state each scalar repair of that update would see.  Stashing
+        references is safe because a recompile *replaces* the arrays rather
+        than mutating them.  Returns False (and compiles nothing) when the
+        vectorized path is disabled via ``REPRO_VECTOR_REPAIR=0``; the
+        caller then rolls the live graph exactly as before.
+        """
+        if not self._vector_enabled or not batch:
+            return False
+        self._sync_capacity()
+        n = len(self.index)
+        if self._scratch is None or self._scratch.n < n:
+            self._scratch = FlatScratch(n)
+        work = self.csr.clone()
+        work.ensure_vertices(n)
+        states: List[FlatBatchState] = []
+        for update in batch:
+            us = self.index.slot(update.u)
+            vs = self.index.slot(update.v)
+            if update.is_addition:
+                work.add_edge(us, vs)
+            else:
+                work.remove_edge(us, vs)
+            indptr, indices, edge_ids, edge_pairs = work.compiled()
+            in_indptr, in_indices, in_edge_ids = work.compiled_in()
+            reg_of_edge = self._escore.ensure_ids(edge_pairs)
+            states.append(
+                FlatBatchState(
+                    n,
+                    self.directed,
+                    indptr,
+                    indices,
+                    edge_ids,
+                    in_indptr,
+                    in_indices,
+                    in_edge_ids,
+                    reg_of_edge,
+                    us,
+                    vs,
+                    update.is_addition,
+                )
+            )
+        self._batch_states = states
+        return True
+
+    def end_batch(self) -> None:
+        """Drop the compiled batch snapshots (the batch sweep is over)."""
+        self._batch_states = None
+        self._cohort_streams = None
+
+    def repair(
+        self,
+        data: FlatSourceData,
+        update: EdgeUpdate,
+        update_index: Optional[int] = None,
+    ) -> SourceUpdateStats:
+        """Run one (source, update) repair on the flat record.
+
+        Inside a :meth:`begin_batch` window, ``update_index`` selects the
+        compiled snapshot of that update and the repair runs vectorized in
+        slot space; otherwise the shared scalar machinery runs over the
+        live CSR mirror (which must already reflect the update, as always).
+        """
+        if self._batch_states is not None and update_index is not None:
+            return self._repair_flat(data, self._batch_states[update_index])
         slot_update = EdgeUpdate(
             update.kind, self.index.slot(update.u), self.index.slot(update.v)
         )
@@ -653,24 +929,372 @@ class ArrayKernel:
             predecessors=None,
         )
 
+    def _repair_flat(
+        self, data: FlatSourceData, state: FlatBatchState
+    ) -> SourceUpdateStats:
+        """Vectorized (source, update) repair over the compiled snapshot."""
+        timings = self.phase_timings
+        if timings is not None:
+            tick = perf_counter()
+        n = state.n
+        distance = data.distance_array[:n]
+        sigma = data.sigma_array[:n]
+        delta = data.delta_array[:n]
+
+        case, high, low = classify_flat(state, distance)
+        if timings is not None:
+            now = perf_counter()
+            timings["classify"] = timings.get("classify", 0.0) + (now - tick)
+            tick = now
+        if case is UpdateCase.SKIP:
+            return SourceUpdateStats(case=case)
+
+        scratch = self._scratch
+        plan: FlatRepairPlan
+        exclude_new_edge = False
+        removed_reg_id = -1
+        if case is UpdateCase.ADD_NO_STRUCTURE:
+            plan = repair_same_level_flat(
+                state, distance, sigma, high, low, 1, scratch
+            )
+            exclude_new_edge = True
+        elif case is UpdateCase.ADD_STRUCTURAL:
+            plan = repair_addition_structural_flat(
+                state, distance, sigma, high, low, scratch
+            )
+            exclude_new_edge = True
+        elif case is UpdateCase.REMOVE_NO_STRUCTURE:
+            plan = repair_removal_same_level_flat(
+                state, distance, sigma, delta, high, low, scratch
+            )
+            removed_reg_id = self._escore.ensure_id(self.slot_edge_key(high, low))
+        else:  # UpdateCase.REMOVE_STRUCTURAL
+            plan = repair_removal_structural_flat(
+                state, distance, sigma, delta, high, low, scratch
+            )
+            removed_reg_id = self._escore.ensure_id(self.slot_edge_key(high, low))
+        if timings is not None:
+            now = perf_counter()
+            timings["repair"] = timings.get("repair", 0.0) + (now - tick)
+            tick = now
+
+        new_delta, touched = accumulate_flat(
+            state,
+            data.source,
+            distance,
+            sigma,
+            delta,
+            plan,
+            self._vscore,
+            self._escore,
+            scratch,
+            exclude_new_edge,
+            removed_reg_id,
+        )
+        if timings is not None:
+            now = perf_counter()
+            timings["accumulate"] = timings.get("accumulate", 0.0) + (now - tick)
+
+        work_sigma = plan.work_sigma
+        disconnected = plan.disconnected
+        if disconnected.size:
+            work_sigma[disconnected] = 0
+            new_delta[disconnected] = 0.0
+        if int(work_sigma.min()) < 0:
+            raise StoreCorruptedError(
+                f"shortest-path count from slot {data.source} overflowed the "
+                "int64 sigma column during an incremental repair"
+            )
+        distance[:] = plan.work_distance
+        sigma[:] = work_sigma
+        delta[:] = new_delta
+        return SourceUpdateStats(
+            case=case,
+            affected_vertices=plan.affected_count,
+            touched_vertices=touched,
+            disconnected_vertices=int(disconnected.size),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Cohort repair: one update, every affected source at once
+    # ------------------------------------------------------------------ #
+    #: Upper bound on (cohort size × n) pairs swept at once; larger
+    #: cohorts run in source-ordered slabs, which keeps the deferred score
+    #: streams' source-major application order.
+    COHORT_PAIR_BUDGET = 8_000_000
+
+    @property
+    def cohort_capable(self) -> bool:
+        """True when repairs can run cohort-wide over the store's matrices."""
+        return (
+            self._batch_states is not None
+            and bool(self._store.columns_in_place)
+            and hasattr(self._store, "column_matrices")
+            and os.environ.get(COHORT_ENV, "1") != "0"
+        )
+
+    def repair_update_cohort(
+        self,
+        records: Sequence[FlatSourceData],
+        ordinals: Sequence[int],
+        update_index: int,
+    ) -> List[SourceUpdateStats]:
+        """Repair one update for a whole cohort of loaded records at once.
+
+        Classification runs per source exactly as in :meth:`_repair_flat`;
+        the repair and accumulation phases — the batched sweep's hot path —
+        run over the entire cohort in (source, vertex) pair space (the
+        ``*_cohort`` routines and :func:`accumulate_cohort`).  ``ordinals``
+        are the records' positions in the batch sweep's source order:
+        shared-score writes are deferred into a batch-wide stream keyed on
+        them, and :meth:`flush_cohort_scores` replays the solo source-outer
+        float order once the whole batch has swept.
+        """
+        state = self._batch_states[update_index]
+        timings = self.phase_timings
+        if timings is not None:
+            tick = perf_counter()
+        n = state.n
+        if self._cohort_streams is None:
+            self._cohort_streams = CohortScoreStreams()
+        stats: List[Optional[SourceUpdateStats]] = [None] * len(records)
+
+        job_meta: List[Tuple[int, FlatSourceData, UpdateCase, int, int]] = []
+        for pos, data in enumerate(records):
+            case, high, low = classify_flat(state, data.distance_array[:n])
+            if case is UpdateCase.SKIP:
+                stats[pos] = SourceUpdateStats(case=case)
+            else:
+                job_meta.append((pos, data, case, high, low))
+        if timings is not None:
+            now = perf_counter()
+            timings["classify"] = timings.get("classify", 0.0) + (now - tick)
+
+        slab = max(1, self.COHORT_PAIR_BUDGET // max(n, 1))
+        for start in range(0, len(job_meta), slab):
+            self._repair_cohort_slab(
+                state, job_meta[start : start + slab], ordinals, stats
+            )
+        return stats
+
+    def _repair_cohort_slab(
+        self,
+        state: FlatBatchState,
+        metas: List[Tuple[int, FlatSourceData, UpdateCase, int, int]],
+        ordinals: Sequence[int],
+        stats: List[Optional[SourceUpdateStats]],
+    ) -> None:
+        """Repair and accumulate one source-ordered slab of cohort jobs.
+
+        Every repair class runs as one cohort walk over (job, slot) pairs —
+        same-level jobs via :func:`repair_same_level_cohort`, structural
+        ones via :func:`repair_addition_structural_cohort` /
+        :func:`repair_removal_structural_cohort` — mutating the slab's
+        stacked work columns while pristine ``old_*`` gathers keep the
+        pre-update rows.  All classes feed merged ``(k, slot, level)`` plan
+        chunks into one :func:`accumulate_cohort` sweep, after which the
+        whole slab's records are written back with three fancy-indexed
+        assignments.
+        """
+        timings = self.phase_timings
+        if timings is not None:
+            tick = perf_counter()
+        n = state.n
+        m = len(metas)
+        dist2d, sig2d, delta2d = self._store.column_matrices()
+        rows = np.array(
+            [self._store.row_of_source_slot(meta[1].source) for meta in metas],
+            dtype=np.int64,
+        )
+        sources = np.array([meta[1].source for meta in metas], dtype=np.int64)
+        highs = np.array([meta[3] for meta in metas], dtype=np.int64)
+        lows = np.array([meta[4] for meta in metas], dtype=np.int64)
+        ordinals_arr = np.array(
+            [int(ordinals[meta[0]]) for meta in metas], dtype=np.int64
+        )
+        pair_first = np.empty(m * n, dtype=np.int64)
+        pair_pos = np.empty(m * n, dtype=np.int64)
+
+        # Fancy row gathers = fresh work copies of every job's columns; the
+        # ``old_*`` stacks stay pristine for the accumulate sweep to read.
+        work_distance = dist2d[rows, :n]
+        work_sigma = sig2d[rows, :n]
+        new_delta = delta2d[rows, :n]
+        old_distance = work_distance.copy()
+        old_sigma = work_sigma.copy()
+        old_delta = new_delta.copy()
+        affected_rows = np.zeros((m, n), dtype=np.bool_)
+
+        tri_k: List[np.ndarray] = []
+        tri_s: List[np.ndarray] = []
+        tri_l: List[np.ndarray] = []
+        rem_k: List[int] = []
+        rem_red: List[float] = []
+        rem_rid: List[int] = []
+        same_add: List[int] = []
+        add_struct: List[int] = []
+        same_rem: List[int] = []
+        rem_struct: List[int] = []
+        for k, (_pos, _data, case, _high, _low) in enumerate(metas):
+            if case is UpdateCase.ADD_NO_STRUCTURE:
+                same_add.append(k)
+            elif case is UpdateCase.ADD_STRUCTURAL:
+                add_struct.append(k)
+            elif case is UpdateCase.REMOVE_NO_STRUCTURE:
+                same_rem.append(k)
+            else:  # UpdateCase.REMOVE_STRUCTURAL
+                rem_struct.append(k)
+
+        # Every removal seeds the sweep with the removed edge's pre-update
+        # dependency — python-scalar operand order of
+        # removed_edge_dependency_flat (int division is correctly rounded
+        # past 2**53).
+        for k in same_rem + rem_struct:
+            high = int(highs[k])
+            low = int(lows[k])
+            rem_k.append(k)
+            rem_red.append(
+                int(old_sigma[k, high]) / int(old_sigma[k, low])
+                * (1.0 + float(old_delta[k, low]))
+            )
+            rem_rid.append(
+                self._escore.ensure_id(self.slot_edge_key(high, low))
+            )
+
+        disc_pid = np.empty(0, dtype=np.int64)
+        if same_add:
+            ks = np.array(same_add, dtype=np.int64)
+            ck, cs, cl = repair_same_level_cohort(
+                state, ks, highs[ks], lows[ks], 1,
+                old_distance, old_sigma, work_sigma, affected_rows,
+                pair_first,
+            )
+            tri_k.append(ck)
+            tri_s.append(cs)
+            tri_l.append(cl)
+        if same_rem:
+            ks = np.array(same_rem, dtype=np.int64)
+            ck, cs, cl = repair_same_level_cohort(
+                state, ks, highs[ks], lows[ks], -1,
+                old_distance, old_sigma, work_sigma, affected_rows,
+                pair_first,
+            )
+            tri_k.append(ck)
+            tri_s.append(cs)
+            tri_l.append(cl)
+        if add_struct:
+            ks = np.array(add_struct, dtype=np.int64)
+            ck, cs, cl = repair_addition_structural_cohort(
+                state, ks, highs[ks], lows[ks],
+                old_distance, work_distance, work_sigma, affected_rows,
+                pair_first,
+            )
+            tri_k.append(ck)
+            tri_s.append(cs)
+            tri_l.append(cl)
+        if rem_struct:
+            ks = np.array(rem_struct, dtype=np.int64)
+            ck, cs, cl, disc_pid = repair_removal_structural_cohort(
+                state, ks, highs[ks], lows[ks],
+                old_distance, work_distance, work_sigma, affected_rows,
+                pair_first, pair_pos,
+            )
+            tri_k.append(ck)
+            tri_s.append(cs)
+            tri_l.append(cl)
+        affected_counts = affected_rows.sum(axis=1)
+        disc_k = disc_pid // n
+        disc_s = disc_pid - disc_k * n
+        disc_sizes = np.bincount(disc_k, minlength=m)
+        if timings is not None:
+            now = perf_counter()
+            timings["repair"] = timings.get("repair", 0.0) + (now - tick)
+            tick = now
+
+        empty = np.empty(0, dtype=np.int64)
+        touched = accumulate_cohort(
+            state,
+            work_distance,
+            work_sigma,
+            old_distance,
+            old_sigma,
+            new_delta,
+            old_delta,
+            None if state.directed else affected_rows,
+            sources,
+            highs,
+            lows,
+            ordinals_arr,
+            np.concatenate(tri_k) if tri_k else empty,
+            np.concatenate(tri_s) if tri_s else empty,
+            np.concatenate(tri_l) if tri_l else empty,
+            np.array(rem_k, dtype=np.int64),
+            np.array(rem_red, dtype=np.float64),
+            np.array(rem_rid, dtype=np.int64),
+            disc_k,
+            disc_s,
+            self._cohort_streams,
+            state.is_addition,
+            pair_first,
+        )
+        if disc_pid.size:
+            work_sigma.reshape(-1)[disc_pid] = 0
+            new_delta.reshape(-1)[disc_pid] = 0.0
+        if int(work_sigma.min()) < 0:
+            bad = int(np.argmin(work_sigma.min(axis=1)))
+            raise StoreCorruptedError(
+                f"shortest-path count from slot {int(sources[bad])} overflowed "
+                "the int64 sigma column during an incremental repair"
+            )
+        dist2d[rows, :n] = work_distance
+        sig2d[rows, :n] = work_sigma
+        delta2d[rows, :n] = new_delta
+        for k, (pos, _data, case, _high, _low) in enumerate(metas):
+            stats[pos] = SourceUpdateStats(
+                case=case,
+                affected_vertices=int(affected_counts[k]),
+                touched_vertices=int(touched[k]),
+                disconnected_vertices=int(disc_sizes[k]),
+            )
+        if timings is not None:
+            now = perf_counter()
+            timings["accumulate"] = timings.get("accumulate", 0.0) + (now - tick)
+
+    def flush_cohort_scores(self) -> None:
+        """Apply the batch's deferred shared-score streams (sweep is over)."""
+        timings = self.phase_timings
+        if timings is not None:
+            tick = perf_counter()
+        if self._cohort_streams is not None:
+            self._cohort_streams.flush(self._vscore, self._escore)
+        if timings is not None:
+            now = perf_counter()
+            timings["accumulate"] = timings.get("accumulate", 0.0) + (now - tick)
+
     # ------------------------------------------------------------------ #
     # Batched Proposition 3.1 peek
     # ------------------------------------------------------------------ #
     def sources_to_load(
         self, sources: Sequence[Vertex], batch: Sequence[EdgeUpdate]
-    ) -> Optional[Set[Vertex]]:
-        """Sources the batch may affect, from one vectorized distance gather.
+    ) -> Optional[Dict[Vertex, int]]:
+        """First update of the batch that may affect each source, batched.
 
         Semantics are exactly those of the scalar per-(source, update) peek
         — undirected: skip iff both endpoint distances are equal (with
         "unreachable" compared as ``-1 == -1``); directed (edge ``u -> v``):
         skip iff the tail is unreachable or the head is no farther than the
-        tail — only the evaluation is batched.  Returns ``None`` when the
-        store cannot serve a distance block (buffered disk mode),
-        signalling the caller to fall back to scalar peeks.
+        tail — only the evaluation is batched.  Returns a map from every
+        possibly-affected source to the index of the first update whose
+        peek fails; sources absent from the map are provably skipped for
+        the whole batch, and a present source is provably SKIP for every
+        update before its first index (a passing peek leaves the record
+        untouched, so the induction the scalar peek relies on holds per
+        prefix).  Returns ``None`` when the store cannot serve a distance
+        block (buffered disk mode), signalling the caller to fall back to
+        scalar peeks.
         """
         if not sources or not batch:
-            return set()
+            return {}
         endpoint_slots: List[int] = []
         for update in batch:
             endpoint_slots.append(self.index.slot(update.u))
@@ -682,12 +1306,18 @@ class ArrayKernel:
         us = block[:, 0::2]
         vs = block[:, 1::2]
         if self.directed:
-            affected = (
-                (us != UNREACHABLE) & ((vs == UNREACHABLE) | (vs > us))
-            ).any(axis=1)
+            affected = (us != UNREACHABLE) & ((vs == UNREACHABLE) | (vs > us))
         else:
-            affected = (us != vs).any(axis=1)
-        return {source for source, hit in zip(sources, affected.tolist()) if hit}
+            affected = us != vs
+        any_hit = affected.any(axis=1)
+        firsts = np.argmax(affected, axis=1)
+        return {
+            source: int(first)
+            for source, hit, first in zip(
+                sources, any_hit.tolist(), firsts.tolist()
+            )
+            if hit
+        }
 
     # ------------------------------------------------------------------ #
     # Step 1: vectorized Brandes bootstrap
@@ -717,7 +1347,7 @@ class ArrayKernel:
                 reached = np.concatenate(levels[1:])
                 vscore[reached] += delta[reached]
             self._store.put_columns(label, distance, sigma, delta)
-        self._escore = dict(zip(edge_pairs, edge_scores.tolist()))
+        self._escore.reset(edge_pairs, edge_scores)
 
 
 # --------------------------------------------------------------------------- #

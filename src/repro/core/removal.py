@@ -15,10 +15,20 @@ have the edge removed.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
 
 from repro.algorithms.brandes import SourceData
-from repro.core.repair import RepairPlan
+from repro.core.addition import repair_same_level_flat
+from repro.core.flat import (
+    FlatBatchState,
+    FlatScratch,
+    first_occurrence,
+    group_by_level,
+    slice_positions,
+)
+from repro.core.repair import FlatRepairPlan, RepairPlan
 from repro.graph.graph import Graph
 from repro.types import Vertex
 
@@ -260,3 +270,579 @@ def repair_removal_structural(
             level += 1
 
     return plan
+
+
+# --------------------------------------------------------------------------- #
+# Vectorized (slot-space) variants
+# --------------------------------------------------------------------------- #
+_INF = np.iinfo(np.int64).max
+
+
+def removed_edge_dependency_flat(
+    distance: np.ndarray, sigma: np.ndarray, delta: np.ndarray, high: int, low: int
+) -> float:
+    """Flat form of :func:`_removed_edge_dependency` (same operand order)."""
+    return int(sigma[high]) / int(sigma[low]) * (1.0 + float(delta[low]))
+
+
+def repair_removal_same_level_flat(
+    state: FlatBatchState,
+    distance: np.ndarray,
+    sigma: np.ndarray,
+    delta: np.ndarray,
+    high: int,
+    low: int,
+    scratch: FlatScratch,
+) -> FlatRepairPlan:
+    """Vectorized Algorithm 2 (deletion flavour): the sigma-only removal."""
+    plan = repair_same_level_flat(state, distance, sigma, high, low, -1, scratch)
+    plan.removed_edge_dependency = removed_edge_dependency_flat(
+        distance, sigma, delta, high, low
+    )
+    return plan
+
+
+def find_drop_set_flat(
+    state: FlatBatchState,
+    distance: np.ndarray,
+    low: int,
+    scratch: FlatScratch,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`find_drop_set`; returns ``(drop, drop_mask)``.
+
+    ``drop`` lists the dropped slots in scalar discovery order.  Per level the
+    batch decision is exact: a candidate's fate depends only on the drop
+    status of its parents one level up (all decided in earlier levels), and
+    candidate dedup combines the decided mask with first-occurrence order —
+    exactly the pop-time ``decided`` guard of the scalar loop.
+    """
+    n = state.n
+    indptr, indices = state.indptr, state.indices
+    in_indptr, in_indices = state.in_indptr, state.in_indices
+    first_of = scratch.first_of
+
+    drop_mask = np.zeros(n, dtype=np.bool_)
+    decided = np.zeros(n, dtype=np.bool_)
+    drop_mask[low] = True
+    decided[low] = True
+    drop_chunks: List[np.ndarray] = [np.array([low], dtype=np.int64)]
+
+    # Initial schedule: children of low one level below (duplicates kept, as
+    # the scalar schedule_children appends them).
+    start = indptr[low]
+    stop = indptr[low + 1]
+    seed_children = indices[start:stop]
+    seed = seed_children[
+        (distance[seed_children] == distance[low] + 1) & ~decided[seed_children]
+    ]
+    if seed.size == 0:
+        return drop_chunks[0], drop_mask
+
+    level = int(distance[low]) + 1
+    max_level = level
+    buckets: Dict[int, List[np.ndarray]] = {level: [seed]}
+    while level <= max_level:
+        chunks = buckets.get(level)
+        if chunks:
+            cand = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+            members = first_occurrence(cand[~decided[cand]], first_of)
+            if members.size:
+                decided[members] = True
+                # A member drops iff no parent one level up survives.
+                positions, counts = slice_positions(in_indptr, members)
+                parents = in_indices[positions]
+                survivors = (distance[parents] == level - 1) & ~drop_mask[parents]
+                has_survivor = np.zeros(members.size, dtype=np.bool_)
+                if survivors.any():
+                    rep = np.repeat(
+                        np.arange(members.size, dtype=np.int64), counts
+                    )
+                    has_survivor[rep[survivors]] = True
+                dropped = members[~has_survivor]
+                if dropped.size:
+                    drop_mask[dropped] = True
+                    drop_chunks.append(dropped)
+                    positions, _counts = slice_positions(indptr, dropped)
+                    children = indices[positions]
+                    scheduled = children[
+                        (distance[children] == level + 1) & ~decided[children]
+                    ]
+                    if scheduled.size:
+                        buckets.setdefault(level + 1, []).append(scheduled)
+                    max_level = max(max_level, level + 1)
+        level += 1
+    drop = (
+        drop_chunks[0] if len(drop_chunks) == 1 else np.concatenate(drop_chunks)
+    )
+    return drop, drop_mask
+
+
+def repair_removal_structural_flat(
+    state: FlatBatchState,
+    distance: np.ndarray,
+    sigma: np.ndarray,
+    delta: np.ndarray,
+    high: int,
+    low: int,
+    scratch: FlatScratch,
+) -> FlatRepairPlan:
+    """Vectorized Algorithms 6-10: drop set, pivot settle, sigma recount.
+
+    Each stage is level-synchronous and mirrors its scalar counterpart's
+    bucket order; see the per-stage comments for why whole-level batching
+    cannot reorder any decision the scalar loop makes element by element.
+    """
+    n = state.n
+    indptr, indices = state.indptr, state.indices
+    in_indptr, in_indices = state.in_indptr, state.in_indices
+    first_of = scratch.first_of
+
+    drop, drop_mask = find_drop_set_flat(state, distance, low, scratch)
+
+    # ------------------------------------------------------------------ #
+    # Stage 2: settle new distances of dropped vertices from the pivots.
+    # ------------------------------------------------------------------ #
+    # Initial tentative distances: best surviving in-neighbor + 1.  A
+    # minimum is order-free, so one scatter replaces the scalar scan.
+    tentative = np.full(n, _INF, dtype=np.int64)
+    positions, counts = slice_positions(in_indptr, drop)
+    parents = in_indices[positions]
+    ok = ~drop_mask[parents] & (distance[parents] != -1)
+    if ok.any():
+        rep = np.repeat(np.arange(drop.size, dtype=np.int64), counts)
+        np.minimum.at(
+            tentative, drop[rep[ok]], distance[parents[ok]].astype(np.int64) + 1
+        )
+
+    settled = np.zeros(n, dtype=np.bool_)
+    settle_levels: List[Tuple[int, np.ndarray]] = []
+    seeded = drop[tentative[drop] != _INF]
+    if seeded.size:
+        buckets: Dict[int, List[np.ndarray]] = {}
+        for lvl, members in group_by_level(seeded, tentative[seeded]):
+            buckets[lvl] = [members]
+        level = min(buckets)
+        max_level = max(buckets)
+        while level <= max_level:
+            chunks = buckets.get(level)
+            if chunks:
+                cand = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+                # Stale entries (tentative since lowered) and relax-time
+                # duplicates are rejected exactly as at scalar pop time:
+                # relaxation never writes a tentative <= level, so the keep
+                # mask is static across the level.
+                keep = ~settled[cand] & (tentative[cand] == level)
+                members = first_occurrence(cand[keep], first_of)
+                if members.size:
+                    settled[members] = True
+                    settle_levels.append((level, members))
+                    positions, _counts = slice_positions(indptr, members)
+                    children = indices[positions]
+                    relax = (
+                        drop_mask[children]
+                        & ~settled[children]
+                        & (level + 1 < tentative[children])
+                    )
+                    kids = first_occurrence(children[relax], first_of)
+                    if kids.size:
+                        tentative[kids] = level + 1
+                        buckets.setdefault(level + 1, []).append(kids)
+                        max_level = max(max_level, level + 1)
+            level += 1
+
+    work_distance = distance.copy()
+    for lvl, members in settle_levels:
+        work_distance[members] = lvl
+    disconnected = drop[~settled[drop]]
+    work_distance[disconnected] = -1
+
+    # ------------------------------------------------------------------ #
+    # Stage 3: sigma recount over the affected region, by new distance.
+    # ------------------------------------------------------------------ #
+    work_sigma = sigma.copy()
+    affected = np.zeros(n, dtype=np.bool_)
+    scheduled = np.zeros(n, dtype=np.bool_)
+    sigma_buckets: Dict[int, List[np.ndarray]] = {}
+
+    # Seeds, phase A: every still-reachable dropped vertex, in drop order.
+    seeds_a = drop[work_distance[drop] != -1]
+    scheduled[seeds_a] = True
+    for lvl, members in group_by_level(
+        seeds_a, work_distance[seeds_a].astype(np.int64)
+    ):
+        sigma_buckets.setdefault(lvl, []).append(members)
+
+    # Seeds, phase B: surviving children that lost a dropped predecessor.
+    # The scalar loop runs phase A to completion first, so phase-B chunks
+    # append after phase-A chunks at every level.
+    positions, counts = slice_positions(indptr, drop)
+    children = indices[positions]
+    rep_distance = np.repeat(distance[drop].astype(np.int64), counts)
+    lost = ~drop_mask[children] & (distance[children] == rep_distance + 1)
+    candidates = children[lost]
+    candidates = candidates[~scheduled[candidates]]
+    seeds_b = first_occurrence(candidates, first_of)
+    if seeds_b.size:
+        scheduled[seeds_b] = True
+        for lvl, members in group_by_level(
+            seeds_b, work_distance[seeds_b].astype(np.int64)
+        ):
+            sigma_buckets.setdefault(lvl, []).append(members)
+
+    levels: List[Tuple[int, np.ndarray]] = []
+    count = 0
+    if sigma_buckets:
+        level = min(sigma_buckets)
+        max_level = max(sigma_buckets)
+        while level <= max_level:
+            chunks = sigma_buckets.get(level)
+            if chunks:
+                cand = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+                members = first_occurrence(cand[~affected[cand]], first_of)
+                if members.size:
+                    affected[members] = True
+                    count += members.size
+                    levels.append((level, members))
+
+                    # Sigma recount from parents one level up (all final).
+                    positions, counts = slice_positions(in_indptr, members)
+                    parents = in_indices[positions]
+                    parent_distance = work_distance[parents]
+                    parent_mask = (parent_distance != -1) & (
+                        parent_distance + 1 == level
+                    )
+                    totals = np.zeros(members.size, dtype=np.int64)
+                    if parent_mask.any():
+                        rep = np.repeat(
+                            np.arange(members.size, dtype=np.int64), counts
+                        )
+                        np.add.at(
+                            totals,
+                            rep[parent_mask],
+                            work_sigma[parents[parent_mask]],
+                        )
+                    work_sigma[members] = totals
+
+                    # Children one level down inherit the recount.
+                    positions, _counts = slice_positions(indptr, members)
+                    children = indices[positions]
+                    child_distance = work_distance[children]
+                    grow = (
+                        (child_distance != -1)
+                        & (child_distance == level + 1)
+                        & ~scheduled[children]
+                    )
+                    kids = first_occurrence(children[grow], first_of)
+                    if kids.size:
+                        scheduled[kids] = True
+                        sigma_buckets.setdefault(level + 1, []).append(kids)
+                        max_level = max(max_level, level + 1)
+            level += 1
+
+    return FlatRepairPlan(
+        work_distance=work_distance,
+        work_sigma=work_sigma,
+        affected_mask=affected,
+        affected_count=count,
+        levels=levels,
+        disconnected=disconnected,
+        removed_edge_dependency=removed_edge_dependency_flat(
+            distance, sigma, delta, high, low
+        ),
+        high=high,
+        low=low,
+    )
+
+
+def find_drop_set_cohort(
+    state: FlatBatchState,
+    ks: np.ndarray,
+    lows: np.ndarray,
+    old_distance: np.ndarray,
+    pair_first: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """:func:`find_drop_set_flat` for a cohort, in (job, slot) pair space.
+
+    Returns ``(drop, drop_mask)`` where ``drop`` lists pair ids (``k * n +
+    slot``) in discovery order — each job's subsequence is its solo drop
+    order — and ``drop_mask`` is the flat pair-space membership mask.
+    Levels are absolute per pair (a job's candidates appear only at its own
+    ``d[low] + 1 + hop`` levels), and every drop/survive decision reads
+    only the candidate's own row, so the merged level loop is exact.
+    """
+    n = state.n
+    indptr, indices = state.indptr, state.indices
+    in_indptr, in_indices = state.in_indptr, state.in_indices
+    od_flat = old_distance.reshape(-1)
+
+    drop_mask = np.zeros(old_distance.size, dtype=np.bool_)
+    decided = np.zeros(old_distance.size, dtype=np.bool_)
+    low_pids = ks * n + lows
+    drop_mask[low_pids] = True
+    decided[low_pids] = True
+    drop_chunks: List[np.ndarray] = [low_pids]
+
+    # Initial schedule: children of each low one level below (duplicates
+    # kept, as the scalar schedule_children appends them).
+    positions, counts = slice_positions(indptr, lows)
+    if positions.size == 0:
+        return low_pids, drop_mask
+    rep = np.repeat(np.arange(lows.size, dtype=np.int64), counts)
+    cpid = ks[rep] * n + indices[positions]
+    seed = cpid[
+        (od_flat[cpid] == od_flat[low_pids][rep] + 1) & ~decided[cpid]
+    ]
+    if seed.size == 0:
+        return low_pids, drop_mask
+
+    buckets: Dict[int, List[np.ndarray]] = {}
+    for lvl, members in group_by_level(seed, od_flat[seed].astype(np.int64)):
+        buckets.setdefault(lvl, []).append(members)
+    level = min(buckets)
+    max_level = max(buckets)
+    while level <= max_level:
+        chunks = buckets.get(level)
+        if chunks:
+            cand = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+            members = first_occurrence(cand[~decided[cand]], pair_first)
+            if members.size:
+                decided[members] = True
+                mk = members // n
+                ms = members - mk * n
+                # A member drops iff no parent one level up survives.
+                positions, counts = slice_positions(in_indptr, ms)
+                has_survivor = np.zeros(members.size, dtype=np.bool_)
+                if positions.size:
+                    rep = np.repeat(
+                        np.arange(members.size, dtype=np.int64), counts
+                    )
+                    ppid = mk[rep] * n + in_indices[positions]
+                    survivors = (od_flat[ppid] == level - 1) & ~drop_mask[ppid]
+                    if survivors.any():
+                        has_survivor[rep[survivors]] = True
+                dropped = members[~has_survivor]
+                if dropped.size:
+                    drop_mask[dropped] = True
+                    drop_chunks.append(dropped)
+                    dk = dropped // n
+                    ds = dropped - dk * n
+                    positions, counts = slice_positions(indptr, ds)
+                    if positions.size:
+                        rep = np.repeat(
+                            np.arange(ds.size, dtype=np.int64), counts
+                        )
+                        kpid = dk[rep] * n + indices[positions]
+                        scheduled = kpid[
+                            (od_flat[kpid] == level + 1) & ~decided[kpid]
+                        ]
+                        if scheduled.size:
+                            buckets.setdefault(level + 1, []).append(scheduled)
+                    max_level = max(max_level, level + 1)
+        level += 1
+    drop = (
+        drop_chunks[0] if len(drop_chunks) == 1 else np.concatenate(drop_chunks)
+    )
+    return drop, drop_mask
+
+
+def repair_removal_structural_cohort(
+    state: FlatBatchState,
+    ks: np.ndarray,
+    highs: np.ndarray,
+    lows: np.ndarray,
+    old_distance: np.ndarray,
+    work_distance: np.ndarray,
+    work_sigma: np.ndarray,
+    affected: np.ndarray,
+    pair_first: np.ndarray,
+    pair_pos: np.ndarray,
+) -> tuple:
+    """:func:`repair_removal_structural_flat` for a cohort in pair space.
+
+    All three stages are level-synchronous integer walks whose per-pair
+    decisions read only that pair's row, so the merged absolute-level loops
+    replay each job's solo stages exactly (each job's pair subsequence of
+    every chunk is its solo chunk).  Stage-2 bookkeeping (``tentative`` /
+    ``settled``) is kept compact over the drop list via the ``pair_pos``
+    scratch — pair id → drop position — so no dense per-pair integer
+    columns are allocated.
+
+    Arguments follow :func:`repair_addition_structural_cohort` plus the
+    second pair-space scratch ``pair_pos``.  Returns ``(tri_k, tri_s,
+    tri_l, disc)``: merged plan-chunk triples and the disconnected pair
+    ids in per-job discovery order.
+    """
+    n = state.n
+    indptr, indices = state.indptr, state.indices
+    in_indptr, in_indices = state.in_indptr, state.in_indices
+    od_flat = old_distance.reshape(-1)
+    wd_flat = work_distance.reshape(-1)
+    ws_flat = work_sigma.reshape(-1)
+    aff_flat = affected.reshape(-1)
+
+    drop, drop_mask = find_drop_set_cohort(
+        state, ks, lows, old_distance, pair_first
+    )
+    dk = drop // n
+    ds = drop - dk * n
+
+    # ------------------------------------------------------------------ #
+    # Stage 2: settle new distances of dropped pairs from the pivots.
+    # ------------------------------------------------------------------ #
+    tentative = np.full(drop.size, _INF, dtype=np.int64)
+    positions, counts = slice_positions(in_indptr, ds)
+    if positions.size:
+        rep = np.repeat(np.arange(drop.size, dtype=np.int64), counts)
+        ppid = dk[rep] * n + in_indices[positions]
+        ok = ~drop_mask[ppid] & (od_flat[ppid] != -1)
+        if ok.any():
+            np.minimum.at(
+                tentative, rep[ok], od_flat[ppid[ok]].astype(np.int64) + 1
+            )
+    pair_pos[drop] = np.arange(drop.size, dtype=np.int64)
+    settled = np.zeros(drop.size, dtype=np.bool_)
+
+    reachable = tentative != _INF
+    seeded = drop[reachable]
+    if seeded.size:
+        buckets: Dict[int, List[np.ndarray]] = {}
+        for lvl, members in group_by_level(seeded, tentative[reachable]):
+            buckets.setdefault(lvl, []).append(members)
+        level = min(buckets)
+        max_level = max(buckets)
+        while level <= max_level:
+            chunks = buckets.get(level)
+            if chunks:
+                cand = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+                cpos = pair_pos[cand]
+                keep = ~settled[cpos] & (tentative[cpos] == level)
+                members = first_occurrence(cand[keep], pair_first)
+                if members.size:
+                    settled[pair_pos[members]] = True
+                    wd_flat[members] = level
+                    mk = members // n
+                    ms = members - mk * n
+                    positions, counts = slice_positions(indptr, ms)
+                    if positions.size:
+                        rep = np.repeat(
+                            np.arange(ms.size, dtype=np.int64), counts
+                        )
+                        kpid = mk[rep] * n + indices[positions]
+                        # Restrict to drop pairs before touching the compact
+                        # stage-2 state (pair_pos is defined only on drop).
+                        in_drop = drop_mask[kpid]
+                        sub = kpid[in_drop]
+                        spos = pair_pos[sub]
+                        relax = ~settled[spos] & (level + 1 < tentative[spos])
+                        kids = first_occurrence(sub[relax], pair_first)
+                        if kids.size:
+                            tentative[pair_pos[kids]] = level + 1
+                            buckets.setdefault(level + 1, []).append(kids)
+                            max_level = max(max_level, level + 1)
+            level += 1
+
+    disconnected = drop[~settled]
+    wd_flat[disconnected] = -1
+
+    # ------------------------------------------------------------------ #
+    # Stage 3: sigma recount over the affected region, by new distance.
+    # ------------------------------------------------------------------ #
+    scheduled = np.zeros(old_distance.size, dtype=np.bool_)
+    sigma_buckets: Dict[int, List[np.ndarray]] = {}
+
+    # Seeds, phase A: every still-reachable dropped pair, in drop order.
+    seeds_a = drop[wd_flat[drop] != -1]
+    scheduled[seeds_a] = True
+    for lvl, members in group_by_level(
+        seeds_a, wd_flat[seeds_a].astype(np.int64)
+    ):
+        sigma_buckets.setdefault(lvl, []).append(members)
+
+    # Seeds, phase B: surviving children that lost a dropped predecessor.
+    positions, counts = slice_positions(indptr, ds)
+    if positions.size:
+        rep = np.repeat(np.arange(drop.size, dtype=np.int64), counts)
+        kpid = dk[rep] * n + indices[positions]
+        lost = ~drop_mask[kpid] & (
+            od_flat[kpid] == od_flat[drop][rep] + 1
+        )
+        candidates = kpid[lost]
+        candidates = candidates[~scheduled[candidates]]
+        seeds_b = first_occurrence(candidates, pair_first)
+        if seeds_b.size:
+            scheduled[seeds_b] = True
+            for lvl, members in group_by_level(
+                seeds_b, wd_flat[seeds_b].astype(np.int64)
+            ):
+                sigma_buckets.setdefault(lvl, []).append(members)
+
+    tri_k: List[np.ndarray] = []
+    tri_s: List[np.ndarray] = []
+    tri_l: List[np.ndarray] = []
+    if sigma_buckets:
+        level = min(sigma_buckets)
+        max_level = max(sigma_buckets)
+        while level <= max_level:
+            chunks = sigma_buckets.get(level)
+            if chunks:
+                cand = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+                members = first_occurrence(cand[~aff_flat[cand]], pair_first)
+                if members.size:
+                    aff_flat[members] = True
+                    mk = members // n
+                    ms = members - mk * n
+                    tri_k.append(mk)
+                    tri_s.append(ms)
+                    tri_l.append(
+                        np.full(members.size, level, dtype=np.int64)
+                    )
+
+                    # Sigma recount from parents one level up (all final).
+                    positions, counts = slice_positions(in_indptr, ms)
+                    totals = np.zeros(members.size, dtype=np.int64)
+                    if positions.size:
+                        rep = np.repeat(
+                            np.arange(members.size, dtype=np.int64), counts
+                        )
+                        ppid = mk[rep] * n + in_indices[positions]
+                        parent_distance = wd_flat[ppid]
+                        parent_mask = (parent_distance != -1) & (
+                            parent_distance + 1 == level
+                        )
+                        if parent_mask.any():
+                            np.add.at(
+                                totals,
+                                rep[parent_mask],
+                                ws_flat[ppid[parent_mask]],
+                            )
+                    ws_flat[members] = totals
+
+                    # Children one level down inherit the recount.
+                    positions, counts = slice_positions(indptr, ms)
+                    if positions.size:
+                        rep = np.repeat(
+                            np.arange(ms.size, dtype=np.int64), counts
+                        )
+                        kpid = mk[rep] * n + indices[positions]
+                        child_distance = wd_flat[kpid]
+                        grow = (
+                            (child_distance != -1)
+                            & (child_distance == level + 1)
+                            & ~scheduled[kpid]
+                        )
+                        kids = first_occurrence(kpid[grow], pair_first)
+                        if kids.size:
+                            scheduled[kids] = True
+                            sigma_buckets.setdefault(level + 1, []).append(
+                                kids
+                            )
+                            max_level = max(max_level, level + 1)
+            level += 1
+
+    empty = np.empty(0, dtype=np.int64)
+    return (
+        np.concatenate(tri_k) if tri_k else empty,
+        np.concatenate(tri_s) if tri_s else empty,
+        np.concatenate(tri_l) if tri_l else empty,
+        disconnected,
+    )

@@ -33,7 +33,7 @@ existing undirected paths (same objects, same orders, same bits).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -163,6 +163,63 @@ class CSRGraph:
         self._in_adj[j].remove(i)
         self._num_edges -= 1
         self._invalidate()
+
+    def adjacency_snapshot(self, slots: Iterable[int]) -> tuple:
+        """Capture exact neighbor order of ``slots`` plus the edge count.
+
+        Slots beyond the current capacity (labels not yet registered) are
+        recorded as absent; on restore their rows are cleared, matching a
+        freshly registered slot.  See :meth:`restore_adjacency`.
+        """
+        rows: Dict[int, Optional[tuple]] = {}
+        for i in slots:
+            if i < len(self._adj):
+                rows[i] = (
+                    list(self._adj[i]),
+                    list(self._in_adj[i]) if self._directed else None,
+                )
+            else:
+                rows[i] = None
+        return rows, self._num_edges
+
+    def restore_adjacency(self, snapshot: tuple) -> None:
+        """Reinstate rows captured by :meth:`adjacency_snapshot`.
+
+        Inverse-op rewinds are not order-exact (a re-added edge lands at
+        the end of the row); batch replay restores snapshots instead so the
+        mirror keeps the identical pre-batch iteration order.
+        """
+        rows, num_edges = snapshot
+        for i, entry in rows.items():
+            if i >= len(self._adj):
+                continue
+            if entry is None:
+                self._adj[i] = []
+                if self._directed:
+                    self._in_adj[i] = []
+                continue
+            out_row, in_row = entry
+            self._adj[i] = list(out_row)
+            if self._directed:
+                self._in_adj[i] = list(in_row)
+        self._num_edges = num_edges
+        self._invalidate()
+
+    def clone(self) -> "CSRGraph":
+        """Deep copy of the adjacency (compiled arrays are not carried over).
+
+        The batch kernel rolls a clone forward through a batch to compile
+        per-update snapshots without disturbing the live mirror.
+        """
+        other = CSRGraph(0, directed=self._directed)
+        other._adj = [list(neighbors) for neighbors in self._adj]
+        other._in_adj = (
+            [list(parents) for parents in self._in_adj]
+            if self._directed
+            else other._adj
+        )
+        other._num_edges = self._num_edges
+        return other
 
     # ------------------------------------------------------------------ #
     # Access

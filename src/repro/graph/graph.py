@@ -176,6 +176,48 @@ class Graph:
         """Return ``True`` if the edge ``(u, v)`` is in the graph."""
         return u in self._succ and v in self._succ[u]
 
+    # ------------------------------------------------------------------ #
+    # Adjacency snapshots (order-exact roll/rewind support)
+    # ------------------------------------------------------------------ #
+    def adjacency_snapshot(self, vertices: Iterable[Vertex]) -> dict:
+        """Capture presence and exact adjacency *order* of ``vertices``.
+
+        Applying an inverse update is not an order-exact rewind: re-adding
+        a removed edge appends it at the end of both endpoints' neighbor
+        dicts instead of its original position.  Batch replay restores
+        this snapshot instead, so every source's roll starts from the
+        identical pre-batch iteration order.
+        """
+        snap: Dict[Vertex, Optional[tuple]] = {}
+        for vertex in vertices:
+            if vertex in self._succ:
+                snap[vertex] = (
+                    dict(self._succ[vertex]),
+                    dict(self._pred[vertex]) if self._directed else None,
+                )
+            else:
+                snap[vertex] = None
+        return snap
+
+    def restore_adjacency(self, snapshot: dict) -> None:
+        """Reinstate adjacency captured by :meth:`adjacency_snapshot`.
+
+        Vertices recorded as absent are removed again (stream births that
+        were rolled in); edges between a snapshotted vertex and one outside
+        the snapshot must not have changed in between — batch replay always
+        snapshots both endpoints of every rolled edge.
+        """
+        for vertex, entry in snapshot.items():
+            if entry is None:
+                self._succ.pop(vertex, None)
+                if self._directed:
+                    self._pred.pop(vertex, None)
+                continue
+            succ, pred = entry
+            self._succ[vertex] = dict(succ)
+            if self._directed:
+                self._pred[vertex] = dict(pred)
+
     def edges(self) -> Iterator[Tuple[Vertex, Vertex]]:
         """Iterate over edges.
 

@@ -102,6 +102,10 @@ class ArrayBDStore(BDStore):
         self._row_capacity = max(row_capacity or 0, len(source_list), 16)
         self._allocate(self._row_capacity, capacity)
         self._row_of: Dict[Vertex, int] = {}
+        # Slot -> matrix row (-1 when the slot's vertex has no record yet);
+        # the vectorized peek path indexes this directly instead of going
+        # label dict -> row dict per source.
+        self._row_of_slot = np.full(capacity, -1, dtype=np.int64)
         self._source_list: List[Vertex] = []
         self._closed = False
         for source in source_list:
@@ -199,6 +203,7 @@ class ArrayBDStore(BDStore):
         self._dist = self._sigma = self._delta = None  # type: ignore[assignment]
         self._source_list = []
         self._row_of = {}
+        self._row_of_slot = np.empty(0, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     # Column protocol (array kernel)
@@ -243,6 +248,25 @@ class ArrayBDStore(BDStore):
         """Accounting hook after an in-place repair (no-op in RAM)."""
         self._ensure_open()
 
+    def column_matrices(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Live ``(distance, sigma, delta)`` matrices, rows = sources.
+
+        The arrays alias the store (capacity-padded columns included) and
+        are *replaced* on row growth — callers must re-fetch after any
+        :meth:`add_source` that may grow the matrices.  This is the bulk
+        form of :meth:`record_columns` behind the kernel's cohort repair.
+        """
+        self._ensure_open()
+        return self._dist, self._sigma, self._delta
+
+    def row_of_source_slot(self, slot: int) -> int:
+        """Matrix row of the source with vertex slot ``slot``."""
+        self._ensure_open()
+        row = int(self._row_of_slot[slot])
+        if row < 0:
+            raise KeyError(self._index.vertex(slot))
+        return row
+
     def peek_distance_block(
         self, source_slots: Sequence[int], vertex_slots: Sequence[int]
     ) -> Optional[np.ndarray]:
@@ -255,8 +279,13 @@ class ArrayBDStore(BDStore):
         skip test consumes.
         """
         self._ensure_open()
-        rows = [self._row_of[self._index.vertex(slot)] for slot in source_slots]
-        return self._dist[np.ix_(rows, vertex_slots)]
+        src = np.asarray(source_slots, dtype=np.int64)
+        rows = self._row_of_slot[src]
+        if rows.size and int(rows.min()) < 0:
+            missing = int(src[int(np.argmin(rows))])
+            raise KeyError(self._index.vertex(missing))
+        cols = np.asarray(vertex_slots, dtype=np.int64)
+        return self._dist[rows[:, None], cols[None, :]]
 
     # ------------------------------------------------------------------ #
     # Growth
@@ -272,6 +301,7 @@ class ArrayBDStore(BDStore):
         if row >= self._row_capacity:
             self._grow_rows()
         self._row_of[source] = row
+        self._row_of_slot[self._index.slot(source)] = row
         self._source_list.append(source)
         return row
 
@@ -293,6 +323,9 @@ class ArrayBDStore(BDStore):
         self._dist[:, :old] = dist
         self._sigma[:, :old] = sigma
         self._delta[:, :old] = delta
+        grown = np.full(new_capacity, -1, dtype=np.int64)
+        grown[:old] = self._row_of_slot
+        self._row_of_slot = grown
         self._capacity = new_capacity
 
     def _ensure_open(self) -> None:

@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.algorithms.brandes import SourceData
 from repro.exceptions import (
+    ConfigurationError,
     StoreClosedError,
     StoreCorruptedError,
     StoreExistsError,
@@ -434,23 +435,72 @@ class DiskBDStore(BDStore):
         self._ensure_open()
         self._bytes_written += self._record_bytes
 
+    def column_matrices(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Live ``(distance, sigma, delta)`` matrices, rows = vertex slots.
+
+        The mmap record area already *is* a strided ``(capacity,
+        capacity)`` matrix per column, so the kernel's cohort repair can
+        gather and write back whole slabs of records with fancy row
+        indexing — the same bulk protocol
+        :meth:`repro.storage.arrays.ArrayBDStore.column_matrices` serves
+        in RAM.  Mmap mode only: the buffered path has no live matrices
+        (and reports ``columns_in_place = False``, which is the capability
+        bit the kernel checks first).  The views are replaced whenever the
+        file is rebuilt for growth — callers must re-fetch per sweep.
+        """
+        self._ensure_open()
+        if self._mm is None:
+            raise ConfigurationError(
+                "column matrices require the mmap record area "
+                "(open the store with use_mmap=True)"
+            )
+        return self._dist_view, self._sigma_view, self._delta_view
+
+    def row_of_source_slot(self, slot: int) -> int:
+        """Matrix row of the source with vertex slot ``slot``.
+
+        Disk records are laid out one per vertex slot, so the row *is* the
+        slot; the lookup still validates that the slot's vertex really is a
+        source of this store, mirroring the RAM store's contract.
+        """
+        self._ensure_open()
+        vertex = self._index.vertex(slot)
+        if vertex not in self._source_set:
+            raise KeyError(vertex)
+        return int(slot)
+
     def peek_distance_block(
         self, source_slots, vertex_slots
     ) -> Optional[np.ndarray]:
         """Distances of ``vertex_slots`` from every slot in ``source_slots``.
 
-        One fancy-indexed gather over the mapped distance column — the
-        vectorized Proposition 3.1 peek of the array kernel.  Returns
-        ``None`` in buffered mode, where the caller falls back to
-        per-source :meth:`endpoint_distances` reads.
+        With mmap this is one fancy-indexed gather over the mapped distance
+        column — the vectorized Proposition 3.1 peek of the array kernel.
+        In buffered mode each source costs a single seek + contiguous read
+        spanning the requested slots (instead of one round trip per
+        endpoint), and the block is gathered from that span.
         """
         self._ensure_open()
-        if self._mm is None:
-            return None
-        self._bytes_read += (
-            len(source_slots) * len(vertex_slots) * DISTANCE_DTYPE.itemsize
-        )
-        return self._dist_view[np.ix_(source_slots, vertex_slots)]
+        if self._mm is not None:
+            self._bytes_read += (
+                len(source_slots) * len(vertex_slots) * DISTANCE_DTYPE.itemsize
+            )
+            return self._dist_view[np.ix_(source_slots, vertex_slots)]
+        src = np.asarray(source_slots, dtype=np.int64)
+        cols = np.asarray(vertex_slots, dtype=np.int64)
+        block = np.empty((src.size, cols.size), dtype=DISTANCE_DTYPE)
+        if src.size == 0 or cols.size == 0:
+            return block
+        lo = int(cols.min())
+        span = int(cols.max()) - lo + 1
+        rel = cols - lo
+        item = DISTANCE_DTYPE.itemsize
+        for row, slot in enumerate(src.tolist()):
+            self._file.seek(self._record_offset(slot) + lo * item)
+            raw = self._file.read(span * item)
+            block[row] = np.frombuffer(raw, dtype=DISTANCE_DTYPE, count=span)[rel]
+        self._bytes_read += src.size * span * item
+        return block
 
     def endpoint_distances(
         self, source: Vertex, u: Vertex, v: Vertex

@@ -1,0 +1,381 @@
+"""Adversarial repair streams for the vectorized update-sweep kernel.
+
+The flat (slot-space, numpy-bucketed) repair path promises *bit-identical*
+scores and records against the classic dict backend — ``==`` on floats,
+never approximate.  This suite attacks that promise with the stream shapes
+that historically broke incremental repair implementations:
+
+* multi-level distance drops (a shortcut addition that pulls a whole
+  subtree several levels up, and a bridge removal that pushes one down);
+* vertex births inside a batch, including chained births where the second
+  update hangs off a vertex born by the first;
+* disconnections and reconnections, within one batch and across batches;
+* duplicate (remove-then-readd) and, on directed graphs, inverse edges in
+  one batch;
+* the remove-then-readd edge-score resurrection shape (PR 1 regression).
+
+Every deterministic case and every hypothesis-generated stream is checked
+after EVERY batch on {undirected, directed} x {in-RAM columns, mmap disk,
+buffered disk}, comparing vertex scores, edge scores, and all stored
+records.  A differential leg additionally pins the vectorized path against
+the scalar slot-space path (``REPRO_VECTOR_REPAIR=0``) and the JIT
+dispatcher against its pure-numpy fallback.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import EdgeUpdate, IncrementalBetweenness
+from repro.core import jit
+from repro.graph import Graph
+from repro.storage import DiskBDStore
+
+settings.register_profile(
+    "repro-repair-vectorized",
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro-repair-vectorized")
+
+STORE_KINDS = ("memory", "disk-mmap", "disk-buffered")
+
+
+def build_graph(n, edges, directed):
+    graph = Graph(directed=directed)
+    for vertex in range(n):
+        graph.add_vertex(vertex)
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+def make_arrays_framework(graph, store_kind, tmp_path):
+    """An ``arrays``-backend framework over the requested store kind."""
+    if store_kind == "memory":
+        return IncrementalBetweenness(graph, backend="arrays")
+    store = DiskBDStore(
+        graph.vertex_list(),
+        path=tmp_path / f"bd-{store_kind}.bin",
+        use_mmap=(store_kind == "disk-mmap"),
+        directed=graph.directed,
+    )
+    return IncrementalBetweenness(graph, store=store, backend="arrays")
+
+
+def assert_streams_bit_identical(arrays, dicts, context):
+    """Exact equality of both score mappings and every stored record."""
+    va, vd = arrays.vertex_betweenness(), dicts.vertex_betweenness()
+    assert va == vd, f"{context}: vertex scores diverge: " + repr(
+        {k: (va.get(k), vd.get(k)) for k in set(va) | set(vd) if va.get(k) != vd.get(k)}
+    )
+    ea, ed = arrays.edge_betweenness(), dicts.edge_betweenness()
+    assert ea == ed, f"{context}: edge scores diverge: " + repr(
+        {k: (ea.get(k), ed.get(k)) for k in set(ea) | set(ed) if ea.get(k) != ed.get(k)}
+    )
+    assert set(arrays.store.sources()) == set(dicts.store.sources()), context
+    for source in dicts.store.sources():
+        flat = arrays.store.get(source)
+        record = dicts.store.get(source)
+        assert flat.distance == record.distance, f"{context}: distance[{source}]"
+        assert flat.sigma == record.sigma, f"{context}: sigma[{source}]"
+        assert flat.delta == record.delta, f"{context}: delta[{source}]"
+
+
+def run_differential(graph, batches, store_kind):
+    with tempfile.TemporaryDirectory() as tmp:
+        arrays = make_arrays_framework(graph.copy(), store_kind, Path(tmp))
+        dicts = IncrementalBetweenness(graph.copy(), backend="dicts")
+        assert_streams_bit_identical(arrays, dicts, "bootstrap")
+        for i, batch in enumerate(batches):
+            arrays.apply_updates(list(batch))
+            dicts.apply_updates(list(batch))
+            assert_streams_bit_identical(
+                arrays, dicts, f"after batch {i} ({batch})"
+            )
+        arrays.store.close()
+
+
+add = EdgeUpdate.addition
+remove = EdgeUpdate.removal
+
+# name -> (n, edges, batches); every case runs undirected AND directed.
+ADVERSARIAL_CASES = {
+    # A chord lifts the tail of a long path several levels at once, then
+    # the path edge behind it is cut so distances fall right back down.
+    "multi_level_drop": (
+        7,
+        [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6)],
+        [[add(0, 5)], [remove(4, 5), add(0, 3)], [remove(0, 5)]],
+    ),
+    # Births inside one batch, chained: 7 is born hanging off 2, then 8 is
+    # born hanging off the just-born 7, then the anchor edge is cut.
+    "births_in_batch": (
+        7,
+        [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (0, 6)],
+        [[add(2, 7), add(7, 8)], [remove(2, 7)], [add(0, 7), add(8, 2)]],
+    ),
+    # A bridge is cut (disconnecting one side), re-added in the same batch,
+    # then cut again and reconnected through a different vertex next batch.
+    "disconnect_reconnect": (
+        6,
+        [(0, 1), (1, 2), (2, 3), (3, 4), (4, 2), (1, 5)],
+        [[remove(1, 2), add(1, 2)], [remove(1, 2)], [add(0, 4), add(5, 3)]],
+    ),
+    # The same edge is removed, re-added and removed again within one
+    # batch: its score entry must die, resurrect from zero, and die again.
+    "duplicate_in_batch": (
+        5,
+        [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3), (3, 4)],
+        [[remove(1, 3), add(1, 3), remove(1, 3)], [add(1, 3)]],
+    ),
+    # Inverse edges in one batch: on a directed graph (u, v) and (v, u) are
+    # distinct edges with distinct scores; undirected they collapse to a
+    # remove-then-readd of the same edge (also worth hitting).
+    "inverse_edges": (
+        5,
+        [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)],
+        [[remove(1, 2), add(2, 1)], [remove(2, 1), add(1, 2), remove(4, 0)]],
+    ),
+    # Remove-then-readd across batches: the PR 1 regression shape, where a
+    # re-added edge's score must restart from zero, not its old value.
+    "remove_then_readd": (
+        6,
+        [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+        [[remove(3, 4)], [add(3, 4)], [remove(0, 1), remove(2, 3)], [add(2, 3)]],
+    ),
+}
+
+
+@pytest.mark.parametrize("store_kind", STORE_KINDS)
+@pytest.mark.parametrize("directed", [False, True], ids=["undirected", "directed"])
+@pytest.mark.parametrize("case", sorted(ADVERSARIAL_CASES))
+class TestAdversarialStreams:
+    def test_bit_identical_after_every_batch(self, case, directed, store_kind):
+        n, edges, batches = ADVERSARIAL_CASES[case]
+        graph = build_graph(n, edges, directed)
+        run_differential(graph, batches, store_kind)
+
+
+@st.composite
+def batched_stream(draw, directed):
+    """A random graph plus a batched update script biased toward trouble.
+
+    The script is generated against a shadow copy so every update is valid
+    at its point in the stream; the bias re-picks recently removed edges
+    (remove-then-readd), attaches brand-new vertices (births), and on
+    directed graphs proposes the inverse of existing edges.
+    """
+    n = draw(st.integers(min_value=2, max_value=7))
+    pairs = [
+        (u, v)
+        for u in range(n)
+        for v in range(n)
+        if u != v and (directed or u < v)
+    ]
+    mask = draw(st.lists(st.booleans(), min_size=len(pairs), max_size=len(pairs)))
+    edges = [e for e, keep in zip(pairs, mask) if keep]
+    shadow = build_graph(n, edges, directed)
+    next_vertex = n
+    removed_recently = []
+    batches = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        batch = []
+        for _ in range(draw(st.integers(min_value=1, max_value=4))):
+            choice = draw(st.integers(min_value=0, max_value=4))
+            current = shadow.edge_list()
+            if choice == 0 and current:  # removal (may disconnect)
+                u, v = current[draw(st.integers(0, len(current) - 1))]
+                batch.append(remove(u, v))
+                shadow.remove_edge(u, v)
+                removed_recently.append((u, v))
+            elif choice == 1 and removed_recently:  # readd a removed edge
+                u, v = removed_recently.pop()
+                if not shadow.has_edge(u, v):
+                    batch.append(add(u, v))
+                    shadow.add_edge(u, v)
+            elif choice == 2:  # vertex birth
+                verts = shadow.vertex_list()
+                u = verts[draw(st.integers(0, len(verts) - 1))]
+                batch.append(add(u, next_vertex))
+                shadow.add_edge(u, next_vertex)
+                next_vertex += 1
+            else:  # addition; on directed graphs this includes inverses
+                verts = shadow.vertex_list()
+                non_edges = [
+                    (u, v)
+                    for u in verts
+                    for v in verts
+                    if u != v
+                    and (directed or u < v)
+                    and not shadow.has_edge(u, v)
+                ]
+                if not non_edges:
+                    continue
+                u, v = non_edges[draw(st.integers(0, len(non_edges) - 1))]
+                batch.append(add(u, v))
+                shadow.add_edge(u, v)
+        if batch:
+            batches.append(batch)
+    return build_graph(n, edges, directed), batches
+
+
+class TestHypothesisStreams:
+    @pytest.mark.parametrize(
+        "directed", [False, True], ids=["undirected", "directed"]
+    )
+    @given(data=st.data())
+    def test_memory_store(self, directed, data):
+        graph, batches = data.draw(batched_stream(directed))
+        run_differential(graph, batches, "memory")
+
+    @pytest.mark.parametrize("store_kind", ["disk-mmap", "disk-buffered"])
+    @settings(max_examples=10)
+    @given(data=st.data())
+    def test_disk_stores(self, store_kind, data):
+        directed = data.draw(st.booleans())
+        graph, batches = data.draw(batched_stream(directed))
+        run_differential(graph, batches, store_kind)
+
+
+class TestScalarVectorDifferential:
+    """The flat path against the scalar slot-space path, same backend."""
+
+    @pytest.mark.parametrize(
+        "directed", [False, True], ids=["undirected", "directed"]
+    )
+    @pytest.mark.parametrize("case", sorted(ADVERSARIAL_CASES))
+    def test_vector_toggle(self, case, directed, monkeypatch):
+        n, edges, batches = ADVERSARIAL_CASES[case]
+        vector = IncrementalBetweenness(
+            build_graph(n, edges, directed), backend="arrays"
+        )
+        monkeypatch.setenv("REPRO_VECTOR_REPAIR", "0")
+        scalar = IncrementalBetweenness(
+            build_graph(n, edges, directed), backend="arrays"
+        )
+        assert not scalar._kernel._vector_enabled
+        assert vector._kernel._vector_enabled
+        for i, batch in enumerate(batches):
+            vector.apply_updates(list(batch))
+            scalar.apply_updates(list(batch))
+            assert vector.vertex_betweenness() == scalar.vertex_betweenness()
+            assert vector.edge_betweenness() == scalar.edge_betweenness()
+
+
+class TestCohortSoloDifferential:
+    """The cohort pair-space sweep against the per-source solo sweep.
+
+    ``REPRO_COHORT_REPAIR=0`` forces the batch sweep down the solo
+    (one-source-at-a-time) flat path; the cohort path promises the same
+    bit-exact scores and records, so both frameworks must stay ``==``
+    after every batch.
+    """
+
+    @pytest.mark.parametrize(
+        "directed", [False, True], ids=["undirected", "directed"]
+    )
+    @pytest.mark.parametrize("case", sorted(ADVERSARIAL_CASES))
+    def test_cohort_toggle(self, case, directed, monkeypatch):
+        n, edges, batches = ADVERSARIAL_CASES[case]
+        cohort = IncrementalBetweenness(
+            build_graph(n, edges, directed), backend="arrays"
+        )
+        solo = IncrementalBetweenness(
+            build_graph(n, edges, directed), backend="arrays"
+        )
+        # Witness that the two frameworks really take different paths: only
+        # the cohort framework may ever enter the pair-space sweep.
+        calls = {"cohort": 0, "solo": 0}
+        kernel_cls = type(cohort._kernel)
+        original = kernel_cls.repair_update_cohort
+
+        def spy(kernel, *args, **kwargs):
+            calls["cohort" if kernel is cohort._kernel else "solo"] += 1
+            return original(kernel, *args, **kwargs)
+
+        monkeypatch.setattr(kernel_cls, "repair_update_cohort", spy)
+        for batch in batches:
+            monkeypatch.delenv("REPRO_COHORT_REPAIR", raising=False)
+            cohort.apply_updates(list(batch))
+            monkeypatch.setenv("REPRO_COHORT_REPAIR", "0")
+            solo.apply_updates(list(batch))
+            assert cohort.vertex_betweenness() == solo.vertex_betweenness()
+            assert cohort.edge_betweenness() == solo.edge_betweenness()
+            for source in solo.store.sources():
+                a, b = cohort.store.get(source), solo.store.get(source)
+                assert a.distance == b.distance
+                assert a.sigma == b.sigma
+                assert a.delta == b.delta
+        assert calls["cohort"] > 0
+        assert calls["solo"] == 0
+
+    @given(data=st.data())
+    def test_cohort_toggle_hypothesis(self, data):
+        directed = data.draw(st.booleans())
+        graph, batches = data.draw(batched_stream(directed))
+        cohort = IncrementalBetweenness(graph.copy(), backend="arrays")
+        solo = IncrementalBetweenness(graph.copy(), backend="arrays")
+        try:
+            for batch in batches:
+                os.environ.pop("REPRO_COHORT_REPAIR", None)
+                cohort.apply_updates(list(batch))
+                os.environ["REPRO_COHORT_REPAIR"] = "0"
+                solo.apply_updates(list(batch))
+                assert cohort.vertex_betweenness() == solo.vertex_betweenness()
+                assert cohort.edge_betweenness() == solo.edge_betweenness()
+        finally:
+            os.environ.pop("REPRO_COHORT_REPAIR", None)
+
+
+class TestJITContract:
+    """The JIT is a speed switch, never a semantics switch."""
+
+    def test_toggle_reports_effective_state(self):
+        previous = jit.jit_enabled()
+        try:
+            # Enabling is a request: without numba it must report False.
+            assert jit.set_jit_enabled(True) == jit.jit_available()
+            assert jit.set_jit_enabled(False) is False
+        finally:
+            jit.set_jit_enabled(previous)
+
+    def test_scatter_add_ordered_duplicates(self):
+        acc = np.zeros(4)
+        idx = np.array([1, 1, 3, 1, 0], dtype=np.int64)
+        vals = np.array([0.1, 0.2, 1.0, 0.4, 2.0])
+        jit.scatter_add(acc, idx, vals)
+        expected = np.zeros(4)
+        for i, v in zip(idx.tolist(), vals.tolist()):
+            expected[i] += v
+        assert acc.tolist() == expected.tolist()
+
+    @pytest.mark.parametrize("enabled", [False, True])
+    def test_stream_identical_across_jit_modes(self, enabled):
+        if enabled and not jit.jit_available():
+            pytest.skip("numba not installed; only the fallback leg runs")
+        n, edges, batches = ADVERSARIAL_CASES["multi_level_drop"]
+        previous = jit.jit_enabled()
+        try:
+            jit.set_jit_enabled(enabled)
+            arrays = IncrementalBetweenness(
+                build_graph(n, edges, False), backend="arrays"
+            )
+            dicts = IncrementalBetweenness(
+                build_graph(n, edges, False), backend="dicts"
+            )
+            for batch in batches:
+                arrays.apply_updates(list(batch))
+                dicts.apply_updates(list(batch))
+            assert arrays.vertex_betweenness() == dicts.vertex_betweenness()
+            assert arrays.edge_betweenness() == dicts.edge_betweenness()
+        finally:
+            jit.set_jit_enabled(previous)
