@@ -1,0 +1,268 @@
+"""Sharded executor: dispatch overhead, checkpoint rounds and recovery cost.
+
+Measures :class:`repro.parallel.ShardCoordinator` on a random evolving
+graph across shard counts:
+
+* **bootstrap** — spawning the workers, partitioned Brandes on every shard,
+  and the durable round-0 checkpoint;
+* **dispatch overhead** — per batch, the driver's wall-clock minus the
+  slowest worker's in-worker time: what coordination (pipes, adoption
+  bookkeeping, graph sync) costs on top of the actual repair work;
+* **checkpoint round** — one full round: every shard writes its stamped
+  store + sidecar, the coordinator rewrites the manifest;
+* **recovery** — a worker is killed mid-stream (the coordinator's chaos
+  hook SIGKILLs it after applying a batch but before acknowledging, the
+  worst case) and the time to re-seed a replacement from the shard
+  checkpoint and replay the logged batches is taken from the coordinator's
+  ``shard_recovered`` notification.
+
+The acceptance bar is exactness, not speed: the chaos run's final scores
+must be **bit-identical** to the clean run's.  Results are printed and
+written to ``BENCH_shard.json`` at the repository root.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_shard.py``) for the
+full configuration, or with ``--smoke`` (CI) for a small one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.updates import EdgeUpdate, batches
+from repro.graph import Graph
+from repro.parallel import ShardCoordinator
+from repro.storage.shard import ShardLayout
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUTPUT_PATH = REPO_ROOT / "BENCH_shard.json"
+
+FULL = {
+    "vertices": 400,
+    "extra_edges_per_vertex": 3,
+    "updates": 24,
+    "batch_size": 4,
+    "checkpoint_every": 2,
+    "shard_counts": [1, 2, 4],
+}
+SMOKE = {
+    "vertices": 100,
+    "extra_edges_per_vertex": 2,
+    "updates": 12,
+    "batch_size": 3,
+    "checkpoint_every": 2,
+    "shard_counts": [1, 2],
+}
+
+
+def build_graph(num_vertices: int, extra_edges_per_vertex: int, seed: int) -> Graph:
+    """Connected random graph: spanning tree plus random extra edges."""
+    rng = random.Random(seed)
+    graph = Graph()
+    graph.add_vertex(0)
+    for vertex in range(1, num_vertices):
+        graph.add_edge(vertex, rng.randrange(vertex))
+    added = 0
+    while added < extra_edges_per_vertex * num_vertices:
+        u, v = rng.sample(range(num_vertices), 2)
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            added += 1
+    return graph
+
+
+def build_stream(graph: Graph, num_updates: int, seed: int):
+    """Mixed addition/removal stream (with vertex births) valid on ``graph``."""
+    rng = random.Random(seed)
+    edges = set(graph.edge_list())
+    vertices = list(graph.vertex_list())
+    next_vertex = graph.num_vertices
+    stream = []
+    for _ in range(num_updates):
+        roll = rng.random()
+        if roll < 0.3 and len(edges) > 1:
+            edge = rng.choice(sorted(edges))
+            edges.discard(edge)
+            stream.append(EdgeUpdate.removal(*edge))
+        elif roll < 0.45:
+            anchor = rng.choice(vertices)
+            stream.append(EdgeUpdate.addition(anchor, next_vertex))
+            edges.add((anchor, next_vertex))
+            vertices.append(next_vertex)
+            next_vertex += 1
+        else:
+            while True:
+                u, v = rng.sample(vertices, 2)
+                key = (u, v) if u <= v else (v, u)
+                if key not in edges:
+                    edges.add(key)
+                    stream.append(EdgeUpdate.addition(u, v))
+                    break
+    return stream
+
+
+def stream_once(coordinator, stream, batch_size):
+    """Drive the stream; returns (reports, per-batch dispatch overheads)."""
+    reports = []
+    overheads = []
+    for chunk in batches(iter(stream), batch_size):
+        report = coordinator.apply_batch(chunk)
+        reports.append(report)
+        slowest = max(report.worker_seconds) if report.worker_seconds else 0.0
+        overheads.append(max(0.0, (report.elapsed_seconds or 0.0) - slowest))
+    return reports, overheads
+
+
+def bench_shard_count(graph, stream, config, num_shards, root) -> dict:
+    layout = ShardLayout(
+        root=Path(root) / f"shards-{num_shards}",
+        num_shards=num_shards,
+        checkpoint_every=10 ** 9,  # rounds measured explicitly below
+    )
+    start = time.perf_counter()
+    coordinator = ShardCoordinator(graph, layout)
+    bootstrap_seconds = time.perf_counter() - start
+    try:
+        stream_start = time.perf_counter()
+        _, overheads = stream_once(coordinator, stream, config["batch_size"])
+        stream_seconds = time.perf_counter() - stream_start
+        round_start = time.perf_counter()
+        coordinator.checkpoint()
+        round_seconds = time.perf_counter() - round_start
+        vertex_scores = coordinator.vertex_betweenness()
+    finally:
+        coordinator.close(checkpoint=False)
+    report = {
+        "num_shards": num_shards,
+        "bootstrap_seconds": bootstrap_seconds,
+        "stream_seconds": stream_seconds,
+        "mean_batch_seconds": stream_seconds / max(1, len(overheads)),
+        "mean_dispatch_overhead_seconds": sum(overheads) / max(1, len(overheads)),
+        "checkpoint_round_seconds": round_seconds,
+    }
+    print(
+        f"shards={num_shards}: bootstrap {bootstrap_seconds:6.2f}s  "
+        f"stream {stream_seconds:6.2f}s  "
+        f"dispatch overhead {report['mean_dispatch_overhead_seconds'] * 1e3:6.1f}ms/batch  "
+        f"round {round_seconds * 1e3:6.1f}ms"
+    )
+    return report, vertex_scores
+
+
+def bench_recovery(graph, stream, config, num_shards, root, clean_scores) -> dict:
+    """Kill one worker mid-stream; time the recovery, demand exact scores."""
+    num_batches = (len(stream) + config["batch_size"] - 1) // config["batch_size"]
+    kill_cursor = num_batches // 2
+    if kill_cursor % config["checkpoint_every"] == 0 and kill_cursor + 1 < num_batches:
+        # Land between checkpoint rounds so the recovery includes a real
+        # replay, not just a re-seed.
+        kill_cursor += 1
+    events = []
+    layout = ShardLayout(
+        root=Path(root) / "shards-chaos",
+        num_shards=num_shards,
+        checkpoint_every=config["checkpoint_every"],
+    )
+    coordinator = ShardCoordinator(
+        graph,
+        layout,
+        notify=lambda kind, **fields: events.append((kind, fields)),
+        chaos={num_shards - 1: {"cursor": kill_cursor, "when": "after"}},
+    )
+    try:
+        stream_once(coordinator, stream, config["batch_size"])
+        vertex_scores = coordinator.vertex_betweenness()
+    finally:
+        coordinator.close(checkpoint=False)
+    recoveries = [fields for kind, fields in events if kind == "shard_recovered"]
+    report = {
+        "num_shards": num_shards,
+        "killed_shard": num_shards - 1,
+        "kill_cursor": kill_cursor,
+        "recoveries": len(recoveries),
+        "recovery_seconds": recoveries[0]["seconds"] if recoveries else None,
+        "replayed_batches": recoveries[0]["replayed_batches"] if recoveries else None,
+        "bit_identical": vertex_scores == clean_scores,
+    }
+    print(
+        f"recovery (shards={num_shards}, kill at batch {kill_cursor}): "
+        f"{report['recovery_seconds']:.3f}s, "
+        f"{report['replayed_batches']} batches replayed, "
+        f"bit-identical: {report['bit_identical']}"
+    )
+    return report
+
+
+def run(config: dict) -> dict:
+    graph = build_graph(
+        config["vertices"], config["extra_edges_per_vertex"], seed=11
+    )
+    stream = build_stream(graph, config["updates"], seed=13)
+    print(
+        f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges; "
+        f"stream: {len(stream)} updates in batches of {config['batch_size']}"
+    )
+    per_shard_count = []
+    scores_by_count = {}
+    with tempfile.TemporaryDirectory(prefix="bench-shard-") as tmp:
+        for num_shards in config["shard_counts"]:
+            report, scores = bench_shard_count(graph, stream, config, num_shards, tmp)
+            per_shard_count.append(report)
+            scores_by_count[num_shards] = scores
+        max_shards = config["shard_counts"][-1]
+        recovery = bench_recovery(
+            graph, stream, config, max_shards, tmp, scores_by_count[max_shards]
+        )
+    return {
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "config": config,
+        "shard_counts": per_shard_count,
+        "recovery": recovery,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small CI configuration",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=OUTPUT_PATH,
+        help=f"where to write the JSON report (default: {OUTPUT_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    report = run(SMOKE if args.smoke else FULL)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+
+    recovery = report["recovery"]
+    assert recovery["recoveries"] == 1, (
+        f"expected exactly one recovery, saw {recovery['recoveries']}"
+    )
+    assert recovery["bit_identical"], (
+        "post-recovery scores differ from the clean run — the replay path "
+        "is not exact"
+    )
+    print(
+        f"OK: recovered one killed worker in {recovery['recovery_seconds']:.3f}s "
+        f"({recovery['replayed_batches']} batches replayed), scores bit-identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

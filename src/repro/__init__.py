@@ -39,9 +39,11 @@ from repro.api import (
     SessionEvent,
     SessionSnapshot,
     SessionSubscriber,
+    ShardRecovered,
     TopKSnapshot,
     TopKTracker,
     UpdateApplied,
+    WorkerFailed,
     open_session,
     resume_session,
 )
@@ -95,6 +97,8 @@ __all__ = [
     "UpdateApplied",
     "BatchApplied",
     "CheckpointWritten",
+    "WorkerFailed",
+    "ShardRecovered",
     "SessionClosed",
     "SessionSubscriber",
     "TopKTracker",

@@ -20,6 +20,7 @@ from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.exceptions import ConfigurationError
 from repro.storage.factory import parse_store_uri
+from repro.storage.shard import ShardLayout
 from repro.types import BACKENDS, validate_backend
 
 PathLike = Union[str, Path]
@@ -32,8 +33,12 @@ PathLike = Union[str, Path]
 #:   (:class:`~repro.parallel.executor.ProcessParallelBetweenness`), one
 #:   restricted framework per worker process;
 #: * ``mapreduce`` — the in-process simulated cluster
-#:   (:class:`~repro.parallel.mapreduce.MapReduceBetweenness`).
-EXECUTORS: Tuple[str, ...] = ("serial", "process", "mapreduce")
+#:   (:class:`~repro.parallel.mapreduce.MapReduceBetweenness`);
+#: * ``shard`` — the fault-tolerant sharded executor
+#:   (:class:`~repro.parallel.shards.ShardCoordinator`): per-shard durable
+#:   stores and checkpoints under a ``shard://`` root, worker-death
+#:   recovery, and disk-only resume.
+EXECUTORS: Tuple[str, ...] = ("serial", "process", "mapreduce", "shard")
 
 
 @dataclass(frozen=True)
@@ -59,9 +64,13 @@ class BetweennessConfig:
     store:
         Store URI resolved through :func:`repro.storage.create_store`
         (``memory://``, ``arrays://``, ``disk:///path?mmap=true``, or any
-        third-party registered scheme).  Under the parallel executors the
-        scheme selects the *per-worker* store kind and must be path-less
-        (each worker owns a private temporary store).
+        third-party registered scheme).  Under the ``process`` and
+        ``mapreduce`` executors the scheme selects the *per-worker* store
+        kind and must be path-less (each worker owns a private temporary
+        store).  The ``shard`` executor instead *requires* a ``shard://``
+        URI naming the ensemble root, e.g.
+        ``shard:///var/data/bc?shards=8&checkpoint_every=4`` (``shards``
+        must agree with ``workers`` when both are given).
     maintain_predecessors:
         Also maintain per-source predecessor lists (the paper's MP
         configuration; dicts backend + serial executor only).
@@ -122,7 +131,23 @@ class BetweennessConfig:
                 "'mapreduce' to scale out)"
             )
         uri = parse_store_uri(self.store)  # rejects bad scheme/query early
-        if self.executor != "serial" and uri.path:
+        if self.executor == "shard" and uri.scheme != "shard":
+            raise ConfigurationError(
+                f"the shard executor needs a shard:// store URI naming the "
+                f"shard root, got {self.store!r} (e.g. "
+                "'shard:///var/data/bc?shards=8&checkpoint_every=4')"
+            )
+        if uri.scheme == "shard" and self.executor != "shard":
+            raise ConfigurationError(
+                f"store URI {self.store!r} describes a shard ensemble, which "
+                f"only the shard executor can run (got executor="
+                f"{self.executor!r})"
+            )
+        if self.executor == "shard":
+            # Resolves the root/shards/checkpoint_every parameters and
+            # cross-validates the shard count against ``workers``.
+            ShardLayout.from_uri(self.store, workers=self.workers)
+        elif self.executor != "serial" and uri.path:
             raise ConfigurationError(
                 f"executor {self.executor!r} uses per-worker stores, so the "
                 f"store URI must not name a path (got {self.store!r}); use "
@@ -153,10 +178,19 @@ class BetweennessConfig:
         if self.checkpoint_every is not None and self.executor != "serial":
             # checkpoint() itself is serial-only (a parallel session's state
             # lives in per-worker stores), so a periodic policy under a
-            # parallel executor would fail mid-stream after real work.
+            # parallel executor would fail mid-stream after real work.  The
+            # shard executor checkpoints too, but its cadence lives in the
+            # URI (checkpoint_every=N) because it is a property of the
+            # durable ensemble, not of one streaming call.
             raise ConfigurationError(
-                "checkpoint_every requires the serial executor; parallel "
-                "sessions have no durable single-store state to checkpoint"
+                "checkpoint_every requires the serial executor; under the "
+                "shard executor set the cadence in the store URI "
+                "('shard:///root?checkpoint_every=N') instead"
+            )
+        if self.checkpoint_path is not None and self.executor == "shard":
+            raise ConfigurationError(
+                "the shard executor keeps its checkpoints inside the shard "
+                "root named by the store URI; checkpoint_path must be None"
             )
         if self.seed_store_path is not None and self.executor != "process":
             raise ConfigurationError(

@@ -1,8 +1,8 @@
 """Structured events emitted by a :class:`~repro.api.session.BetweennessSession`.
 
 The session is event-driven: every state change (bootstrap, update, batch,
-checkpoint, shutdown) is published to subscribers as a typed, immutable
-event object.  Downstream consumers — top-k rank tracking, online deadline
+checkpoint, worker failure and recovery, shutdown) is published to
+subscribers as a typed, immutable event object.  Downstream consumers — top-k rank tracking, online deadline
 accounting, progress logging, metrics export — are *subscribers* rather
 than parallel reimplementations of the update loop, so they compose: one
 stream pass can feed all of them.
@@ -52,7 +52,8 @@ class UpdateApplied(SessionEvent):
     ``result`` is the engine's result object — an
     :class:`~repro.core.result.UpdateResult` under the serial executor, a
     :class:`~repro.parallel.executor.ParallelBatchReport` under ``process``
-    and a :class:`~repro.parallel.mapreduce.MapReduceUpdateReport` under
+    and ``shard``, and a
+    :class:`~repro.parallel.mapreduce.MapReduceUpdateReport` under
     ``mapreduce``.
     """
 
@@ -79,6 +80,34 @@ class CheckpointWritten(SessionEvent):
     """A checkpoint sidecar (with the session config embedded) was written."""
 
     path: str = ""
+
+
+@dataclass(frozen=True)
+class WorkerFailed(SessionEvent):
+    """A shard worker process died or stopped responding (shard executor).
+
+    Emitted *before* recovery starts; a :class:`ShardRecovered` follows once
+    the replacement worker is live again.  ``batch_cursor`` is the batch the
+    ensemble was applying (or had applied) when the failure was detected.
+    """
+
+    shard: int = 0
+    error: str = ""
+    batch_cursor: int = 0
+
+
+@dataclass(frozen=True)
+class ShardRecovered(SessionEvent):
+    """A dead shard worker was replaced from its checkpoint (shard executor).
+
+    ``replayed_batches`` counts the logged batches applied on top of the
+    shard checkpoint to catch the replacement up — the recovery cost beyond
+    loading the checkpoint itself, which ``seconds`` measures end to end.
+    """
+
+    shard: int = 0
+    replayed_batches: int = 0
+    seconds: float = 0.0
 
 
 @dataclass(frozen=True)

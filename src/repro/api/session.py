@@ -5,9 +5,10 @@ takes an initial graph plus a declarative
 :class:`~repro.api.config.BetweennessConfig` and hides, behind one stable
 surface, everything PRs 1–4 grew underneath: the serial framework (in
 memory, columnar or out of core), the batched update pipeline, the real
-multiprocessing executor and the simulated MapReduce cluster.  Adding a new
-backend, store or executor is a registry/config change — no call site ever
-threads a new kwarg again.
+multiprocessing executor, the simulated MapReduce cluster and the
+fault-tolerant sharded executor (``executor="shard"`` + a ``shard://``
+store URI).  Adding a new backend, store or executor is a registry/config
+change — no call site ever threads a new kwarg again.
 
 The session is also *event-driven*: every update, batch, checkpoint and
 shutdown is published to subscribers (:mod:`repro.api.events`), which is
@@ -42,8 +43,10 @@ from repro.api.events import (
     CheckpointWritten,
     SessionClosed,
     SessionEvent,
+    ShardRecovered,
     Subscriber,
     UpdateApplied,
+    WorkerFailed,
 )
 from repro.core.checkpoint import load_checkpoint
 from repro.core.framework import IncrementalBetweenness
@@ -52,9 +55,11 @@ from repro.exceptions import ConfigurationError
 from repro.graph.graph import Graph
 from repro.parallel.executor import ProcessParallelBetweenness
 from repro.parallel.mapreduce import MapReduceBetweenness
+from repro.parallel.shards import ShardCoordinator
 from repro.storage.base import BDStore
 from repro.storage.disk import DiskBDStore
 from repro.storage.factory import create_store, parse_store_uri
+from repro.storage.shard import ShardLayout, load_manifest
 from repro.types import Edge, EdgeScores, Vertex, VertexScores
 from repro.utils.stats import top_k_items
 
@@ -154,6 +159,18 @@ class BetweennessSession:
                 source_store_path=config.seed_store_path,
                 backend=config.backend,
             )
+        elif config.executor == "shard":
+            layout = ShardLayout.from_uri(config.store, workers=config.workers)
+            self._cluster = ShardCoordinator(
+                graph,
+                layout,
+                backend=config.backend,
+                config=config.to_dict(),
+            )
+            # Hooked up only after construction so the ensemble's round-0
+            # checkpoint is not emitted ahead of BootstrapCompleted; every
+            # later round, failure and recovery surfaces as a typed event.
+            self._cluster.notify = self._shard_notify
         else:  # mapreduce — validated by the config
             self._cluster = MapReduceBetweenness(
                 graph,
@@ -209,6 +226,34 @@ class BetweennessSession:
             num_vertices=framework.graph.num_vertices,
             num_edges=framework.graph.num_edges,
             num_sources=framework.num_sources,
+        )
+        return self
+
+    @classmethod
+    def _from_shard_coordinator(
+        cls,
+        coordinator: ShardCoordinator,
+        config: BetweennessConfig,
+        subscribers: Sequence[Subscriber] = (),
+    ) -> "BetweennessSession":
+        """Wrap a live (usually resumed) shard coordinator in a session."""
+        self = cls.__new__(cls)
+        self._config = config
+        self._subscribers = []
+        self._sequence = 0
+        self._batch_index = coordinator.batch_cursor
+        self._batches_since_checkpoint = 0
+        self._closed = False
+        self._framework = None
+        self._cluster = coordinator
+        for subscriber in subscribers:
+            self.subscribe(subscriber)
+        coordinator.notify = self._shard_notify
+        self._emit(
+            BootstrapCompleted,
+            num_vertices=coordinator.graph.num_vertices,
+            num_edges=coordinator.graph.num_edges,
+            num_sources=coordinator.graph.num_vertices,
         )
         return self
 
@@ -322,7 +367,9 @@ class BetweennessSession:
         self._ensure_open()
         if self._framework is not None:
             result = self._framework.apply_updates(batch)
-        elif isinstance(self._cluster, ProcessParallelBetweenness):
+        elif isinstance(
+            self._cluster, (ProcessParallelBetweenness, ShardCoordinator)
+        ):
             result = self._cluster.apply_batch(batch)
         else:
             result = tuple(self._cluster.apply(update) for update in batch)
@@ -408,15 +455,28 @@ class BetweennessSession:
 
         ``path`` defaults to the config's ``checkpoint_path``.  Because the
         config travels inside the sidecar, :func:`resume_session` needs
-        nothing but the path — no flags, no kwargs.  Serial executor only
-        (a parallel session's state lives in per-worker stores).
+        nothing but the path — no flags, no kwargs.
+
+        Under the shard executor this runs a checkpoint *round*: every shard
+        persists its state into the shard root and the coordinator manifest
+        is rewritten; the return value is the manifest path (``path`` must
+        be ``None`` — a sharded session's location is its store URI).  The
+        other parallel executors have no durable state to checkpoint.
         """
         self._ensure_open()
+        if isinstance(self._cluster, ShardCoordinator):
+            if path is not None:
+                raise ConfigurationError(
+                    "a sharded session checkpoints into its shard root "
+                    f"({self._cluster.layout.root}); drop the path argument"
+                )
+            # The coordinator's notify hook emits CheckpointWritten.
+            return self._cluster.checkpoint()
         if self._framework is None:
             raise ConfigurationError(
-                "checkpoint() requires the serial executor; collect scores "
-                "with snapshot() instead, or run serial sessions for "
-                "durable state"
+                "checkpoint() requires the serial or shard executor; collect "
+                "scores with snapshot() instead, or run serial/shard "
+                "sessions for durable state"
             )
         if path is None:
             path = self._config.checkpoint_path
@@ -439,7 +499,7 @@ class BetweennessSession:
         self._closed = True
         if self._framework is not None:
             self._framework.store.close()
-        elif isinstance(self._cluster, ProcessParallelBetweenness):
+        elif isinstance(self._cluster, (ProcessParallelBetweenness, ShardCoordinator)):
             self._cluster.close()
         elif self._cluster is not None:
             for mapper in self._cluster.mappers:
@@ -458,6 +518,19 @@ class BetweennessSession:
     def _engine(self):
         self._ensure_open()
         return self._framework if self._framework is not None else self._cluster
+
+    def _shard_notify(self, kind: str, **fields) -> None:
+        """Adapt the coordinator's plain callback into typed session events.
+
+        The coordinator lives below the API layer and knows nothing about
+        event classes; this bound method is the only coupling point.
+        """
+        if kind == "worker_failed":
+            self._emit(WorkerFailed, **fields)
+        elif kind == "shard_recovered":
+            self._emit(ShardRecovered, **fields)
+        elif kind == "checkpoint":
+            self._emit(CheckpointWritten, path=fields["path"])
 
     def _ensure_open(self) -> None:
         if self._closed:
@@ -523,9 +596,17 @@ def resume_session(
     :meth:`IncrementalBetweenness.resume
     <repro.core.framework.IncrementalBetweenness.resume>`.
 
+    ``checkpoint_path`` may also be a **shard root** (the directory a
+    ``shard://`` URI names, or its ``manifest.bin``): the whole sharded
+    session — shard count, cadence, per-shard state, stream-born vertex
+    assignment and the embedded config — is then restored from disk alone,
+    with one worker re-seeded per shard.
+
     The sidecar — which may embed a full ``BD[.]`` snapshot — is read and
     deserialized exactly once here.
     """
+    if store is None and ShardLayout.is_shard_root(checkpoint_path):
+        return _resume_shard_session(checkpoint_path, config, overrides)
     ckpt = load_checkpoint(checkpoint_path)
     if config is None:
         if ckpt.config is not None:
@@ -543,3 +624,42 @@ def resume_session(
         checkpoint_path, store=store, backend=config.backend, checkpoint=ckpt
     )
     return BetweennessSession.from_framework(framework, config=config)
+
+
+def _resume_shard_session(
+    root: PathLike,
+    config: Optional[BetweennessConfig],
+    overrides: dict,
+) -> BetweennessSession:
+    """The shard-root branch of :func:`resume_session`."""
+    root = Path(root)
+    if root.name == "manifest.bin":
+        root = root.parent
+    manifest = load_manifest(root)
+    if config is None:
+        if manifest.config is not None:
+            config = BetweennessConfig.from_dict(manifest.config)
+        else:
+            # The ensemble was driven by a bare coordinator, not a session;
+            # reconstruct the equivalent declarative description.
+            config = BetweennessConfig(
+                executor="shard",
+                backend=manifest.backend,
+                directed=manifest.directed,
+                workers=manifest.num_shards,
+                store=(
+                    f"shard://{root.resolve()}?shards={manifest.num_shards}"
+                    f"&checkpoint_every={manifest.checkpoint_every}"
+                ),
+            )
+    if overrides:
+        config = config.replace(**overrides)
+    if config.executor != "shard":
+        raise ConfigurationError(
+            f"{root} is a shard root; it can only resume under the shard "
+            f"executor (config asks for {config.executor!r})"
+        )
+    coordinator = ShardCoordinator.resume(
+        root, backend=config.backend, config=config.to_dict()
+    )
+    return BetweennessSession._from_shard_coordinator(coordinator, config)

@@ -10,6 +10,10 @@ explored without writing Python::
     repro speedup --dataset facebook --variant DO \
         --store-path bd.bin --checkpoint ck.bin   # durable DO store + checkpoint
     repro resume --checkpoint ck.bin --edges 10 --verify
+    repro shard --dataset synthetic-1k --root /var/data/bc --shards 4 \
+        --edges 20                               # fault-tolerant sharded run
+    repro shard --root /var/data/bc --edges 20   # resume the same ensemble
+    repro resume --checkpoint /var/data/bc --edges 10   # shard roots work too
     repro online --dataset facebook --mappers 1,10,50
     repro online --dataset facebook --workers 4 --store disk://
     repro communities --dataset synthetic-1k --removals 25
@@ -46,7 +50,14 @@ from repro.analysis import (
     variant_config,
 )
 from repro.analysis.correlation import compare_rankings
-from repro.api import BetweennessConfig, resume_session
+from repro.api import (
+    BetweennessConfig,
+    BetweennessSession,
+    CheckpointWritten,
+    ShardRecovered,
+    WorkerFailed,
+    resume_session,
+)
 from repro.applications import girvan_newman, modularity
 from repro.generators import (
     addition_stream,
@@ -56,6 +67,7 @@ from repro.generators import (
 )
 from repro.graph import profile
 from repro.parallel import replay_online_updates_parallel, simulate_online_updates
+from repro.storage import ShardLayout
 from repro.types import BACKENDS
 from repro.utils.timing import Timer
 
@@ -149,6 +161,44 @@ def build_parser() -> argparse.ArgumentParser:
              "resumed scores match",
     )
     _add_backend_argument(resume_parser)
+
+    shard_parser = subparsers.add_parser(
+        "shard",
+        help="fault-tolerant sharded execution under a shard:// root "
+             "(initialises the ensemble, or resumes it when the root "
+             "already holds a manifest)",
+    )
+    _add_dataset_arguments(shard_parser)
+    _add_config_argument(shard_parser)
+    shard_parser.add_argument(
+        "--root", type=Path, required=True,
+        help="shard root directory; becomes the shard:// store URI path "
+             "(an existing ensemble there is resumed from disk — dataset "
+             "flags then only shape the new update stream)",
+    )
+    shard_parser.add_argument(
+        "--shards", type=int, default=2,
+        help="number of shards (= worker processes) for a fresh ensemble; "
+             "a resumed ensemble keeps its original count",
+    )
+    shard_parser.add_argument(
+        "--checkpoint-every", type=int, default=4,
+        help="checkpoint cadence in batches for a fresh ensemble",
+    )
+    shard_parser.add_argument("--edges", type=int, default=10, help="stream length")
+    shard_parser.add_argument(
+        "--kind", choices=["add", "remove"], default="add", help="update kind"
+    )
+    shard_parser.add_argument(
+        "--batch-size", type=int, default=None,
+        help="apply the stream in batches of this many updates" + _PRECEDENCE,
+    )
+    shard_parser.add_argument(
+        "--verify", action="store_true",
+        help="recompute betweenness from scratch afterwards and check the "
+             "sharded scores match",
+    )
+    _add_backend_argument(shard_parser)
 
     online_parser = subparsers.add_parser(
         "online", help="online replay: missed deadlines vs number of mappers"
@@ -260,6 +310,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         text, code = _run_resume(args)
         print(text)
         return code
+    elif command == "shard":
+        text, code = _run_shard(args)
+        print(text)
+        return code
     elif command == "online":
         print(_run_online(args))
     elif command == "communities":
@@ -364,10 +418,18 @@ def _run_resume(args) -> tuple:
     )
     config = session.config
     graph = session.graph
+    # A shard-root checkpoint resumes a sharded session, which has no single
+    # serial framework; every source is live on some shard.
+    num_sources = (
+        session.framework.num_sources
+        if config.executor == "serial"
+        else graph.num_vertices
+    )
     lines = [
         f"resumed from {args.checkpoint}: {graph.num_vertices} vertices, "
-        f"{graph.num_edges} edges, {session.framework.num_sources} sources "
-        f"(backend {config.backend}, store {config.store})",
+        f"{graph.num_edges} edges, {num_sources} sources "
+        f"(executor {config.executor}, backend {config.backend}, "
+        f"store {config.store})",
     ]
     verified = True
     try:
@@ -401,9 +463,14 @@ def _run_resume(args) -> tuple:
             )
         if verified:
             # The updates just mutated the durable store, so the old sidecar
-            # no longer describes it; refresh it for the next resume.
-            session.checkpoint(args.checkpoint)
-            lines.append(f"checkpoint refreshed: {args.checkpoint}")
+            # no longer describes it; refresh it for the next resume.  A
+            # sharded session checkpoints into its shard root instead.
+            written = (
+                session.checkpoint()
+                if config.executor == "shard"
+                else session.checkpoint(args.checkpoint)
+            )
+            lines.append(f"checkpoint refreshed: {written}")
         else:
             lines.append(
                 "verification failed — checkpoint NOT refreshed (the store "
@@ -412,6 +479,99 @@ def _run_resume(args) -> tuple:
             )
     finally:
         session.close()
+    return "\n".join(lines), 0 if verified else 1
+
+
+def _run_shard(args) -> tuple:
+    root = Path(args.root)
+    base = _base_config(args)
+    backend = args.backend if args.backend is not None else base.backend
+    batch_size = (
+        args.batch_size if args.batch_size is not None else base.batch_size
+    )
+    events: list = []
+    if ShardLayout.is_shard_root(root):
+        session = resume_session(root, backend=backend, batch_size=batch_size)
+        session.subscribe(events.append)
+        graph = session.graph
+        lines = [
+            f"resumed shard root {root}: {session.config.workers} shards, "
+            f"{graph.num_vertices} vertices, {graph.num_edges} edges "
+            f"(backend {session.config.backend})",
+        ]
+    else:
+        graph = _load(args)
+        uri = (
+            f"shard://{root.resolve()}?shards={args.shards}"
+            f"&checkpoint_every={args.checkpoint_every}"
+        )
+        config = base.replace(
+            executor="shard",
+            workers=args.shards,
+            store=uri,
+            backend=backend,
+            batch_size=batch_size,
+            directed=graph.directed,
+            checkpoint_path=None,
+            checkpoint_every=None,
+            seed_store_path=None,
+        )
+        session = BetweennessSession(graph, config, subscribers=[events.append])
+        lines = [
+            f"initialised shard root {root}: {args.shards} shards, "
+            f"checkpoint every {args.checkpoint_every} batches, "
+            f"{graph.num_vertices} vertices, {graph.num_edges} edges "
+            f"(backend {backend})",
+        ]
+    verified = True
+    try:
+        if args.kind == "add":
+            updates = addition_stream(session.graph, args.edges, rng=args.seed)
+        else:
+            updates = removal_stream(session.graph, args.edges, rng=args.seed)
+        timer = Timer()
+        with timer.measure():
+            for _ in session.stream(updates, batch_size=batch_size):
+                pass
+        failures = [e for e in events if isinstance(e, WorkerFailed)]
+        recoveries = [e for e in events if isinstance(e, ShardRecovered)]
+        checkpoints = [e for e in events if isinstance(e, CheckpointWritten)]
+        lines.append(
+            f"applied {len(updates)} {args.kind} updates in "
+            f"{timer.total:.4f}s — {len(checkpoints)} checkpoint rounds, "
+            f"{len(failures)} worker failures, {len(recoveries)} recoveries"
+        )
+        for event in recoveries:
+            lines.append(
+                f"  shard {event.shard} recovered: "
+                f"{event.replayed_batches} batches replayed in "
+                f"{event.seconds:.3f}s"
+            )
+        top = session.top_k(5)
+        lines.append(
+            "top vertices: "
+            + ", ".join(f"{vertex}={score:.2f}" for vertex, score in top)
+        )
+        if args.verify:
+            reference = brandes_betweenness(session.graph)
+            deviation = max(
+                (
+                    abs(session.vertex_betweenness().get(v, 0.0) - score)
+                    for v, score in reference.vertex_scores.items()
+                ),
+                default=0.0,
+            )
+            verified = deviation <= 1e-8
+            lines.append(
+                f"verification vs from-scratch Brandes: "
+                f"{'match' if verified else 'MISMATCH'} "
+                f"(max |Δ| = {deviation:.2e})"
+            )
+    finally:
+        # close() runs a final checkpoint round, so the root is immediately
+        # resumable from exactly where this stream stopped.
+        session.close()
+    lines.append(f"shard root ready to resume: {root}")
     return "\n".join(lines), 0 if verified else 1
 
 

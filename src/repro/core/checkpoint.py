@@ -62,6 +62,22 @@ class FrameworkCheckpoint:
     #: ``repro.api.resume_session`` rebuilds the config from it, which is
     #: why resuming needs nothing but the checkpoint path.
     config: Optional[Dict] = None
+    #: Number of update batches applied when the checkpoint was written.
+    #: The shard coordinator compares this against its manifest's batch
+    #: cursor: an older sidecar is replayed forward from the batch log, a
+    #: newer one (state from a future run) is refused — never silently mixed.
+    batch_cursor: Optional[int] = None
+    #: Order-exact adjacency capture (:meth:`repro.graph.Graph
+    #: .adjacency_payload`).  ``vertices``/``edges`` rebuild the same graph
+    #: but canonicalize neighbor order; resume prefers this payload when
+    #: present so post-resume repair sweeps accumulate floats in the exact
+    #: order the checkpointing process would have.
+    adjacency: Optional[Dict] = field(default=None, repr=False)
+    #: Shard bookkeeping written by the shard coordinator's workers:
+    #: ``{"shard_id", "num_shards", "source_order"}``.  ``source_order`` is
+    #: the live store's source insertion order, so a replacement worker
+    #: reloads its records in the exact order the dead worker held them.
+    shard_meta: Optional[Dict] = None
 
 
 def save_checkpoint(path: PathLike, checkpoint: FrameworkCheckpoint) -> Path:
@@ -81,6 +97,9 @@ def save_checkpoint(path: PathLike, checkpoint: FrameworkCheckpoint) -> Path:
             "store_generation": checkpoint.store_generation,
             "directed": checkpoint.directed,
             "config": checkpoint.config,
+            "batch_cursor": checkpoint.batch_cursor,
+            "adjacency": checkpoint.adjacency,
+            "shard_meta": checkpoint.shard_meta,
         },
     )
     return path
@@ -100,4 +119,7 @@ def load_checkpoint(path: PathLike) -> FrameworkCheckpoint:
         store_generation=payload.get("store_generation"),
         directed=bool(payload.get("directed", False)),
         config=payload.get("config"),
+        batch_cursor=payload.get("batch_cursor"),
+        adjacency=payload.get("adjacency"),
+        shard_meta=payload.get("shard_meta"),
     )

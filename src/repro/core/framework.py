@@ -242,11 +242,18 @@ class IncrementalBetweenness:
         store: Optional[BDStore],
         restricted: bool,
         backend: str = "dicts",
+        copy_graph: bool = True,
     ) -> "IncrementalBetweenness":
-        """Instance with zeroed scores and no bootstrap (shared by resume paths)."""
+        """Instance with zeroed scores and no bootstrap (shared by resume paths).
+
+        ``copy_graph=False`` adopts ``graph`` as-is — used by resume when the
+        graph was just rebuilt order-exactly from a checkpoint's adjacency
+        payload (``copy()`` would re-canonicalize neighbor order and break
+        bit-identical post-resume sweeps); the caller must not reuse it.
+        """
         _check_store_orientation(store, graph.directed)
         self = cls.__new__(cls)
-        self._graph = graph.copy()
+        self._graph = graph.copy() if copy_graph else graph
         self._backend = validate_backend(backend)
         self._kernel = None
         self._vector_batch = False
@@ -315,31 +322,51 @@ class IncrementalBetweenness:
         Predecessor lists (the MP configuration) are not checkpointed; a
         resumed instance runs without them, which never changes scores.
         """
-        store_path: Optional[str] = None
+        return save_checkpoint(path, self.build_checkpoint(config=config))
+
+    def build_checkpoint(
+        self,
+        config: Optional[Dict] = None,
+        batch_cursor: Optional[int] = None,
+        shard_meta: Optional[Dict] = None,
+        store_path: Optional[str] = None,
+        store_generation: Optional[int] = None,
+    ) -> FrameworkCheckpoint:
+        """Assemble the sidecar payload of :meth:`checkpoint` without writing it.
+
+        By default the record location is derived from the backing store
+        exactly as :meth:`checkpoint` does (durable disk store → path +
+        generation, anything else → embedded snapshot).  The shard
+        coordinator's workers instead pass ``store_path``/``store_generation``
+        explicitly: their live store is in RAM and the records were just
+        written to a cursor-stamped per-shard store file, which is what the
+        sidecar must reference.  ``batch_cursor`` and ``shard_meta`` are
+        recorded verbatim (see :class:`FrameworkCheckpoint`).
+        """
         snapshot: Optional[Dict[Vertex, SourceData]] = None
-        store_generation: Optional[int] = None
-        if isinstance(self._store, DiskBDStore) and self._store.persistent:
-            self._store.flush()
-            # Resolve to an absolute path: the sidecar may be loaded from a
-            # different working directory than the one that wrote it.
-            store_path = str(Path(self._store.path).resolve())
-            store_generation = self._store.generation
-        else:
-            snapshot = self._store.snapshot()
-        return save_checkpoint(
-            path,
-            FrameworkCheckpoint(
-                vertices=self._graph.vertex_list(),
-                edges=self._graph.edge_list(),
-                vertex_scores=dict(self._vertex_scores),
-                edge_scores=dict(self._edge_scores),
-                restricted=self._restricted,
-                store_path=store_path,
-                snapshot=snapshot,
-                store_generation=store_generation,
-                directed=self._graph.directed,
-                config=config,
-            ),
+        if store_path is None:
+            if isinstance(self._store, DiskBDStore) and self._store.persistent:
+                self._store.flush()
+                # Resolve to an absolute path: the sidecar may be loaded from
+                # a different working directory than the one that wrote it.
+                store_path = str(Path(self._store.path).resolve())
+                store_generation = self._store.generation
+            else:
+                snapshot = self._store.snapshot()
+        return FrameworkCheckpoint(
+            vertices=self._graph.vertex_list(),
+            edges=self._graph.edge_list(),
+            vertex_scores=dict(self._vertex_scores),
+            edge_scores=dict(self._edge_scores),
+            restricted=self._restricted,
+            store_path=store_path,
+            snapshot=snapshot,
+            store_generation=store_generation,
+            directed=self._graph.directed,
+            config=config,
+            batch_cursor=batch_cursor,
+            adjacency=self._graph.adjacency_payload(),
+            shard_meta=shard_meta,
         )
 
     @classmethod
@@ -365,11 +392,21 @@ class IncrementalBetweenness:
         second time; ``checkpoint_path`` is then only used in messages.
         """
         ckpt = checkpoint if checkpoint is not None else load_checkpoint(checkpoint_path)
-        graph = Graph(directed=ckpt.directed)
-        for vertex in ckpt.vertices:
-            graph.add_vertex(vertex)
-        for u, v in ckpt.edges:
-            graph.add_edge(u, v)
+        if ckpt.adjacency is not None:
+            # Order-exact rebuild: post-resume repair sweeps accumulate
+            # floats in the same neighbor order the checkpointing process
+            # would have, so a resumed run is bit-identical to an unbroken
+            # one.  Older sidecars fall back to the canonical edge-list
+            # rebuild below (same scores at rest, neighbor order not exact).
+            graph = Graph.from_adjacency_payload(ckpt.adjacency, directed=ckpt.directed)
+            exact_graph = True
+        else:
+            graph = Graph(directed=ckpt.directed)
+            for vertex in ckpt.vertices:
+                graph.add_vertex(vertex)
+            for u, v in ckpt.edges:
+                graph.add_edge(u, v)
+            exact_graph = False
         if store is None:
             if ckpt.store_path is not None:
                 store = DiskBDStore.open(ckpt.store_path)
@@ -400,7 +437,9 @@ class IncrementalBetweenness:
                     f"checkpoint {checkpoint_path} records neither a store "
                     "path nor an embedded snapshot; pass a store explicitly"
                 )
-        self = cls._bare(graph, store, ckpt.restricted, backend)
+        self = cls._bare(
+            graph, store, ckpt.restricted, backend, copy_graph=not exact_graph
+        )
         if self._backend == "arrays":
             # The facades stay in place; the checkpointed values are loaded
             # into the kernel's flat score structures verbatim.

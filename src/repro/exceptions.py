@@ -86,5 +86,15 @@ class UpdateError(ReproError, ValueError):
     """An edge update in the stream cannot be applied to the current graph."""
 
 
+class WorkerFailedError(ReproError, RuntimeError):
+    """A parallel worker process died or stopped responding.
+
+    Raised by the process executor and the shard coordinator instead of
+    blocking forever on a pipe whose peer is gone.  The coordinator catches
+    it internally to re-seed a replacement worker from the shard's
+    checkpoint; the legacy executor propagates it to the caller.
+    """
+
+
 class ConfigurationError(ReproError, ValueError):
     """Invalid configuration of an experiment or framework component."""

@@ -301,6 +301,56 @@ class Graph:
             clone.add_edge(u, v)
         return clone
 
+    def exact_copy(self) -> "Graph":
+        """An independent copy preserving the exact neighbor iteration order.
+
+        :meth:`copy` rebuilds through :meth:`edges`, which re-enumerates
+        edges in canonical first-seen order — fine for a fresh instance, but
+        it erases the incremental mutation history (a removed-and-re-added
+        neighbor moves back from the end of the dict).  Recovery paths that
+        must replay float accumulations bit-identically use this instead.
+        """
+        clone = Graph(directed=self._directed)
+        clone._succ = {v: dict(nbrs) for v, nbrs in self._succ.items()}
+        if self._directed:
+            clone._pred = {v: dict(nbrs) for v, nbrs in self._pred.items()}
+        else:
+            clone._pred = clone._succ
+        return clone
+
+    def adjacency_payload(self) -> dict:
+        """Picklable capture of the full adjacency in exact iteration order.
+
+        The inverse of :meth:`from_adjacency_payload`.  Unlike
+        ``(vertex_list(), edge_list())`` — whose rebuild canonicalizes
+        neighbor order — the payload round-trips the graph *order-exactly*,
+        which is what checkpoint/resume needs for bit-identical repair
+        sweeps after recovery.
+        """
+        payload = {
+            "succ": {v: list(nbrs) for v, nbrs in self._succ.items()},
+            "pred": (
+                {v: list(nbrs) for v, nbrs in self._pred.items()}
+                if self._directed
+                else None
+            ),
+        }
+        return payload
+
+    @classmethod
+    def from_adjacency_payload(cls, payload: dict, directed: bool = False) -> "Graph":
+        """Rebuild a graph captured by :meth:`adjacency_payload`, order-exact."""
+        graph = cls(directed=directed)
+        graph._succ = {
+            v: {u: None for u in nbrs} for v, nbrs in payload["succ"].items()
+        }
+        if directed:
+            pred = payload.get("pred") or {}
+            graph._pred = {v: {u: None for u in nbrs} for v, nbrs in pred.items()}
+        else:
+            graph._pred = graph._succ
+        return graph
+
     def subgraph(self, keep: Iterable[Vertex]) -> "Graph":
         """Return the induced subgraph on the vertex set ``keep``."""
         keep_set = set(keep)

@@ -16,6 +16,12 @@ cluster wall-clock is derived exactly as the paper's model prescribes.
 worker processes — each owns one partition's restricted framework, the
 initial Brandes phase and every update batch run concurrently, and the
 reduce step merges the measured partial scores.
+
+:class:`ShardCoordinator` promotes those anonymous partitions to first-class
+**shards** with durable per-shard state under a ``shard://`` root: workers
+checkpoint at a configurable cadence, the coordinator detects worker death
+and re-seeds a replacement from the shard's checkpoint (replaying only the
+batches it missed), and the whole ensemble can be resumed from disk alone.
 """
 
 from repro.parallel.executor import (
@@ -27,6 +33,7 @@ from repro.parallel.mapreduce import (
     MapReduceUpdateReport,
     merge_partial_scores,
 )
+from repro.parallel.shards import ShardCoordinator
 from repro.parallel.scaling import (
     OnlineCapacityModel,
     ScalingMeasurement,
@@ -48,6 +55,7 @@ __all__ = [
     "merge_partial_scores",
     "ProcessParallelBetweenness",
     "ParallelBatchReport",
+    "ShardCoordinator",
     "OnlineCapacityModel",
     "ScalingMeasurement",
     "required_workers",

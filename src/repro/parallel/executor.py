@@ -36,7 +36,7 @@ from repro.algorithms.brandes import SourceData
 from repro.core.framework import IncrementalBetweenness
 from repro.core.result import BatchResult
 from repro.core.updates import EdgeUpdate, UpdateKind, batches, validate_batch
-from repro.exceptions import ConfigurationError, UpdateError
+from repro.exceptions import ConfigurationError, UpdateError, WorkerFailedError
 from repro.graph.graph import Graph
 from repro.parallel.mapreduce import merge_partial_scores
 from repro.storage.disk import DiskBDStore
@@ -243,6 +243,13 @@ class ProcessParallelBetweenness:
         (default, the classic label-keyed implementation) or ``"arrays"``
         (the CSR/flat-record kernel of :mod:`repro.core.kernel`).  Scores
         are bit-identical either way; only speed changes.
+    recv_timeout:
+        Optional cap in seconds on waiting for a live worker's reply.
+        Worker *death* is always detected within ~50ms and raised as
+        :class:`~repro.exceptions.WorkerFailedError`; the timeout
+        additionally bounds how long a wedged-but-alive worker may stay
+        silent.  ``None`` (default) waits as long as the worker lives — a
+        big batch is not a failure.
 
     Examples
     --------
@@ -262,6 +269,7 @@ class ProcessParallelBetweenness:
         source_data: Optional[Dict[Vertex, SourceData]] = None,
         source_store_path: Optional[PathLike] = None,
         backend: str = "dicts",
+        recv_timeout: Optional[float] = None,
     ) -> None:
         if num_workers < 1:
             raise ConfigurationError(f"num_workers must be >= 1, got {num_workers}")
@@ -287,6 +295,7 @@ class ProcessParallelBetweenness:
         self._processes = []
         self._closed = False
         self._new_vertex_round_robin = 0
+        self._recv_timeout = recv_timeout
 
         vertices = self._graph.vertex_list()
         edges = self._graph.edge_list()
@@ -320,8 +329,8 @@ class ProcessParallelBetweenness:
             self._processes.append(process)
 
         self._init_seconds = [
-            self._expect(connection, "ready")[1]
-            for connection in self._connections
+            self._expect(worker_id, "ready")[1]
+            for worker_id in range(self._num_workers)
         ]
 
     # ------------------------------------------------------------------ #
@@ -407,11 +416,11 @@ class ProcessParallelBetweenness:
 
         timer = Timer()
         with timer.measure():
-            for connection, adopt in zip(self._connections, adopt_per_worker):
-                connection.send(("apply", batch, adopt))
+            for worker_id, adopt in enumerate(adopt_per_worker):
+                self._send(worker_id, ("apply", batch, adopt))
             replies = [
-                self._expect(connection, "applied")
-                for connection in self._connections
+                self._expect(worker_id, "applied")
+                for worker_id in range(self._num_workers)
             ]
 
         for update in batch:  # keep the driver's graph in sync
@@ -489,18 +498,80 @@ class ProcessParallelBetweenness:
 
     def _collect(self) -> Tuple[List[VertexScores], List[EdgeScores]]:
         self._ensure_open()
-        for connection in self._connections:
-            connection.send(("collect",))
+        for worker_id in range(self._num_workers):
+            self._send(worker_id, ("collect",))
         vertex_partials: List[VertexScores] = []
         edge_partials: List[EdgeScores] = []
-        for connection in self._connections:
-            message = self._expect(connection, "scores")
+        for worker_id in range(self._num_workers):
+            message = self._expect(worker_id, "scores")
             vertex_partials.append(message[1])
             edge_partials.append(message[2])
         return vertex_partials, edge_partials
 
-    def _expect(self, connection, expected: str):
-        message = connection.recv()
+    def _send(self, worker_id: int, message) -> None:
+        """Send one command, surfacing a dead worker as the typed failure.
+
+        Writing to a pipe whose worker was killed raises ``BrokenPipeError``;
+        without this guard a death between batches would escape as a raw
+        OS-level error instead of :class:`~repro.exceptions.WorkerFailedError`.
+        """
+        try:
+            self._connections[worker_id].send(message)
+        except (BrokenPipeError, OSError) as exc:
+            process = self._processes[worker_id]
+            self.close()
+            raise WorkerFailedError(
+                f"worker {worker_id} is unreachable "
+                f"(exit code {process.exitcode}): {exc}"
+            ) from exc
+
+    def _recv(self, worker_id: int):
+        """Receive one message from a worker without risking a driver hang.
+
+        A blocking ``Pipe.recv`` would wait forever on a worker that was
+        SIGKILLed mid-batch (the write end of the pipe stays open in the
+        driver itself, so no EOF ever arrives).  Poll in short slices and
+        check process liveness between them: death is detected within
+        ~50ms and surfaces as :class:`~repro.exceptions.WorkerFailedError`
+        instead of a hang.
+        """
+        connection = self._connections[worker_id]
+        process = self._processes[worker_id]
+        deadline = (
+            time.monotonic() + self._recv_timeout
+            if self._recv_timeout is not None
+            else None
+        )
+        while True:
+            try:
+                if connection.poll(0.05):
+                    return connection.recv()
+            except (EOFError, OSError) as exc:
+                self.close()
+                raise WorkerFailedError(
+                    f"worker {worker_id} closed its pipe "
+                    f"(exit code {process.exitcode})"
+                ) from exc
+            if not process.is_alive():
+                # Drain a reply that raced the death before declaring it.
+                try:
+                    if connection.poll(0):
+                        return connection.recv()
+                except (EOFError, OSError):
+                    pass
+                self.close()
+                raise WorkerFailedError(
+                    f"worker {worker_id} died (exit code {process.exitcode})"
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                self.close()
+                raise WorkerFailedError(
+                    f"worker {worker_id} did not reply within "
+                    f"{self._recv_timeout}s"
+                )
+
+    def _expect(self, worker_id: int, expected: str):
+        message = self._recv(worker_id)
         if message[0] == "error":
             self.close()
             raise UpdateError(f"worker failed: {message[1]}")

@@ -32,8 +32,26 @@ from repro.utils.timing import Timer
 StoreFactory = Callable[[SourcePartition, Graph], Optional[BDStore]]
 
 
-def merge_partial_scores(partials: Iterable[Dict]) -> Dict:
-    """Reduce step: sum partial score dictionaries key by key."""
+def merge_partial_scores(partials: Sequence[Dict]) -> Dict:
+    """Reduce step: sum partial score dictionaries key by key.
+
+    The summation order is part of the contract, because float addition is
+    not associative: partials are folded **in the order given**, which every
+    caller in this package makes the stable partition order (mapper 0 first,
+    then mapper 1, ...) — never completion order.  Two runs that produce the
+    same partials therefore produce bit-identical merged scores, which is
+    what lets the shard coordinator promise ``==`` equality after crash
+    recovery and lets tests pin the executor against the in-process
+    map-reduce at zero tolerance.
+
+    Note the *grouping* still differs from an unpartitioned serial run (one
+    flat sum per key vs per-partition subtotals), so merged scores match the
+    serial framework only to float re-association error (~1e-14 relative),
+    not exactly.
+
+    Passing an unordered iterable would silently forfeit the guarantee, so
+    the signature asks for a sequence.
+    """
     merged: Dict = {}
     for partial in partials:
         for key, value in partial.items():

@@ -1,0 +1,909 @@
+"""First-class shards: fault-tolerant partitioned execution.
+
+:class:`~repro.parallel.executor.ProcessParallelBetweenness` treats its
+partitions as anonymous pipe endpoints: a dead worker loses the partition's
+state and (before the poll-with-timeout fix) hung the driver forever.  This
+module promotes the partition to a first-class **shard** with durable
+identity:
+
+* each shard owns a per-shard directory under the ``shard://`` root holding
+  its durable record store and checkpoint sidecar
+  (:class:`~repro.storage.shard.ShardLayout`);
+* the :class:`ShardCoordinator` dispatches batches, monitors worker health
+  (poll with liveness checks and an optional receive timeout instead of a
+  blocking ``Pipe.recv``), and keeps an in-memory **replay log** of the
+  batches applied since the last checkpoint round;
+* when a worker dies, the coordinator re-seeds a *replacement* from that
+  shard's sidecar and replays only the logged batches the sidecar predates
+  — the other shards never stop, and the world never restarts.
+
+Recovery is **bit-identical** by construction: the sidecar carries the
+worker's graph adjacency in exact iteration order
+(:meth:`~repro.graph.Graph.adjacency_payload`) and the store's source
+insertion order (``shard_meta["source_order"]``), and the replayed batches
+reuse the exact adoption decisions of the original dispatch, so the
+replacement accumulates every float in the same order the dead worker would
+have.  The chaos suite (``tests/test_shard_chaos.py``) asserts ``==``
+equality of final scores after seeded mid-stream kills.
+
+Workers compute in RAM and touch disk only at checkpoint rounds: the round
+writes a fresh cursor-stamped store file, then atomically replaces the
+sidecar (the commit point), then prunes stores of older rounds — a crash at
+any instant leaves the previous round fully intact.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core.checkpoint import FrameworkCheckpoint, load_checkpoint, save_checkpoint
+from repro.core.framework import IncrementalBetweenness
+from repro.core.updates import EdgeUpdate, UpdateKind, batches, validate_batch
+from repro.exceptions import (
+    ConfigurationError,
+    StoreCorruptedError,
+    UpdateError,
+    WorkerFailedError,
+)
+from repro.graph.graph import Graph
+from repro.parallel.executor import ParallelBatchReport, _build_worker_framework
+from repro.parallel.mapreduce import merge_partial_scores
+from repro.storage.arrays import ArrayBDStore
+from repro.storage.disk import DiskBDStore
+from repro.storage.memory import InMemoryBDStore
+from repro.storage.partition import partition_sources
+from repro.storage.shard import (
+    ShardLayout,
+    ShardManifest,
+    load_manifest,
+    pick_shard,
+    prune_stale_stores,
+)
+from repro.types import EdgeScores, Vertex, VertexScores, validate_backend
+from repro.utils.timing import Timer
+
+PathLike = Union[str, Path]
+
+#: A coordinator event hook: ``notify(kind, **fields)`` with kinds
+#: ``"worker_failed"``, ``"shard_recovered"`` and ``"checkpoint"``.  Plain
+#: callables keep this layer free of any dependency on :mod:`repro.api`;
+#: the session adapts them into typed events.
+NotifyHook = Callable[..., None]
+
+
+# --------------------------------------------------------------------------- #
+# Worker process
+# --------------------------------------------------------------------------- #
+def _write_shard_checkpoint(
+    framework: IncrementalBetweenness,
+    shard_dir: Path,
+    shard_id: int,
+    num_shards: int,
+    cursor: int,
+) -> None:
+    """Persist one shard's state for batch ``cursor`` (crash-consistent).
+
+    Write order is what makes a kill at any point recoverable: the stamped
+    store file is written and renamed into place first, the sidecar rename
+    commits the round, and only then are older store files pruned.
+    """
+    source_order = list(framework.store.sources())
+    graph = framework.graph
+    store_path = shard_dir / f"store-{cursor:08d}.bin"
+    store_tmp = Path(str(store_path) + ".tmp")
+    if store_tmp.exists():
+        store_tmp.unlink()
+    durable = DiskBDStore(
+        graph.vertex_list(),
+        path=str(store_tmp),
+        sources=source_order,
+        directed=graph.directed,
+    )
+    try:
+        for source in source_order:
+            durable.put(framework.store.get(source))
+        durable.flush()
+        generation = durable.generation
+    finally:
+        durable.close()
+    os.replace(store_tmp, store_path)
+
+    checkpoint = framework.build_checkpoint(
+        batch_cursor=cursor,
+        shard_meta={
+            "shard_id": shard_id,
+            "num_shards": num_shards,
+            "source_order": source_order,
+        },
+        store_path=str(store_path.resolve()),
+        store_generation=generation,
+    )
+    sidecar = shard_dir / "checkpoint.bin"
+    sidecar_tmp = Path(str(sidecar) + ".tmp")
+    save_checkpoint(sidecar_tmp, checkpoint)
+    os.replace(sidecar_tmp, sidecar)  # the commit point
+    prune_stale_stores(shard_dir, cursor)
+
+
+def _resume_shard_framework(
+    checkpoint_path: PathLike, backend: str
+) -> Tuple[IncrementalBetweenness, FrameworkCheckpoint]:
+    """Rebuild a shard's framework from its sidecar + stamped store.
+
+    The records are loaded from the durable store into a fresh RAM store in
+    the sidecar's recorded ``source_order``, and the graph comes from the
+    order-exact adjacency payload — together they make the replacement's
+    float accumulation order identical to the dead worker's.
+    """
+    ckpt = load_checkpoint(checkpoint_path)
+    meta = ckpt.shard_meta
+    if meta is None or ckpt.adjacency is None or ckpt.store_path is None:
+        raise StoreCorruptedError(
+            f"{checkpoint_path} is not a shard checkpoint sidecar"
+        )
+    graph = Graph.from_adjacency_payload(ckpt.adjacency, directed=ckpt.directed)
+    source_order = meta["source_order"]
+    with DiskBDStore.open(ckpt.store_path) as durable:
+        if (
+            ckpt.store_generation is not None
+            and durable.generation != ckpt.store_generation
+        ):
+            raise ConfigurationError(
+                f"shard store {ckpt.store_path} is at generation "
+                f"{durable.generation} but its sidecar was written at "
+                f"generation {ckpt.store_generation}; the shard directory "
+                "holds mixed state"
+            )
+        missing = [s for s in source_order if s not in durable]
+        if missing:
+            raise StoreCorruptedError(
+                f"shard store {ckpt.store_path} lacks records for sources "
+                f"{sorted(map(repr, missing))}"
+            )
+        records = [durable.get(source) for source in source_order]
+    if backend == "arrays":
+        store = ArrayBDStore(
+            graph.vertex_list(),
+            row_capacity=max(1, len(source_order)),
+            directed=graph.directed,
+        )
+    else:
+        store = InMemoryBDStore()
+    store.load_snapshot(records)
+    framework = IncrementalBetweenness.resume(
+        checkpoint_path, store=store, backend=backend, checkpoint=ckpt
+    )
+    return framework, ckpt
+
+
+def _shard_worker_main(connection, payload: dict) -> None:
+    """Entry point of one shard worker process.
+
+    Protocol (all tuples over the pipe):
+
+    * ``("apply", cursor, batch, adopt)`` → ``("applied", cursor, result,
+      cpu_seconds)``
+    * ``("checkpoint", cursor)`` → ``("checkpointed", cursor, seconds)``
+    * ``("collect",)`` → ``("scores", vertex_partial, edge_partial)``
+    * ``("stop",)`` → ``("stopped",)``
+
+    ``payload["chaos"]`` is test-only fault injection: ``{"cursor": k,
+    "when": "before"|"after"}`` SIGKILLs the process at batch ``k`` either
+    on receipt or after applying but before replying (state computed, then
+    lost — the worst case recovery must cover).
+    """
+    shard_id = payload["shard_id"]
+    shard_dir = Path(payload["shard_dir"])
+    num_shards = payload["num_shards"]
+    backend = payload["backend"]
+    chaos = payload.get("chaos")
+    framework = None
+    try:
+        timer = Timer()
+        with timer.measure():
+            if payload["mode"] == "resume":
+                framework, _ = _resume_shard_framework(
+                    payload["checkpoint_path"], backend
+                )
+            else:
+                framework = _build_worker_framework(
+                    {
+                        "vertices": payload["vertices"],
+                        "edges": payload["edges"],
+                        "directed": payload["directed"],
+                        "sources": payload["sources"],
+                        "store": "memory",
+                        "backend": backend,
+                        "snapshot": None,
+                        "store_path": None,
+                    }
+                )
+        connection.send(("ready", timer.total))
+        while True:
+            message = connection.recv()
+            command = message[0]
+            if command == "apply":
+                _, cursor, batch, adopt = message
+                if chaos and cursor == chaos["cursor"]:
+                    if chaos.get("when", "after") == "before":
+                        os.kill(os.getpid(), signal.SIGKILL)
+                cpu_start = time.process_time()
+                result = framework.apply_updates(batch, adopt=adopt or None)
+                cpu_seconds = time.process_time() - cpu_start
+                if chaos and cursor == chaos["cursor"]:
+                    # die with the batch applied in RAM but unacknowledged:
+                    # the work is lost and must be replayed onto the
+                    # replacement from the shard checkpoint.
+                    os.kill(os.getpid(), signal.SIGKILL)
+                connection.send(("applied", cursor, result, cpu_seconds))
+            elif command == "checkpoint":
+                _, cursor = message
+                round_timer = Timer()
+                with round_timer.measure():
+                    _write_shard_checkpoint(
+                        framework, shard_dir, shard_id, num_shards, cursor
+                    )
+                connection.send(("checkpointed", cursor, round_timer.total))
+            elif command == "collect":
+                connection.send(
+                    (
+                        "scores",
+                        framework.vertex_betweenness(),
+                        framework.edge_betweenness(),
+                    )
+                )
+            elif command == "stop":
+                connection.send(("stopped",))
+                return
+            else:
+                connection.send(("error", f"unknown command {command!r}"))
+    except EOFError:  # coordinator went away; nothing left to do
+        return
+    except Exception as exc:  # surface worker failures to the coordinator
+        try:
+            connection.send(("error", repr(exc)))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        if framework is not None:
+            framework.store.close()
+        connection.close()
+
+
+@dataclass
+class _WorkerHandle:
+    shard_id: int
+    process: "multiprocessing.Process"
+    connection: object
+
+
+# --------------------------------------------------------------------------- #
+# Coordinator
+# --------------------------------------------------------------------------- #
+class ShardCoordinator:
+    """Dispatch batches to shard workers; survive their deaths.
+
+    Parameters
+    ----------
+    graph:
+        Initial graph, replicated into every worker.  ``None`` only on the
+        :meth:`resume` path, where it is rebuilt from the shard sidecars.
+    layout:
+        The resolved :class:`~repro.storage.shard.ShardLayout` (root
+        directory, shard count, checkpoint cadence), usually from
+        ``ShardLayout.from_uri("shard:///root?shards=8&checkpoint_every=4")``.
+    backend:
+        Compute backend of every worker (``"dicts"`` or ``"arrays"``).
+    recv_timeout:
+        Optional cap in seconds on waiting for a live worker's reply;
+        process death is detected within ~50ms regardless.  ``None``
+        (default) waits as long as the worker stays alive — a big batch is
+        not a failure.
+    notify:
+        Optional :data:`NotifyHook` receiving ``worker_failed`` /
+        ``shard_recovered`` / ``checkpoint`` notifications.
+    config:
+        Optional session-config dict persisted in the manifest so
+        ``resume_session`` can restore the owning session from disk alone.
+    chaos:
+        Test-only fault injection, ``{shard_id: {"cursor": k, "when":
+        "before"|"after"}}``; forwarded into the matching workers' payloads.
+
+    Examples
+    --------
+    >>> layout = ShardLayout.from_uri("shard:///tmp/bc?shards=2")  # doctest: +SKIP
+    >>> with ShardCoordinator(graph, layout) as coordinator:       # doctest: +SKIP
+    ...     coordinator.apply_batch([EdgeUpdate.addition(0, 2)])
+    ...     scores = coordinator.vertex_betweenness()
+    """
+
+    _MAX_RECOVERIES_PER_COMMAND = 3
+
+    def __init__(
+        self,
+        graph: Optional[Graph],
+        layout: ShardLayout,
+        backend: str = "dicts",
+        start_method: Optional[str] = None,
+        recv_timeout: Optional[float] = None,
+        notify: Optional[NotifyHook] = None,
+        config: Optional[Dict] = None,
+        chaos: Optional[Dict[int, Dict]] = None,
+        _manifest: Optional[ShardManifest] = None,
+    ) -> None:
+        validate_backend(backend)
+        if layout.num_shards < 1:
+            raise ConfigurationError(
+                f"a shard ensemble needs >= 1 shard, got {layout.num_shards}"
+            )
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else "spawn"
+        self._context = multiprocessing.get_context(start_method)
+        self._layout = layout
+        self._backend = backend
+        self._recv_timeout = recv_timeout
+        self.notify = notify
+        self._config = config
+        self._chaos = dict(chaos or {})
+        self._handles: List[Optional[_WorkerHandle]] = [None] * layout.num_shards
+        self._log: Dict[int, Tuple[List[EdgeUpdate], List[List[Vertex]]]] = {}
+        self._closed = False
+
+        if _manifest is not None:
+            self._init_from_manifest(_manifest)
+        else:
+            if graph is None:
+                raise ConfigurationError(
+                    "ShardCoordinator needs an initial graph (or use "
+                    "ShardCoordinator.resume to restore one from disk)"
+                )
+            self._init_fresh(graph)
+
+    def _init_fresh(self, graph: Graph) -> None:
+        layout = self._layout
+        if layout.manifest_path.exists():
+            raise ConfigurationError(
+                f"shard root {layout.root} is already initialised; resume it "
+                "with ShardCoordinator.resume / repro.api.resume_session, or "
+                "point the shard:// URI at a fresh directory"
+            )
+        layout.root.mkdir(parents=True, exist_ok=True)
+        self._graph = graph.copy()
+        partitions = partition_sources(
+            self._graph.vertex_list(), layout.num_shards
+        )
+        self._shard_sizes = [len(p.sources) for p in partitions]
+        self._assignment: List[Tuple[Vertex, int]] = []
+        self._cursor = 0
+        self._last_round = -1
+        vertices = self._graph.vertex_list()
+        edges = self._graph.edge_list()
+        for partition in partitions:
+            shard_id = partition.worker_id
+            layout.shard_dir(shard_id).mkdir(parents=True, exist_ok=True)
+            self._spawn(
+                shard_id,
+                {
+                    "mode": "fresh",
+                    "vertices": vertices,
+                    "edges": edges,
+                    "directed": self._graph.directed,
+                    "sources": list(partition.sources),
+                    "backend": self._backend,
+                    "shard_id": shard_id,
+                    "num_shards": layout.num_shards,
+                    "shard_dir": str(layout.shard_dir(shard_id)),
+                    "chaos": self._chaos.get(shard_id),
+                },
+            )
+        self._init_seconds = [
+            self._expect(i, "ready")[1] for i in range(layout.num_shards)
+        ]
+        # Round 0: make the bootstrap durable immediately, so a worker that
+        # dies before the first periodic round still has a seed to recover
+        # from (and `resume` works from the very first moment).
+        self._checkpoint_round()
+
+    def _init_from_manifest(self, manifest: ShardManifest) -> None:
+        layout = self._layout
+        self._shard_sizes = list(manifest.shard_sizes)
+        self._assignment = [tuple(entry) for entry in manifest.assignment]
+        self._cursor = manifest.batch_cursor
+        self._last_round = manifest.batch_cursor
+        graph: Optional[Graph] = None
+        for shard_id in range(layout.num_shards):
+            sidecar = layout.checkpoint_path(shard_id)
+            if not sidecar.exists():
+                raise ConfigurationError(
+                    f"shard root {layout.root} has no checkpoint for shard "
+                    f"{shard_id} ({sidecar})"
+                )
+            ckpt = load_checkpoint(sidecar)
+            meta = ckpt.shard_meta or {}
+            if meta.get("shard_id") != shard_id:
+                raise StoreCorruptedError(
+                    f"{sidecar} belongs to shard {meta.get('shard_id')!r}, "
+                    f"not {shard_id}"
+                )
+            if ckpt.batch_cursor != manifest.batch_cursor:
+                # Never silently mix shard states from different rounds: a
+                # restarted coordinator has no replay log, so a lagging (or
+                # leading) sidecar cannot be replayed forward here.
+                raise ConfigurationError(
+                    f"shard {shard_id} checkpoint is at batch "
+                    f"{ckpt.batch_cursor} but the coordinator manifest is at "
+                    f"batch {manifest.batch_cursor}: the ensemble's shards "
+                    "disagree and a restart cannot replay the gap — refusing "
+                    "to mix stale and fresh shard state"
+                )
+            if graph is None:
+                if ckpt.adjacency is None:
+                    raise StoreCorruptedError(
+                        f"{sidecar} lacks the adjacency payload"
+                    )
+                graph = Graph.from_adjacency_payload(
+                    ckpt.adjacency, directed=ckpt.directed
+                )
+            self._spawn(
+                shard_id,
+                {
+                    "mode": "resume",
+                    "checkpoint_path": str(sidecar),
+                    "backend": self._backend,
+                    "shard_id": shard_id,
+                    "num_shards": layout.num_shards,
+                    "shard_dir": str(layout.shard_dir(shard_id)),
+                    "chaos": self._chaos.get(shard_id),
+                },
+            )
+        self._graph = graph
+        self._init_seconds = [
+            self._expect(i, "ready")[1] for i in range(layout.num_shards)
+        ]
+
+    @classmethod
+    def resume(
+        cls,
+        root: PathLike,
+        backend: Optional[str] = None,
+        start_method: Optional[str] = None,
+        recv_timeout: Optional[float] = None,
+        notify: Optional[NotifyHook] = None,
+        config: Optional[Dict] = None,
+    ) -> "ShardCoordinator":
+        """Restore a coordinator from a shard root, using only the disk state.
+
+        Shard count, cadence, orientation and backend come from the
+        manifest; each worker re-seeds itself from its shard's sidecar.
+        Every sidecar must sit at the manifest's batch cursor — anything
+        else means the root mixes state from different rounds and is
+        refused (see :meth:`_init_from_manifest`).
+        """
+        root = Path(root)
+        if root.name == "manifest.bin":
+            root = root.parent
+        manifest = load_manifest(root)
+        layout = ShardLayout(
+            root=root,
+            num_shards=manifest.num_shards,
+            checkpoint_every=manifest.checkpoint_every,
+        )
+        return cls(
+            graph=None,
+            layout=layout,
+            backend=backend if backend is not None else manifest.backend,
+            start_method=start_method,
+            recv_timeout=recv_timeout,
+            notify=notify,
+            config=config if config is not None else manifest.config,
+            _manifest=manifest,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def layout(self) -> ShardLayout:
+        """The ensemble's disk layout."""
+        return self._layout
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards (= worker processes)."""
+        return self._layout.num_shards
+
+    @property
+    def graph(self) -> Graph:
+        """The coordinator's view of the current graph (do not mutate)."""
+        return self._graph
+
+    @property
+    def batch_cursor(self) -> int:
+        """Number of batches applied so far."""
+        return self._cursor
+
+    @property
+    def last_checkpoint_cursor(self) -> int:
+        """Batch cursor of the last completed checkpoint round."""
+        return self._last_round
+
+    @property
+    def init_seconds(self) -> List[float]:
+        """Per-shard bootstrap (or resume) times."""
+        return list(self._init_seconds)
+
+    def shard_of(self, vertex: Vertex) -> Optional[int]:
+        """Which shard adopted a stream-born ``vertex`` (None if not born)."""
+        for candidate, shard_id in self._assignment:
+            if candidate == vertex:
+                return shard_id
+        return None
+
+    def vertex_betweenness(self) -> VertexScores:
+        """Reduced (global) vertex betweenness scores."""
+        vertex_partials, _ = self._collect()
+        return merge_partial_scores(vertex_partials)
+
+    def edge_betweenness(self) -> EdgeScores:
+        """Reduced (global) edge betweenness scores."""
+        _, edge_partials = self._collect()
+        return merge_partial_scores(edge_partials)
+
+    def betweenness(self) -> Tuple[VertexScores, EdgeScores]:
+        """Both reduced score dictionaries from a single collect round."""
+        vertex_partials, edge_partials = self._collect()
+        return merge_partial_scores(vertex_partials), merge_partial_scores(
+            edge_partials
+        )
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def add_edge(self, u: Vertex, v: Vertex) -> ParallelBatchReport:
+        """Add an edge across all shards."""
+        return self.apply_batch([EdgeUpdate.addition(u, v)])
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> ParallelBatchReport:
+        """Remove an edge across all shards."""
+        return self.apply_batch([EdgeUpdate.removal(u, v)])
+
+    def apply(self, update: EdgeUpdate) -> ParallelBatchReport:
+        """Apply a single update across all shards."""
+        return self.apply_batch([update])
+
+    def apply_batch(self, updates: Iterable[EdgeUpdate]) -> ParallelBatchReport:
+        """Apply one batch on every shard, recovering any that die mid-way.
+
+        Stream-born vertices are adopted by the least-loaded shard (ties to
+        the lowest id) through :func:`~repro.storage.shard.pick_shard`; the
+        decisions are appended to the replay log with the batch, so a
+        recovering worker replays them verbatim, and persisted in the
+        manifest at checkpoint rounds, so they survive coordinator restarts.
+        """
+        self._ensure_open()
+        batch = list(updates)
+        if not batch:
+            return ParallelBatchReport()
+
+        births = validate_batch(self._graph, batch)
+        adopt_per_shard: List[List[Vertex]] = [[] for _ in range(self.num_shards)]
+        for vertex in births:
+            shard_id = pick_shard(self._shard_sizes)
+            adopt_per_shard[shard_id].append(vertex)
+            self._shard_sizes[shard_id] += 1
+            self._assignment.append((vertex, shard_id))
+        cursor = self._cursor
+        self._log[cursor] = (batch, adopt_per_shard)
+
+        timer = Timer()
+        with timer.measure():
+            replies = self._broadcast(
+                lambda i: ("apply", cursor, batch, adopt_per_shard[i]), "applied"
+            )
+
+        for update in batch:  # keep the coordinator's graph in sync
+            u, v = update.endpoints
+            if update.kind is UpdateKind.ADDITION:
+                self._graph.add_edge(u, v)
+            else:
+                self._graph.remove_edge(u, v)
+        self._cursor = cursor + 1
+        if self._cursor - self._last_round >= self._layout.checkpoint_every:
+            self._checkpoint_round()
+
+        return ParallelBatchReport(
+            updates=batch,
+            worker_seconds=[reply[2].elapsed_seconds or 0.0 for reply in replies],
+            worker_cpu_seconds=[reply[3] for reply in replies],
+            worker_results=[reply[2] for reply in replies],
+            elapsed_seconds=timer.total,
+        )
+
+    def process_stream(
+        self, updates: Iterable[EdgeUpdate], batch_size: int = 1
+    ) -> List[ParallelBatchReport]:
+        """Apply a stream in consecutive batches of at most ``batch_size``."""
+        return [self.apply_batch(chunk) for chunk in batches(updates, batch_size)]
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def checkpoint(self) -> Path:
+        """Run a checkpoint round now; returns the manifest path."""
+        self._ensure_open()
+        return self._checkpoint_round()
+
+    def _checkpoint_round(self) -> Path:
+        cursor = self._cursor
+        self._broadcast(lambda i: ("checkpoint", cursor), "checkpointed")
+        manifest = ShardManifest(
+            num_shards=self.num_shards,
+            checkpoint_every=self._layout.checkpoint_every,
+            backend=self._backend,
+            directed=self._graph.directed,
+            batch_cursor=cursor,
+            assignment=[list(entry) for entry in self._assignment],
+            shard_sizes=list(self._shard_sizes),
+            config=self._config,
+        )
+        path = self._layout.write_manifest(manifest)
+        self._last_round = cursor
+        # Everything up to the round is durable on every shard; the log only
+        # needs to cover batches a recovering worker could be behind by.
+        self._log = {c: entry for c, entry in self._log.items() if c >= cursor}
+        self._notify("checkpoint", path=str(path), batch_cursor=cursor)
+        return path
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self, checkpoint: bool = True) -> None:
+        """Shut the workers down (idempotent).
+
+        By default a final checkpoint round makes the latest batches
+        durable first (best-effort), so ``resume`` continues from where the
+        stream stopped rather than from the last periodic round.
+        """
+        if self._closed:
+            return
+        if checkpoint and self._cursor > self._last_round:
+            try:
+                self._checkpoint_round()
+            except Exception:  # noqa: BLE001 - shutdown must proceed
+                pass
+        self._closed = True
+        for handle in self._handles:
+            if handle is None:
+                continue
+            try:
+                handle.connection.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for handle in self._handles:
+            if handle is None:
+                continue
+            try:
+                if handle.connection.poll(5.0):
+                    handle.connection.recv()
+            except (EOFError, OSError):
+                pass
+            handle.connection.close()
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():  # pragma: no cover - defensive
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+
+    def __enter__(self) -> "ShardCoordinator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Internals: dispatch and recovery
+    # ------------------------------------------------------------------ #
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError("the shard coordinator has been closed")
+
+    def _notify(self, kind: str, **fields) -> None:
+        if self.notify is not None:
+            self.notify(kind, **fields)
+
+    def _spawn(self, shard_id: int, payload: dict) -> None:
+        parent_end, child_end = self._context.Pipe()
+        process = self._context.Process(
+            target=_shard_worker_main, args=(child_end, payload), daemon=True
+        )
+        process.start()
+        child_end.close()
+        self._handles[shard_id] = _WorkerHandle(shard_id, process, parent_end)
+
+    def _teardown_handle(self, shard_id: int) -> None:
+        handle = self._handles[shard_id]
+        if handle is None:
+            return
+        self._handles[shard_id] = None
+        try:
+            handle.connection.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        if handle.process.is_alive():
+            handle.process.terminate()
+        handle.process.join(timeout=5.0)
+
+    def _send(self, shard_id: int, message) -> None:
+        handle = self._handles[shard_id]
+        if handle is None:
+            raise WorkerFailedError(f"shard {shard_id} has no live worker")
+        try:
+            handle.connection.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerFailedError(
+                f"shard {shard_id} worker is unreachable: {exc}"
+            ) from exc
+
+    def _recv(self, shard_id: int):
+        handle = self._handles[shard_id]
+        if handle is None:
+            raise WorkerFailedError(f"shard {shard_id} has no live worker")
+        deadline = (
+            time.monotonic() + self._recv_timeout
+            if self._recv_timeout is not None
+            else None
+        )
+        while True:
+            try:
+                if handle.connection.poll(0.05):
+                    return handle.connection.recv()
+            except (EOFError, OSError) as exc:
+                raise WorkerFailedError(
+                    f"shard {shard_id} worker closed its pipe "
+                    f"(exit code {handle.process.exitcode})"
+                ) from exc
+            if not handle.process.is_alive():
+                # Drain a reply that raced the death before declaring it.
+                try:
+                    if handle.connection.poll(0):
+                        return handle.connection.recv()
+                except (EOFError, OSError):
+                    pass
+                raise WorkerFailedError(
+                    f"shard {shard_id} worker died "
+                    f"(exit code {handle.process.exitcode})"
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                raise WorkerFailedError(
+                    f"shard {shard_id} worker did not reply within "
+                    f"{self._recv_timeout}s"
+                )
+
+    def _expect(self, shard_id: int, expected: str):
+        message = self._recv(shard_id)
+        if message[0] == "error":
+            # A worker-side exception is deterministic application state
+            # (both sides validated the same batch), not a process failure:
+            # recovery would just replay into the same error.
+            self.close(checkpoint=False)
+            raise UpdateError(f"shard {shard_id} worker failed: {message[1]}")
+        if message[0] != expected:  # pragma: no cover - protocol invariant
+            self.close(checkpoint=False)
+            raise UpdateError(
+                f"unexpected shard {shard_id} reply {message[0]!r} "
+                f"(wanted {expected!r})"
+            )
+        return message
+
+    def _broadcast(self, message_for: Callable[[int], tuple], expected: str):
+        """Send a command to every shard and gather replies by shard id.
+
+        Replies are indexed by shard, never by completion order, so the
+        reduce step downstream sums partials in stable partition order no
+        matter which worker answered first.
+        """
+        for shard_id in range(self.num_shards):
+            try:
+                self._send(shard_id, message_for(shard_id))
+            except WorkerFailedError as exc:
+                self._recover_shard(shard_id, exc)
+                self._send(shard_id, message_for(shard_id))
+        return [
+            self._await_reply(shard_id, message_for, expected)
+            for shard_id in range(self.num_shards)
+        ]
+
+    def _await_reply(
+        self, shard_id: int, message_for: Callable[[int], tuple], expected: str
+    ):
+        for attempt in range(self._MAX_RECOVERIES_PER_COMMAND + 1):
+            try:
+                return self._expect(shard_id, expected)
+            except WorkerFailedError as exc:
+                if attempt == self._MAX_RECOVERIES_PER_COMMAND:
+                    self.close(checkpoint=False)
+                    raise WorkerFailedError(
+                        f"shard {shard_id}: giving up after {attempt} "
+                        f"recovery attempts ({exc})"
+                    ) from exc
+                try:
+                    self._recover_shard(shard_id, exc)
+                    self._send(shard_id, message_for(shard_id))
+                except WorkerFailedError:
+                    # The replacement died too; count another attempt.
+                    self._teardown_handle(shard_id)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _recover_shard(self, shard_id: int, failure: Exception) -> None:
+        """Re-seed a replacement worker from the shard's checkpoint + replay."""
+        self._notify(
+            "worker_failed",
+            shard=shard_id,
+            error=str(failure),
+            batch_cursor=self._cursor,
+        )
+        timer = Timer()
+        with timer.measure():
+            self._teardown_handle(shard_id)
+            sidecar = self._layout.checkpoint_path(shard_id)
+            if not sidecar.exists():
+                raise WorkerFailedError(
+                    f"shard {shard_id} has no checkpoint sidecar to recover "
+                    f"from ({sidecar})"
+                )
+            ckpt = load_checkpoint(sidecar)
+            start = ckpt.batch_cursor
+            if start is None or start > self._cursor:
+                raise ConfigurationError(
+                    f"shard {shard_id} checkpoint is at batch {start} but "
+                    f"the coordinator is at batch {self._cursor}: the shard "
+                    "directory holds state from a different run — refusing "
+                    "to mix"
+                )
+            missing = [c for c in range(start, self._cursor) if c not in self._log]
+            if missing:
+                raise ConfigurationError(
+                    f"shard {shard_id} checkpoint at batch {start} predates "
+                    f"the coordinator's retained replay log (missing batches "
+                    f"{missing}); the shard cannot be replayed forward"
+                )
+            self._spawn(
+                shard_id,
+                {
+                    "mode": "resume",
+                    "checkpoint_path": str(sidecar),
+                    "backend": self._backend,
+                    "shard_id": shard_id,
+                    "num_shards": self.num_shards,
+                    "shard_dir": str(self._layout.shard_dir(shard_id)),
+                    "chaos": None,
+                },
+            )
+            self._expect(shard_id, "ready")
+            # Replay only what the sidecar predates, with the original
+            # adoption decisions — the other shards are untouched.
+            for cursor in range(start, self._cursor):
+                batch, adopt_per_shard = self._log[cursor]
+                self._send(
+                    shard_id, ("apply", cursor, batch, adopt_per_shard[shard_id])
+                )
+                self._expect(shard_id, "applied")
+        self._notify(
+            "shard_recovered",
+            shard=shard_id,
+            replayed_batches=self._cursor - start,
+            seconds=timer.total,
+        )
+
+    def _collect(self) -> Tuple[List[VertexScores], List[EdgeScores]]:
+        self._ensure_open()
+        replies = self._broadcast(lambda i: ("collect",), "scores")
+        vertex_partials = [reply[1] for reply in replies]
+        edge_partials = [reply[2] for reply in replies]
+        return vertex_partials, edge_partials

@@ -38,6 +38,7 @@ from repro.storage.factory import (
 from repro.storage.header import STORE_MAGIC, STORE_VERSION, StoreLayout
 from repro.storage.index import VertexIndex
 from repro.storage.partition import SourcePartition, partition_sources
+from repro.storage.shard import ShardLayout, ShardManifest, pick_shard
 
 __all__ = [
     "BDStore",
@@ -53,6 +54,9 @@ __all__ = [
     "VertexIndex",
     "SourcePartition",
     "partition_sources",
+    "ShardLayout",
+    "ShardManifest",
+    "pick_shard",
     "StoreLayout",
     "STORE_MAGIC",
     "STORE_VERSION",

@@ -32,6 +32,14 @@ Built-in schemes
     parameters: ``mmap=true|false`` (default true) and ``capacity=<int>``
     (pre-allocated vertex slots).
 
+``shard:///root/dir?shards=8&checkpoint_every=4``
+    A fault-tolerant *ensemble* of per-shard durable stores plus a
+    coordinator manifest under the root directory (see
+    :mod:`repro.storage.shard`).  The scheme parses and validates here like
+    any other, but it cannot be opened as a single store — it is resolved
+    by the shard coordinator under ``executor="shard"`` into per-shard
+    ``disk://``-style stores, one per checkpoint round.
+
 Unknown schemes and unknown/invalid query parameters are rejected with
 :class:`~repro.exceptions.ConfigurationError` at parse time, so a typo in a
 config file fails before any expensive bootstrap runs.
@@ -297,8 +305,23 @@ def _build_disk_store(request: StoreRequest) -> DiskBDStore:
     )
 
 
+def _build_shard_store(request: StoreRequest) -> BDStore:
+    # A shard URI denotes an *ensemble* of per-shard disk stores plus a
+    # coordinator manifest, not one store object — it is resolved by the
+    # shard coordinator (executor="shard"), which creates one per-shard
+    # durable store per checkpoint round under the root directory.
+    raise ConfigurationError(
+        f"store URI {request.uri} describes a shard ensemble and cannot be "
+        "opened as a single store; run it under executor='shard' "
+        "(BetweennessConfig(executor='shard', store='shard:///root?shards=N'))"
+    )
+
+
 register_store_scheme("memory", _build_memory_store, accepts_path=False)
 register_store_scheme("arrays", _build_array_store, accepts_path=False)
 register_store_scheme(
     "disk", _build_disk_store, allowed_params=("mmap", "capacity")
+)
+register_store_scheme(
+    "shard", _build_shard_store, allowed_params=("shards", "checkpoint_every")
 )

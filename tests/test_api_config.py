@@ -56,7 +56,11 @@ class TestConfigValidation:
         with pytest.raises(ConfigurationError):
             BetweennessConfig(workers=4)
         for executor in EXECUTORS[1:]:
-            assert BetweennessConfig(executor=executor, workers=4).workers == 4
+            store = (
+                "shard:///var/data/bc" if executor == "shard" else "memory://"
+            )
+            config = BetweennessConfig(executor=executor, workers=4, store=store)
+            assert config.workers == 4
 
     def test_mp_configuration_constraints(self):
         assert BetweennessConfig(maintain_predecessors=True).maintain_predecessors
@@ -152,6 +156,55 @@ class TestConfigSerialization:
     def test_for_graph_matches_orientation(self):
         directed = Graph(directed=True)
         assert BetweennessConfig.for_graph(directed).directed is True
+
+
+class TestShardConfig:
+    """The `shard` executor's config surface: URI pairing and round-trips."""
+
+    URI = "shard:///var/data/bc?shards=4&checkpoint_every=8"
+
+    def test_shard_uri_round_trips_through_json(self):
+        config = BetweennessConfig(
+            executor="shard", workers=4, store=self.URI, backend="arrays"
+        )
+        assert BetweennessConfig.from_json(config.to_json()) == config
+        assert BetweennessConfig.from_dict(config.to_dict()) == config
+
+    def test_shard_config_file_round_trip(self, tmp_path):
+        config = BetweennessConfig(executor="shard", workers=4, store=self.URI)
+        path = config.save(tmp_path / "shard.json")
+        assert BetweennessConfig.load(path) == config
+
+    def test_shard_executor_needs_a_shard_uri(self):
+        with pytest.raises(ConfigurationError, match="shard"):
+            BetweennessConfig(executor="shard", workers=4, store="memory://")
+
+    def test_shard_uri_needs_the_shard_executor(self):
+        with pytest.raises(ConfigurationError, match="shard executor"):
+            BetweennessConfig(executor="process", workers=4, store=self.URI)
+        with pytest.raises(ConfigurationError, match="shard executor"):
+            BetweennessConfig(store="shard:///var/data/bc")
+
+    def test_workers_must_agree_with_the_shards_param(self):
+        with pytest.raises(ConfigurationError, match="shards=4"):
+            BetweennessConfig(executor="shard", workers=3, store=self.URI)
+        config = BetweennessConfig(executor="shard", workers=1, store=self.URI)
+        assert config.workers == 1  # URI's shards=4 is authoritative
+
+    def test_checkpoint_path_is_refused_under_shard(self):
+        """Sharded checkpoints live in the shard root, one per shard; a
+        single sidecar path has no meaning there."""
+        with pytest.raises(ConfigurationError, match="shard"):
+            BetweennessConfig(
+                executor="shard", workers=4, store=self.URI,
+                checkpoint_path="/tmp/ck.bin",
+            )
+
+    def test_checkpoint_every_lives_in_the_uri_under_shard(self):
+        with pytest.raises(ConfigurationError, match="checkpoint_every"):
+            BetweennessConfig(
+                executor="shard", workers=4, store=self.URI, checkpoint_every=8
+            )
 
 
 class TestStoreURIs:

@@ -24,11 +24,15 @@ from repro.storage import InMemoryBDStore
 
 from tests.helpers import assert_scores_equal, random_connected_graph
 
-#: Exactly zero tolerance — serial pipelines must be bit-identical; the
-#: process executor reduces partial scores in a different summation order,
-#: so it gets the same 1e-9 tolerance the executor suite uses.
+#: Exactly zero tolerance — serial pipelines must be bit-identical.  The
+#: process executor reduces partial scores in a *different grouping* than
+#: the flat serial sum (per-partition subtotals folded in stable partition
+#: order — see merge_partial_scores), so it differs from the serial
+#: reference by float re-association error only: ~1e-14 relative, which for
+#: these graphs is comfortably below 1e-12 absolute.  The merge itself is
+#: deterministic, so anything past re-association error is a real bug.
 EXACT = 0.0
-MERGE_TOLERANCE = 1e-9
+MERGE_TOLERANCE = 1e-12
 
 
 def build_graph(directed: bool) -> Graph:

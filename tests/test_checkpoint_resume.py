@@ -182,3 +182,114 @@ class TestFileSeededExecutor:
                 graph, num_workers=2, source_store_path=tmp_path / "bd.bin"
             ):
                 pass
+
+
+class TestShardCheckpointStaleness:
+    """Checkpoint *generations* across shards (the sharded analogue of
+    ``test_stale_checkpoint_is_refused``).
+
+    The contract: a shard checkpoint older than the coordinator's batch
+    cursor is either replayed forward from the retained batch log (live
+    recovery) or refused (restart, where no log exists) — it is **never**
+    silently mixed with fresher shards.
+    """
+
+    def _run_rounds(self, tmp_path, extra_batches=0):
+        from repro.parallel import ShardCoordinator
+        from repro.storage.shard import ShardLayout
+
+        graph = random_connected_graph(10, 0.2, seed=21)
+        spare = absent_edges(graph)
+        layout = ShardLayout(
+            root=tmp_path / "shards", num_shards=2, checkpoint_every=2
+        )
+        coordinator = ShardCoordinator(graph, layout)
+        for u, v in spare[:2]:
+            coordinator.add_edge(u, v)  # round committed at cursor 2
+        return coordinator, layout, spare[2:]
+
+    def test_batch_cursor_and_shard_meta_round_trip(self, evolving_case):
+        from repro.core.checkpoint import load_checkpoint, save_checkpoint
+
+        framework, tmp_path, _ = evolving_case
+        meta = {"shard_id": 1, "num_shards": 4, "source_order": [3, 0, 7]}
+        checkpoint = framework.build_checkpoint(batch_cursor=7, shard_meta=meta)
+        save_checkpoint(tmp_path / "shard.ck", checkpoint)
+        loaded = load_checkpoint(tmp_path / "shard.ck")
+        assert loaded.batch_cursor == 7
+        assert loaded.shard_meta == meta
+        framework.store.close()
+
+    def test_older_sidecar_is_replayed_forward_during_live_recovery(
+        self, tmp_path
+    ):
+        """Live recovery: the dead shard's sidecar lags the cursor by one
+        batch, and the coordinator replays exactly that gap."""
+        import os
+        import signal
+
+        coordinator, layout, spare = self._run_rounds(tmp_path)
+        events = []
+        coordinator.notify = lambda kind, **fields: events.append((kind, fields))
+        try:
+            # One more batch, below the cadence: sidecars stay at cursor 2.
+            coordinator.add_edge(*spare[0])
+            os.kill(coordinator._handles[1].process.pid, signal.SIGKILL)
+            coordinator._handles[1].process.join(timeout=10.0)
+            coordinator.add_edge(*spare[1])
+            recoveries = [f for kind, f in events if kind == "shard_recovered"]
+            assert [r["replayed_batches"] for r in recoveries] == [1]
+        finally:
+            coordinator.close(checkpoint=False)
+
+    def test_stale_sidecar_is_refused_on_restart(self, tmp_path):
+        """Restart: one shard's sidecar is from an older round than the
+        manifest; with no replay log the root must be refused outright."""
+        import shutil
+
+        from repro.parallel import ShardCoordinator
+
+        coordinator, layout, spare = self._run_rounds(tmp_path)
+        stale = tmp_path / "stale-sidecar.bin"
+        shutil.copy(layout.checkpoint_path(0), stale)  # cursor 2
+        for u, v in spare[:2]:
+            coordinator.add_edge(u, v)  # next round: cursor 4
+        coordinator.close()
+        shutil.copy(stale, layout.checkpoint_path(0))
+        with pytest.raises(ConfigurationError, match="refusing to mix"):
+            ShardCoordinator.resume(layout.root)
+
+    def test_leading_sidecars_are_refused_on_restart(self, tmp_path):
+        """The opposite skew — a manifest older than every sidecar (say a
+        restored backup of the root's manifest only) — is just as mixed."""
+        from dataclasses import replace
+
+        from repro.parallel import ShardCoordinator
+        from repro.storage.shard import load_manifest
+
+        coordinator, layout, spare = self._run_rounds(tmp_path)
+        for u, v in spare[:2]:
+            coordinator.add_edge(u, v)
+        coordinator.close()
+        manifest = load_manifest(layout.root)
+        layout.write_manifest(replace(manifest, batch_cursor=manifest.batch_cursor - 2))
+        with pytest.raises(ConfigurationError, match="refusing to mix"):
+            ShardCoordinator.resume(layout.root)
+
+    def test_mutated_store_generation_is_refused_on_restart(self, tmp_path):
+        """A shard store touched behind its sidecar's back (generation moved
+        on) must fail the resume instead of seeding a worker from it."""
+        from repro.core.checkpoint import load_checkpoint
+        from repro.exceptions import UpdateError
+        from repro.parallel import ShardCoordinator
+
+        coordinator, layout, _ = self._run_rounds(tmp_path)
+        coordinator.close()
+        sidecar = load_checkpoint(layout.checkpoint_path(0))
+        tampered = DiskBDStore.open(sidecar.store_path)
+        source = next(iter(tampered.sources()))
+        tampered.put(tampered.get(source))
+        tampered.flush()  # bumps the generation past the sidecar's
+        tampered.close()
+        with pytest.raises(UpdateError, match="generation"):
+            ShardCoordinator.resume(layout.root)

@@ -129,3 +129,48 @@ class TestExecutorBehaviour:
         cluster.close()
         with pytest.raises(ConfigurationError):
             cluster.add_edge(0, 3)
+
+
+class TestExecutorFaultDetection:
+    """The driver must never hang on a dead worker (the pre-shard failure
+    mode was a blocking ``Pipe.recv`` that waited forever).  The legacy
+    executor has no per-partition durability, so a death is terminal — but
+    it must surface as :exc:`WorkerFailedError` within moments, with the
+    cluster torn down."""
+
+    def test_sigkilled_worker_raises_instead_of_hanging(self):
+        import os
+        import signal
+
+        from repro.exceptions import WorkerFailedError
+
+        graph = random_connected_graph(12, 0.2, seed=81)
+        cluster = ProcessParallelBetweenness(graph, num_workers=2)
+        try:
+            cluster.add_edge(*_absent_edge(graph))
+            os.kill(cluster._processes[1].pid, signal.SIGKILL)
+            cluster._processes[1].join(timeout=10.0)
+            with pytest.raises(WorkerFailedError, match="worker 1"):
+                cluster.betweenness()
+        finally:
+            cluster.close()
+        # The failure closed the cluster; further use is refused, not hung.
+        with pytest.raises(ConfigurationError):
+            cluster.add_edge(0, 1)
+
+    def test_recv_timeout_bounds_the_wait(self, cycle6):
+        """A generous timeout never fires for a healthy worker."""
+        with ProcessParallelBetweenness(
+            cycle6, num_workers=2, recv_timeout=30.0
+        ) as cluster:
+            report = cluster.add_edge(0, 3)
+        assert report.num_updates == 1
+
+
+def _absent_edge(graph):
+    vertices = sorted(graph.vertices())
+    for i, u in enumerate(vertices):
+        for v in vertices[i + 1 :]:
+            if not graph.has_edge(u, v):
+                return u, v
+    raise AssertionError("graph is complete")
