@@ -139,6 +139,7 @@ class BetweennessSession:
                     graph.vertex_list(),
                     directed=graph.directed,
                     backend=config.backend,
+                    shared_memory=config.effective_shared_memory,
                 )
             self._framework = IncrementalBetweenness(
                 graph,
@@ -158,6 +159,8 @@ class BetweennessSession:
                 store=self._worker_store_kind(config.store),
                 source_store_path=config.seed_store_path,
                 backend=config.backend,
+                recv_timeout=config.recv_timeout,
+                shared_memory=config.effective_shared_memory,
             )
         elif config.executor == "shard":
             layout = ShardLayout.from_uri(config.store, workers=config.workers)
@@ -165,6 +168,8 @@ class BetweennessSession:
                 graph,
                 layout,
                 backend=config.backend,
+                recv_timeout=config.recv_timeout,
+                shared_memory=config.effective_shared_memory,
                 config=config.to_dict(),
             )
             # Hooked up only after construction so the ensemble's round-0
@@ -618,8 +623,16 @@ def resume_session(
         config = config.replace(**overrides)
     if config.executor != "serial":
         # Checkpoints are only ever written by serial sessions; a restored
-        # parallel config would re-bootstrap rather than resume.
-        config = config.replace(executor="serial", workers=1, seed_store_path=None)
+        # parallel config would re-bootstrap rather than resume.  The
+        # executor-only knobs (worker timeouts, the zero-copy dispatch
+        # plane) are dropped with the executor they belong to.
+        config = config.replace(
+            executor="serial",
+            workers=1,
+            seed_store_path=None,
+            recv_timeout=None,
+            shared_memory=False,
+        )
     framework = IncrementalBetweenness.resume(
         checkpoint_path, store=store, backend=config.backend, checkpoint=ckpt
     )
@@ -660,6 +673,10 @@ def _resume_shard_session(
             f"executor (config asks for {config.executor!r})"
         )
     coordinator = ShardCoordinator.resume(
-        root, backend=config.backend, config=config.to_dict()
+        root,
+        backend=config.backend,
+        recv_timeout=config.recv_timeout,
+        shared_memory=config.effective_shared_memory,
+        config=config.to_dict(),
     )
     return BetweennessSession._from_shard_coordinator(coordinator, config)

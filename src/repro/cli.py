@@ -16,6 +16,8 @@ explored without writing Python::
     repro resume --checkpoint /var/data/bc --edges 10   # shard roots work too
     repro online --dataset facebook --mappers 1,10,50
     repro online --dataset facebook --workers 4 --store disk://
+    repro online --dataset facebook --workers 4 --store arrays:// \
+        --shared-memory                          # zero-copy data plane
     repro communities --dataset synthetic-1k --removals 25
     repro proxies --dataset wikielections        # degree/closeness vs betweenness
     repro --version
@@ -199,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
              "sharded scores match",
     )
     _add_backend_argument(shard_parser)
+    _add_parallel_arguments(shard_parser)
 
     online_parser = subparsers.add_parser(
         "online", help="online replay: missed deadlines vs number of mappers"
@@ -239,6 +242,7 @@ def build_parser() -> argparse.ArgumentParser:
              "seed its partition (skips the parallel Brandes bootstrap)",
     )
     _add_backend_argument(online_parser)
+    _add_parallel_arguments(online_parser)
 
     communities_parser = subparsers.add_parser(
         "communities", help="Girvan-Newman community detection"
@@ -262,6 +266,23 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
         help="compute backend: the classic dict implementation or the "
              "array-native CSR kernel (bit-identical scores, vectorized "
              "bootstrap; default dicts)" + _PRECEDENCE,
+    )
+
+
+def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shared-memory", action="store_true", default=None,
+        help="zero-copy data plane: workers attach to shared-memory "
+             "segments instead of receiving pickled snapshots, and batches "
+             "are dispatched as (offset, length) descriptors into a shared "
+             "update ring (arrays backend; equivalent to ?shm=1 on the "
+             "store URI)" + _PRECEDENCE,
+    )
+    parser.add_argument(
+        "--recv-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-reply worker timeout; a worker that stays silent this "
+             "long is declared dead (must be positive; default: wait "
+             "forever)" + _PRECEDENCE,
     )
 
 
@@ -490,8 +511,15 @@ def _run_shard(args) -> tuple:
         args.batch_size if args.batch_size is not None else base.batch_size
     )
     events: list = []
+    parallel_overrides = {}
+    if args.shared_memory is not None:
+        parallel_overrides["shared_memory"] = args.shared_memory
+    if args.recv_timeout is not None:
+        parallel_overrides["recv_timeout"] = args.recv_timeout
     if ShardLayout.is_shard_root(root):
-        session = resume_session(root, backend=backend, batch_size=batch_size)
+        session = resume_session(
+            root, backend=backend, batch_size=batch_size, **parallel_overrides
+        )
         session.subscribe(events.append)
         graph = session.graph
         lines = [
@@ -515,6 +543,7 @@ def _run_shard(args) -> tuple:
             checkpoint_path=None,
             checkpoint_every=None,
             seed_store_path=None,
+            **parallel_overrides,
         )
         session = BetweennessSession(graph, config, subscribers=[events.append])
         lines = [
@@ -583,6 +612,12 @@ def _run_online(args) -> str:
     if workers is None and base.executor == "process":
         workers = base.workers
     store = args.store if args.store is not None else base.store
+    shared_memory = (
+        args.shared_memory if args.shared_memory is not None else base.shared_memory
+    )
+    recv_timeout = (
+        args.recv_timeout if args.recv_timeout is not None else base.recv_timeout
+    )
     if args.mappers is not None:
         mappers_spec = args.mappers
     elif base.executor == "mapreduce":
@@ -609,6 +644,8 @@ def _run_online(args) -> str:
             store=store,
             source_store_path=args.store_path,
             backend=backend,
+            shared_memory=shared_memory,
+            recv_timeout=recv_timeout,
         )
         rows.append(_online_row(args.dataset, f"{workers} (real)", result))
     else:

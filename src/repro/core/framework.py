@@ -24,6 +24,8 @@ import warnings
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.algorithms.brandes import SourceData, brandes_betweenness
 from repro.core.checkpoint import (
     FrameworkCheckpoint,
@@ -43,6 +45,7 @@ from repro.storage.disk import DiskBDStore
 from repro.storage.memory import InMemoryBDStore
 from repro.types import (
     BACKENDS,
+    UNREACHABLE,
     Edge,
     EdgeScores,
     Vertex,
@@ -231,8 +234,11 @@ class IncrementalBetweenness:
         if restricted is None:
             restricted = set(store.sources()) != graph_vertices
         self = cls._bare(graph, store, restricted, backend)
-        for source in store.sources():
-            self._accumulate_record(store.get(source))
+        if isinstance(store, ArrayBDStore):
+            self._accumulate_column_store(store)
+        else:
+            for source in store.sources():
+                self._accumulate_record(store.get(source))
         return self
 
     @classmethod
@@ -279,6 +285,62 @@ class IncrementalBetweenness:
                 self._edge_key(u, v): 0.0 for u, v in self._graph.edges()
             }
         return self
+
+    def _accumulate_column_store(self, store: ArrayBDStore) -> None:
+        """:meth:`_accumulate_record` over a whole column store, in column space.
+
+        The rebuild reads each record's ``(distance, sigma, delta)`` row
+        views directly — no dict decode — and folds it into per-slot and
+        per-edge accumulator vectors with element-wise numpy ops.  Bit
+        identity with the scalar loop is by construction: records are
+        folded one at a time in source order (never summed across an
+        axis, which would re-associate), masked lanes contribute an exact
+        ``+0.0`` (every real contribution is positive, so ``x + 0.0``
+        round-trips its bits), and each lane applies the scalar path's
+        own expression shape ``(sigma_u / sigma_v) * (1.0 + delta_v)``.
+        """
+        index = store.vertex_index
+        edge_entries = []  # (canonical key, u slot, v slot)
+        for u, v in self._graph.edges():
+            if u in index and v in index:
+                edge_entries.append(
+                    (self._edge_key(u, v), index.slot(u), index.slot(v))
+                )
+        num_edges = len(edge_entries)
+        u_slots = np.array([e[1] for e in edge_entries], dtype=np.int64)
+        v_slots = np.array([e[2] for e in edge_entries], dtype=np.int64)
+        if not self._graph.directed:
+            # Both orientations of every undirected edge, reverse pairs in
+            # the second half: per record at most one orientation is a DAG
+            # edge, so halves recombine into canonical edge space exactly.
+            u_slots, v_slots = (
+                np.concatenate([u_slots, v_slots]),
+                np.concatenate([v_slots, u_slots]),
+            )
+
+        vertex_acc = np.zeros(store.capacity, dtype=np.float64)
+        edge_acc = np.zeros(num_edges, dtype=np.float64)
+        for source in store.sources():
+            dist_row, sigma_row, delta_row = store.record_columns(source)
+            contribution = delta_row.copy()
+            contribution[index.slot(source)] = 0.0  # own dependency excluded
+            vertex_acc += contribution
+            if num_edges:
+                dist = dist_row.astype(np.int64)
+                dist_u = dist[u_slots]
+                mask = (dist_u != UNREACHABLE) & (dist[v_slots] == dist_u + 1)
+                ratio = sigma_row[u_slots] / np.where(mask, sigma_row[v_slots], 1)
+                pair = np.where(mask, ratio * (1.0 + delta_row[v_slots]), 0.0)
+                edge_acc += (
+                    pair if self._graph.directed
+                    else pair[:num_edges] + pair[num_edges:]
+                )
+
+        for vertex in self._graph.vertices():
+            if vertex in index:
+                self._vertex_scores[vertex] = float(vertex_acc[index.slot(vertex)])
+        for position, (key, _, _) in enumerate(edge_entries):
+            self._edge_scores[key] = float(edge_acc[position])
 
     def _accumulate_record(self, data: SourceData) -> None:
         """Fold one ``BD[s]`` record into the global vertex/edge scores."""
@@ -719,6 +781,18 @@ class IncrementalBetweenness:
         for vertex in births:
             self._register_vertex(vertex)
 
+        # A buffered disk store has no live column matrices; materialising
+        # them for the duration of the batch (begin/end_column_sweep) lets
+        # the kernel's cohort repair run on it too, with one bulk read
+        # before the sweep and one write-back after.  Must open after the
+        # births above registered their slots — the store cannot grow
+        # inside the window.
+        sweep_window = False
+        if self._kernel is not None:
+            begin_sweep = getattr(self._store, "begin_column_sweep", None)
+            if begin_sweep is not None:
+                sweep_window = bool(begin_sweep())
+
         # Sweep the existing sources once each (Step 2, loop inverted).
         sources = list(self._store.sources())
         to_load = self._sources_to_load(sources, batch)
@@ -785,6 +859,8 @@ class IncrementalBetweenness:
             self._vector_batch = False
             if kernel_batch:
                 self._kernel.end_batch()
+            if sweep_window:
+                self._store.end_column_sweep()
 
         self._finalize_batch(batch, births)
         return batch_result

@@ -33,7 +33,7 @@ existing undirected paths (same objects, same orders, same bits).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -274,6 +274,132 @@ class CSRGraph:
         if not self._compiled:
             self._rebuild()
         return self._in_indptr, self._in_indices, self._in_edge_ids
+
+    # ------------------------------------------------------------------ #
+    # Shared-memory export / attach
+    # ------------------------------------------------------------------ #
+    def export_compiled(self, allocator) -> Tuple[list, dict]:
+        """Materialize the compiled CSR into allocator buffers.
+
+        Returns ``(buffers, payload)``: the buffers are owned by the caller
+        (release them when every attacher is done) and the payload is a
+        compact picklable bundle of :class:`~repro.storage.buffers.ShmDescriptor`
+        entries plus the counts needed to re-materialize the mirror —
+        what crosses a pipe instead of an edge list.  Undirected graphs
+        export only the out-family (the in-mirror aliases it by
+        construction); directed graphs export both.
+        """
+        indptr, indices, edge_ids, edge_pairs = self.compiled()
+        pairs = np.asarray(edge_pairs, dtype=INDEX_DTYPE).reshape(
+            len(edge_pairs), 2
+        )
+        named = {
+            "indptr": indptr,
+            "indices": indices,
+            "edge_ids": edge_ids,
+            "edge_pairs": pairs,
+        }
+        if self._directed:
+            in_indptr, in_indices, in_edge_ids = self.compiled_in()
+            named["in_indptr"] = in_indptr
+            named["in_indices"] = in_indices
+            named["in_edge_ids"] = in_edge_ids
+        buffers = []
+        descriptors = {}
+        for key, array in named.items():
+            buffer = allocator.empty(array.shape, array.dtype)
+            if array.size:
+                buffer.array[:] = array
+            buffers.append(buffer)
+            descriptors[key] = buffer.descriptor().to_payload()
+        payload = {
+            "directed": self._directed,
+            "num_vertices": self.num_vertices,
+            "num_edges": self._num_edges,
+            "arrays": descriptors,
+        }
+        return buffers, payload
+
+    @classmethod
+    def attach_compiled(cls, payload: dict) -> Tuple["CSRGraph", list]:
+        """Re-materialize an exported mirror from its segment descriptors.
+
+        The compiled arrays are attached **read-only** and preset (no
+        rebuild), while the mutable adjacency lists are decoded from them —
+        in CSR order, which is insertion order, so traversals replay the
+        exporter's exactly.  Returns ``(csr, buffers)``; the caller closes
+        the attachment buffers when done (the first mutation recompiles
+        into private arrays anyway).
+        """
+        from repro.storage.buffers import ShmDescriptor, attach as attach_buffer
+
+        buffers = []
+        arrays = {}
+        try:
+            for key, entry in payload["arrays"].items():
+                buffer = attach_buffer(ShmDescriptor.from_payload(entry))
+                buffers.append(buffer)
+                arrays[key] = buffer.array
+        except Exception:
+            for buffer in buffers:
+                buffer.release()
+            raise
+        directed = bool(payload["directed"])
+        n = int(payload["num_vertices"])
+        csr = cls(0, directed=directed)
+        indptr, indices = arrays["indptr"], arrays["indices"]
+        csr._adj = [
+            [int(j) for j in indices[indptr[i] : indptr[i + 1]]]
+            for i in range(n)
+        ]
+        if directed:
+            in_indptr, in_indices = arrays["in_indptr"], arrays["in_indices"]
+            csr._in_adj = [
+                [int(j) for j in in_indices[in_indptr[i] : in_indptr[i + 1]]]
+                for i in range(n)
+            ]
+        else:
+            csr._in_adj = csr._adj
+        csr._num_edges = int(payload["num_edges"])
+        csr._indptr = indptr
+        csr._indices = indices
+        csr._edge_ids = arrays["edge_ids"]
+        csr._edge_pairs = [(int(a), int(b)) for a, b in arrays["edge_pairs"]]
+        if directed:
+            csr._in_indptr = arrays["in_indptr"]
+            csr._in_indices = arrays["in_indices"]
+            csr._in_edge_ids = arrays["in_edge_ids"]
+        else:
+            csr._in_indptr = indptr
+            csr._in_indices = indices
+            csr._in_edge_ids = arrays["edge_ids"]
+        csr._compiled = True
+        return csr, buffers
+
+    def to_label_graph(self, labels: Sequence) -> Graph:
+        """Order-exact label :class:`Graph` over ``labels[slot]`` naming.
+
+        The inverse of :meth:`from_graph` for fully populated mirrors:
+        adjacency (and, when directed, predecessor) iteration order is the
+        slot lists' order, which :meth:`from_graph` took from the label
+        graph — so a round trip reproduces the original graph's traversal
+        order bit-for-bit.
+        """
+        succ = {
+            labels[i]: [labels[j] for j in row]
+            for i, row in enumerate(self._adj)
+        }
+        pred = (
+            {
+                labels[i]: [labels[j] for j in row]
+                for i, row in enumerate(self._in_adj)
+            }
+            if self._directed
+            else None
+        )
+        return Graph.from_adjacency_payload(
+            {"succ": succ, "pred": pred}, directed=self._directed
+        )
 
     def _invalidate(self) -> None:
         self._compiled = False

@@ -22,6 +22,15 @@ Workers speak a tiny message protocol over pipes:
 Everything crossing the pipe (graph edge lists, update batches,
 ``BD[.]`` snapshots, results) is plain picklable data, so both the ``fork``
 and ``spawn`` start methods work.
+
+With ``shared_memory=True`` the data plane changes shape: the driver
+exports the compiled CSR graph and each worker's seed columns as named
+shared-memory segments (:mod:`repro.storage.buffers`), workers *attach*
+instead of unpickling a snapshot, and per-batch dispatch appends the
+encoded updates once to a shared ring (:mod:`repro.parallel.dataplane`)
+and sends only ``(start, length)`` descriptors.  Scores are bit-identical
+either way — the workers decode the exact same update objects and replay
+them through the exact same framework.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass, field
+from multiprocessing.reduction import ForkingPickler
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -37,9 +47,24 @@ from repro.core.framework import IncrementalBetweenness
 from repro.core.result import BatchResult
 from repro.core.updates import EdgeUpdate, UpdateKind, batches, validate_batch
 from repro.exceptions import ConfigurationError, UpdateError, WorkerFailedError
+from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
+from repro.parallel.dataplane import (
+    LabelTable,
+    RingReader,
+    UpdateRing,
+    decode_rows,
+    encode_batch,
+)
 from repro.parallel.mapreduce import merge_partial_scores
+from repro.storage.arrays import ArrayBDStore
+from repro.storage.buffers import (
+    get_allocator,
+    reclaim_process_segments,
+    shm_available,
+)
 from repro.storage.disk import DiskBDStore
+from repro.storage.index import VertexIndex
 from repro.storage.memory import InMemoryBDStore
 from repro.storage.partition import partition_sources
 from repro.types import EdgeScores, Vertex, VertexScores, validate_backend
@@ -54,17 +79,50 @@ WORKER_STORES = ("memory", "disk")
 # --------------------------------------------------------------------------- #
 # Worker process
 # --------------------------------------------------------------------------- #
+def _attach_worker_graph(shm: dict) -> Graph:
+    """Rebuild the label graph from the driver's exported CSR segments.
+
+    Nothing but segment descriptors crossed the pipe; the adjacency is
+    decoded straight out of the shared compiled arrays (read-only attach)
+    in CSR order — which is insertion order, so the rebuilt graph replays
+    the driver graph's traversals exactly.
+    """
+    csr, buffers = CSRGraph.attach_compiled(shm["graph"])
+    try:
+        return csr.to_label_graph(shm["labels"])
+    finally:
+        for buffer in buffers:
+            buffer.release()
+
+
 def _build_worker_framework(payload: dict) -> IncrementalBetweenness:
     """Reconstruct this worker's graph, store and restricted framework."""
-    graph = Graph(directed=payload.get("directed", False))
-    for vertex in payload["vertices"]:
-        graph.add_vertex(vertex)
-    for u, v in payload["edges"]:
-        graph.add_edge(u, v)
+    shm = payload.get("shm")
+    if shm is not None and shm.get("graph") is not None:
+        graph = _attach_worker_graph(shm)
+    else:
+        graph = Graph(directed=payload.get("directed", False))
+        for vertex in payload["vertices"]:
+            graph.add_vertex(vertex)
+        for u, v in payload["edges"]:
+            graph.add_edge(u, v)
 
     sources = payload["sources"]
     store_kind = payload["store"]
     backend = payload.get("backend", "dicts")
+    seed = shm.get("seed") if shm is not None else None
+    if seed is not None and store_kind == "memory" and backend == "arrays":
+        # The zero-copy fast path: the driver packed this partition's
+        # records into shared column segments, and the columnar RAM store
+        # the arrays kernel wants is exactly that layout — so the attached
+        # matrices simply *are* the worker's live store.  Scores are
+        # rebuilt by scanning the records in source order, the same
+        # accumulation a snapshot-seeded bootstrap performs.
+        store = ArrayBDStore.attach(seed, writable=True)
+        return IncrementalBetweenness.from_store(
+            graph, store, restricted=True, backend=backend
+        )
+
     if store_kind == "memory":
         # The arrays backend defaults to its own columnar RAM store; the
         # dicts backend keeps the classic dict-of-records store.
@@ -77,6 +135,15 @@ def _build_worker_framework(payload: dict) -> IncrementalBetweenness:
         raise ConfigurationError(f"unknown worker store {store_kind!r}")
 
     snapshot = payload["snapshot"]
+    if seed is not None:
+        # Other store/backend combinations decode their records out of the
+        # shared seed segments in-process — same decode the pickled path
+        # performs, minus the pipe transfer and the driver-side pickling.
+        seed_store = ArrayBDStore.attach(seed, writable=False)
+        try:
+            snapshot = {s: seed_store.get(s) for s in sources}
+        finally:
+            seed_store.close()
     store_path = payload.get("store_path")
     if store_path is not None:
         # File-seeded bootstrap: every worker reopens the shared durable
@@ -103,16 +170,34 @@ def _build_worker_framework(payload: dict) -> IncrementalBetweenness:
 def _worker_main(connection, payload: dict) -> None:
     """Entry point of one worker process (one mapper)."""
     framework = None
+    ring_reader = None
+    label_table = None
     try:
+        shm = payload.get("shm")
         timer = Timer()
         with timer.measure():
             framework = _build_worker_framework(payload)
+            if shm is not None and shm.get("ring") is not None:
+                ring_reader = RingReader(shm["ring"])
+                label_table = LabelTable(shm["labels"])
         connection.send(("ready", timer.total))
         while True:
             message = connection.recv()
             command = message[0]
             if command == "apply":
                 _, batch, adopt = message
+                cpu_start = time.process_time()
+                result = framework.apply_updates(batch, adopt=adopt or None)
+                cpu_seconds = time.process_time() - cpu_start
+                connection.send(("applied", result, cpu_seconds))
+            elif command == "apply_ring":
+                _, start, length, new_labels, adopt_ids, rotated = message
+                if rotated is not None:
+                    ring_reader.reattach(rotated)
+                if new_labels:
+                    label_table.extend(new_labels)
+                batch = decode_rows(ring_reader.read(start, length), label_table)
+                adopt = [label_table.label(i) for i in adopt_ids or ()]
                 cpu_start = time.process_time()
                 result = framework.apply_updates(batch, adopt=adopt or None)
                 cpu_seconds = time.process_time() - cpu_start
@@ -138,6 +223,8 @@ def _worker_main(connection, payload: dict) -> None:
         except (BrokenPipeError, OSError):
             pass
     finally:
+        if ring_reader is not None:
+            ring_reader.release()
         if framework is not None:
             framework.store.close()  # unlink the disk store's temp file
         connection.close()
@@ -250,6 +337,13 @@ class ProcessParallelBetweenness:
         additionally bounds how long a wedged-but-alive worker may stay
         silent.  ``None`` (default) waits as long as the worker lives — a
         big batch is not a failure.
+    shared_memory:
+        When true, workers attach to driver-owned shared-memory segments
+        (compiled CSR graph, per-worker seed columns, the per-batch update
+        ring) instead of receiving pickled copies; dispatch messages
+        shrink to ``(start, length)`` descriptors.  Scores stay
+        bit-identical.  The driver owns every segment and reclaims them on
+        :meth:`close` — including segments of workers that died.
 
     Examples
     --------
@@ -270,6 +364,7 @@ class ProcessParallelBetweenness:
         source_store_path: Optional[PathLike] = None,
         backend: str = "dicts",
         recv_timeout: Optional[float] = None,
+        shared_memory: bool = False,
     ) -> None:
         if num_workers < 1:
             raise ConfigurationError(f"num_workers must be >= 1, got {num_workers}")
@@ -282,6 +377,11 @@ class ProcessParallelBetweenness:
             raise ConfigurationError(
                 "source_data and source_store_path are mutually exclusive "
                 "seeding mechanisms"
+            )
+        if shared_memory and not shm_available():  # pragma: no cover - linux CI
+            raise ConfigurationError(
+                "shared_memory=True needs multiprocessing.shared_memory, "
+                "which this platform does not provide"
             )
         if start_method is None:
             available = multiprocessing.get_all_start_methods()
@@ -296,42 +396,107 @@ class ProcessParallelBetweenness:
         self._closed = False
         self._new_vertex_round_robin = 0
         self._recv_timeout = recv_timeout
+        self._shared_memory = bool(shared_memory)
+        self._label_table: Optional[LabelTable] = None
+        self._ring: Optional[UpdateRing] = None
+        self._graph_seed_buffers: List = []
+        self._seed_stores: Dict[int, ArrayBDStore] = {}
+        self._batch_payload_bytes: List[int] = []
 
         vertices = self._graph.vertex_list()
-        edges = self._graph.edge_list()
-        for partition in self._partitions:
-            sources = list(partition.sources)
-            payload = {
-                "vertices": vertices,
-                "edges": edges,
-                "directed": self._graph.directed,
-                "sources": sources,
-                "store": store,
-                "backend": backend,
-                "snapshot": (
-                    {s: source_data[s] for s in sources}
-                    if source_data is not None
-                    else None
-                ),
-                "store_path": (
-                    str(source_store_path)
-                    if source_store_path is not None
-                    else None
-                ),
-            }
-            parent_end, child_end = context.Pipe()
-            process = context.Process(
-                target=_worker_main, args=(child_end, payload), daemon=True
+        graph_seed_payload = None
+        if self._shared_memory:
+            self._label_table = LabelTable(vertices)
+            self._ring = UpdateRing(hint="ring")
+            index = VertexIndex(vertices)
+            csr = CSRGraph.from_graph(self._graph, index)
+            self._graph_seed_buffers, graph_seed_payload = csr.export_compiled(
+                get_allocator("shm", hint="csrg")
             )
-            process.start()
-            child_end.close()
-            self._connections.append(parent_end)
-            self._processes.append(process)
 
-        self._init_seconds = [
-            self._expect(worker_id, "ready")[1]
-            for worker_id in range(self._num_workers)
-        ]
+        edges = None if self._shared_memory else self._graph.edge_list()
+        try:
+            for partition in self._partitions:
+                sources = list(partition.sources)
+                worker_id = partition.worker_id
+                shm_entry = None
+                if self._shared_memory:
+                    seed_payload = None
+                    if source_data is not None:
+                        seed_store = self._pack_seed_columns(
+                            worker_id, vertices, sources, source_data
+                        )
+                        seed_payload = seed_store.export_column_descriptors()
+                    shm_entry = {
+                        "labels": vertices,
+                        "graph": graph_seed_payload,
+                        "ring": self._ring.payload(),
+                        "seed": seed_payload,
+                    }
+                payload = {
+                    "vertices": None if self._shared_memory else vertices,
+                    "edges": edges,
+                    "directed": self._graph.directed,
+                    "sources": sources,
+                    "store": store,
+                    "backend": backend,
+                    "snapshot": (
+                        {s: source_data[s] for s in sources}
+                        if source_data is not None and not self._shared_memory
+                        else None
+                    ),
+                    "store_path": (
+                        str(source_store_path)
+                        if source_store_path is not None
+                        else None
+                    ),
+                    "shm": shm_entry,
+                }
+                parent_end, child_end = context.Pipe()
+                process = context.Process(
+                    target=_worker_main, args=(child_end, payload), daemon=True
+                )
+                process.start()
+                child_end.close()
+                self._connections.append(parent_end)
+                self._processes.append(process)
+
+            self._init_seconds = [
+                self._expect(worker_id, "ready")[1]
+                for worker_id in range(self._num_workers)
+            ]
+        except BaseException:
+            self.close()
+            raise
+
+    def _pack_seed_columns(
+        self,
+        worker_id: int,
+        vertices: List[Vertex],
+        sources: List[Vertex],
+        source_data: Dict[Vertex, SourceData],
+    ) -> ArrayBDStore:
+        """Pack one partition's seed records into owned shared segments.
+
+        The packing reuses :class:`~repro.storage.arrays.ArrayBDStore`
+        wholesale: an shm-allocated store filled in partition source order
+        is, by construction, the exact bundle
+        :meth:`~repro.storage.arrays.ArrayBDStore.attach` rebuilds on the
+        worker side.  The driver keeps the store (it owns the segments)
+        until :meth:`close` or the worker's death reclaims them.
+        """
+        seed_store = ArrayBDStore(
+            vertices,
+            capacity=len(vertices),
+            sources=(),
+            row_capacity=max(1, len(sources)),
+            directed=self._graph.directed,
+            allocator=get_allocator("shm", hint=f"seed{worker_id}"),
+        )
+        for source in sources:
+            seed_store.put(source_data[source])
+        self._seed_stores[worker_id] = seed_store
+        return seed_store
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -360,6 +525,20 @@ class ProcessParallelBetweenness:
     def init_wall_clock_seconds(self) -> float:
         """Bootstrap wall-clock: the slowest worker's initial phase."""
         return max(self._init_seconds) if self._init_seconds else 0.0
+
+    @property
+    def shared_memory(self) -> bool:
+        """Whether the zero-copy data plane is active."""
+        return self._shared_memory
+
+    @property
+    def batch_payload_bytes(self) -> List[int]:
+        """Exact pickled bytes sent over the pipes per applied batch.
+
+        Summed across workers; what the shared-memory ring shrinks by
+        ~an order of magnitude versus pickling the update list per worker.
+        """
+        return list(self._batch_payload_bytes)
 
     def vertex_betweenness(self) -> VertexScores:
         """Reduced (global) vertex betweenness scores."""
@@ -416,8 +595,27 @@ class ProcessParallelBetweenness:
 
         timer = Timer()
         with timer.measure():
-            for worker_id, adopt in enumerate(adopt_per_worker):
-                self._send(worker_id, ("apply", batch, adopt))
+            sent_bytes = 0
+            if self._shared_memory:
+                rows, new_labels = encode_batch(self._label_table, batch)
+                start, length, rotated = self._ring.append(rows)
+                for worker_id, adopt in enumerate(adopt_per_worker):
+                    adopt_ids = [self._label_table.id_of(v) for v in adopt]
+                    sent_bytes += self._send(
+                        worker_id,
+                        (
+                            "apply_ring",
+                            start,
+                            length,
+                            new_labels,
+                            adopt_ids,
+                            rotated,
+                        ),
+                    )
+            else:
+                for worker_id, adopt in enumerate(adopt_per_worker):
+                    sent_bytes += self._send(worker_id, ("apply", batch, adopt))
+            self._batch_payload_bytes.append(sent_bytes)
             replies = [
                 self._expect(worker_id, "applied")
                 for worker_id in range(self._num_workers)
@@ -472,6 +670,33 @@ class ProcessParallelBetweenness:
             if process.is_alive():  # pragma: no cover - defensive
                 process.terminate()
                 process.join(timeout=1.0)
+        self._release_data_plane()
+
+    def _release_data_plane(self) -> None:
+        """Reclaim every shared segment the driver owns (idempotent).
+
+        Runs after the workers are down, which covers the worker-death
+        paths too: ``close()`` is called before every
+        :class:`~repro.exceptions.WorkerFailedError` escapes, so segments
+        seeded into a SIGKILLed worker are unlinked, not leaked.  Segments
+        a *worker* created (e.g. shm sweep buffers inside a buffered disk
+        store) die with an explicit reclaim sweep over the dead processes'
+        names.
+        """
+        if not self._shared_memory:
+            return
+        for store in self._seed_stores.values():
+            store.close()
+        self._seed_stores = {}
+        for buffer in self._graph_seed_buffers:
+            buffer.release()
+        self._graph_seed_buffers = []
+        if self._ring is not None:
+            self._ring.release()
+            self._ring = None
+        for process in self._processes:
+            if process.pid is not None and not process.is_alive():
+                reclaim_process_segments(process.pid)
 
     def __enter__(self) -> "ProcessParallelBetweenness":
         return self
@@ -508,15 +733,20 @@ class ProcessParallelBetweenness:
             edge_partials.append(message[2])
         return vertex_partials, edge_partials
 
-    def _send(self, worker_id: int, message) -> None:
-        """Send one command, surfacing a dead worker as the typed failure.
+    def _send(self, worker_id: int, message) -> int:
+        """Send one command; returns its exact pickled size in bytes.
 
-        Writing to a pipe whose worker was killed raises ``BrokenPipeError``;
-        without this guard a death between batches would escape as a raw
-        OS-level error instead of :class:`~repro.exceptions.WorkerFailedError`.
+        The message is pickled once here (with the same reducer
+        ``Connection.send`` uses) and shipped via ``send_bytes``, so the
+        dispatch-payload accounting measures precisely what crosses the
+        pipe.  A dead worker surfaces as ``BrokenPipeError``; without this
+        guard a death between batches would escape as a raw OS-level error
+        instead of :class:`~repro.exceptions.WorkerFailedError`.
         """
         try:
-            self._connections[worker_id].send(message)
+            data = bytes(ForkingPickler.dumps(message))
+            self._connections[worker_id].send_bytes(data)
+            return len(data)
         except (BrokenPipeError, OSError) as exc:
             process = self._processes[worker_id]
             self.close()

@@ -270,6 +270,8 @@ def replay_online_updates_parallel(
     use_cpu_time: bool = True,
     source_store_path=None,
     backend: str = "dicts",
+    shared_memory: bool = False,
+    recv_timeout=None,
 ) -> OnlineReplayResult:
     """Measured online replay on the real process-parallel executor.
 
@@ -301,6 +303,11 @@ def replay_online_updates_parallel(
     backend:
         Compute backend every worker runs its partition on (``"dicts"`` or
         ``"arrays"``).
+    shared_memory:
+        Seed workers from shared-memory segments and dispatch batches as
+        ring descriptors instead of pickled snapshots (arrays backend).
+    recv_timeout:
+        Per-reply worker timeout in seconds (``None`` waits forever).
     """
     from repro.api.config import BetweennessConfig
     from repro.api.session import BetweennessSession
@@ -317,6 +324,8 @@ def replay_online_updates_parallel(
         seed_store_path=(
             str(source_store_path) if source_store_path is not None else None
         ),
+        shared_memory=shared_memory,
+        recv_timeout=recv_timeout,
     )
 
     def measure(event) -> float:

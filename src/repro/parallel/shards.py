@@ -51,11 +51,25 @@ from repro.exceptions import (
     UpdateError,
     WorkerFailedError,
 )
+from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
+from repro.parallel.dataplane import (
+    LabelTable,
+    RingReader,
+    UpdateRing,
+    decode_rows,
+    encode_batch,
+)
 from repro.parallel.executor import ParallelBatchReport, _build_worker_framework
 from repro.parallel.mapreduce import merge_partial_scores
 from repro.storage.arrays import ArrayBDStore
+from repro.storage.buffers import (
+    get_allocator,
+    reclaim_process_segments,
+    shm_available,
+)
 from repro.storage.disk import DiskBDStore
+from repro.storage.index import VertexIndex
 from repro.storage.memory import InMemoryBDStore
 from repro.storage.partition import partition_sources
 from repro.storage.shard import (
@@ -189,6 +203,10 @@ def _shard_worker_main(connection, payload: dict) -> None:
 
     * ``("apply", cursor, batch, adopt)`` → ``("applied", cursor, result,
       cpu_seconds)``
+    * ``("apply_ring", cursor, start, length, new_labels, adopt_ids,
+      rotated)`` → ``("applied", cursor, result, cpu_seconds)`` — the
+      shared-memory variant: the batch is read back out of the
+      coordinator's update ring instead of crossing the pipe
     * ``("checkpoint", cursor)`` → ``("checkpointed", cursor, seconds)``
     * ``("collect",)`` → ``("scores", vertex_partial, edge_partial)``
     * ``("stop",)`` → ``("stopped",)``
@@ -203,7 +221,10 @@ def _shard_worker_main(connection, payload: dict) -> None:
     num_shards = payload["num_shards"]
     backend = payload["backend"]
     chaos = payload.get("chaos")
+    shm = payload.get("shm")
     framework = None
+    ring_reader = None
+    label_table = None
     try:
         timer = Timer()
         with timer.measure():
@@ -214,22 +235,39 @@ def _shard_worker_main(connection, payload: dict) -> None:
             else:
                 framework = _build_worker_framework(
                     {
-                        "vertices": payload["vertices"],
-                        "edges": payload["edges"],
+                        "vertices": payload.get("vertices"),
+                        "edges": payload.get("edges"),
                         "directed": payload["directed"],
                         "sources": payload["sources"],
                         "store": "memory",
                         "backend": backend,
                         "snapshot": None,
                         "store_path": None,
+                        "shm": shm,
                     }
                 )
+            if shm is not None and shm.get("ring") is not None:
+                ring_reader = RingReader(shm["ring"])
+                label_table = LabelTable(shm["labels"])
         connection.send(("ready", timer.total))
         while True:
             message = connection.recv()
             command = message[0]
-            if command == "apply":
-                _, cursor, batch, adopt = message
+            if command in ("apply", "apply_ring"):
+                if command == "apply":
+                    _, cursor, batch, adopt = message
+                else:
+                    _, cursor, start, length, new_labels, adopt_ids, rotated = (
+                        message
+                    )
+                    if rotated is not None:
+                        ring_reader.reattach(rotated)
+                    if new_labels:
+                        label_table.extend(new_labels)
+                    batch = decode_rows(
+                        ring_reader.read(start, length), label_table
+                    )
+                    adopt = [label_table.label(i) for i in adopt_ids or ()]
                 if chaos and cursor == chaos["cursor"]:
                     if chaos.get("when", "after") == "before":
                         os.kill(os.getpid(), signal.SIGKILL)
@@ -271,6 +309,8 @@ def _shard_worker_main(connection, payload: dict) -> None:
         except (BrokenPipeError, OSError):
             pass
     finally:
+        if ring_reader is not None:
+            ring_reader.release()
         if framework is not None:
             framework.store.close()
         connection.close()
@@ -305,6 +345,15 @@ class ShardCoordinator:
         process death is detected within ~50ms regardless.  ``None``
         (default) waits as long as the worker stays alive — a big batch is
         not a failure.
+    shared_memory:
+        When true the coordinator runs the zero-copy data plane: workers
+        attach the initial graph from shared CSR segments instead of
+        unpickling edge lists, and per-batch dispatch sends ``(offset,
+        length)`` descriptors into a shared update ring instead of pickled
+        update lists.  Scores are bit-identical either way.  Replacement
+        workers seeded from a sidecar keep using the ring for new batches
+        (replay itself stays on the classic pickled path, since replayed
+        slices may predate a ring rotation).
     notify:
         Optional :data:`NotifyHook` receiving ``worker_failed`` /
         ``shard_recovered`` / ``checkpoint`` notifications.
@@ -332,6 +381,7 @@ class ShardCoordinator:
         backend: str = "dicts",
         start_method: Optional[str] = None,
         recv_timeout: Optional[float] = None,
+        shared_memory: bool = False,
         notify: Optional[NotifyHook] = None,
         config: Optional[Dict] = None,
         chaos: Optional[Dict[int, Dict]] = None,
@@ -342,6 +392,11 @@ class ShardCoordinator:
             raise ConfigurationError(
                 f"a shard ensemble needs >= 1 shard, got {layout.num_shards}"
             )
+        if shared_memory and not shm_available():
+            raise ConfigurationError(
+                "shared_memory=True requires multiprocessing.shared_memory, "
+                "which this platform does not provide"
+            )
         if start_method is None:
             available = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in available else "spawn"
@@ -349,22 +404,31 @@ class ShardCoordinator:
         self._layout = layout
         self._backend = backend
         self._recv_timeout = recv_timeout
+        self._shared_memory = bool(shared_memory)
         self.notify = notify
         self._config = config
         self._chaos = dict(chaos or {})
         self._handles: List[Optional[_WorkerHandle]] = [None] * layout.num_shards
         self._log: Dict[int, Tuple[List[EdgeUpdate], List[List[Vertex]]]] = {}
         self._closed = False
+        # Zero-copy data plane (populated only when shared_memory is on).
+        self._label_table: Optional[LabelTable] = None
+        self._ring: Optional[UpdateRing] = None
+        self._graph_seed_buffers: List = []
 
-        if _manifest is not None:
-            self._init_from_manifest(_manifest)
-        else:
-            if graph is None:
-                raise ConfigurationError(
-                    "ShardCoordinator needs an initial graph (or use "
-                    "ShardCoordinator.resume to restore one from disk)"
-                )
-            self._init_fresh(graph)
+        try:
+            if _manifest is not None:
+                self._init_from_manifest(_manifest)
+            else:
+                if graph is None:
+                    raise ConfigurationError(
+                        "ShardCoordinator needs an initial graph (or use "
+                        "ShardCoordinator.resume to restore one from disk)"
+                    )
+                self._init_fresh(graph)
+        except BaseException:
+            self.close(checkpoint=False)
+            raise
 
     def _init_fresh(self, graph: Graph) -> None:
         layout = self._layout
@@ -385,24 +449,36 @@ class ShardCoordinator:
         self._last_round = -1
         vertices = self._graph.vertex_list()
         edges = self._graph.edge_list()
+        graph_payload = None
+        if self._shared_memory:
+            self._build_data_plane(vertices)
+            allocator = get_allocator("shm", hint="csrg")
+            csr = CSRGraph.from_graph(self._graph, VertexIndex(vertices))
+            self._graph_seed_buffers, graph_payload = csr.export_compiled(
+                allocator
+            )
         for partition in partitions:
             shard_id = partition.worker_id
             layout.shard_dir(shard_id).mkdir(parents=True, exist_ok=True)
-            self._spawn(
-                shard_id,
-                {
-                    "mode": "fresh",
-                    "vertices": vertices,
-                    "edges": edges,
-                    "directed": self._graph.directed,
-                    "sources": list(partition.sources),
-                    "backend": self._backend,
-                    "shard_id": shard_id,
-                    "num_shards": layout.num_shards,
-                    "shard_dir": str(layout.shard_dir(shard_id)),
-                    "chaos": self._chaos.get(shard_id),
-                },
-            )
+            payload = {
+                "mode": "fresh",
+                "vertices": None if self._shared_memory else vertices,
+                "edges": None if self._shared_memory else edges,
+                "directed": self._graph.directed,
+                "sources": list(partition.sources),
+                "backend": self._backend,
+                "shard_id": shard_id,
+                "num_shards": layout.num_shards,
+                "shard_dir": str(layout.shard_dir(shard_id)),
+                "chaos": self._chaos.get(shard_id),
+            }
+            if self._shared_memory:
+                payload["shm"] = {
+                    "labels": self._label_table.labels(),
+                    "graph": graph_payload,
+                    "ring": self._ring.payload(),
+                }
+            self._spawn(shard_id, payload)
         self._init_seconds = [
             self._expect(i, "ready")[1] for i in range(layout.num_shards)
         ]
@@ -451,18 +527,27 @@ class ShardCoordinator:
                 graph = Graph.from_adjacency_payload(
                     ckpt.adjacency, directed=ckpt.directed
                 )
-            self._spawn(
-                shard_id,
-                {
-                    "mode": "resume",
-                    "checkpoint_path": str(sidecar),
-                    "backend": self._backend,
-                    "shard_id": shard_id,
-                    "num_shards": layout.num_shards,
-                    "shard_dir": str(layout.shard_dir(shard_id)),
-                    "chaos": self._chaos.get(shard_id),
-                },
-            )
+                if self._shared_memory:
+                    # The resume path re-seeds state from the sidecars, so
+                    # only the dispatch half of the plane (ring + labels) is
+                    # shared; labels start from the restored graph's vertex
+                    # order, which every sidecar recorded identically.
+                    self._build_data_plane(graph.vertex_list())
+            payload = {
+                "mode": "resume",
+                "checkpoint_path": str(sidecar),
+                "backend": self._backend,
+                "shard_id": shard_id,
+                "num_shards": layout.num_shards,
+                "shard_dir": str(layout.shard_dir(shard_id)),
+                "chaos": self._chaos.get(shard_id),
+            }
+            if self._shared_memory:
+                payload["shm"] = {
+                    "labels": self._label_table.labels(),
+                    "ring": self._ring.payload(),
+                }
+            self._spawn(shard_id, payload)
         self._graph = graph
         self._init_seconds = [
             self._expect(i, "ready")[1] for i in range(layout.num_shards)
@@ -475,6 +560,7 @@ class ShardCoordinator:
         backend: Optional[str] = None,
         start_method: Optional[str] = None,
         recv_timeout: Optional[float] = None,
+        shared_memory: bool = False,
         notify: Optional[NotifyHook] = None,
         config: Optional[Dict] = None,
     ) -> "ShardCoordinator":
@@ -501,6 +587,7 @@ class ShardCoordinator:
             backend=backend if backend is not None else manifest.backend,
             start_method=start_method,
             recv_timeout=recv_timeout,
+            shared_memory=shared_memory,
             notify=notify,
             config=config if config is not None else manifest.config,
             _manifest=manifest,
@@ -523,6 +610,11 @@ class ShardCoordinator:
     def graph(self) -> Graph:
         """The coordinator's view of the current graph (do not mutate)."""
         return self._graph
+
+    @property
+    def shared_memory(self) -> bool:
+        """Whether the zero-copy data plane is active."""
+        return self._shared_memory
 
     @property
     def batch_cursor(self) -> int:
@@ -604,9 +696,35 @@ class ShardCoordinator:
 
         timer = Timer()
         with timer.measure():
-            replies = self._broadcast(
-                lambda i: ("apply", cursor, batch, adopt_per_shard[i]), "applied"
-            )
+            if self._shared_memory:
+                # Descriptor-passing dispatch: the rows go into the shared
+                # ring once, and each shard receives only (start, length)
+                # plus this batch's newly minted labels.  The replay log
+                # above keeps the classic pickled form — recovery must work
+                # even after the ring rotated past the logged slice.
+                rows, new_labels = encode_batch(self._label_table, batch)
+                start, length, rotated = self._ring.append(rows)
+                adopt_ids = [
+                    [self._label_table.id_of(v) for v in adopt]
+                    for adopt in adopt_per_shard
+                ]
+                replies = self._broadcast(
+                    lambda i: (
+                        "apply_ring",
+                        cursor,
+                        start,
+                        length,
+                        new_labels,
+                        adopt_ids[i],
+                        rotated,
+                    ),
+                    "applied",
+                )
+            else:
+                replies = self._broadcast(
+                    lambda i: ("apply", cursor, batch, adopt_per_shard[i]),
+                    "applied",
+                )
 
         for update in batch:  # keep the coordinator's graph in sync
             u, v = update.endpoints
@@ -699,6 +817,25 @@ class ShardCoordinator:
             if handle.process.is_alive():  # pragma: no cover - defensive
                 handle.process.terminate()
                 handle.process.join(timeout=1.0)
+        self._release_data_plane()
+
+    def _release_data_plane(self) -> None:
+        """Unlink every plane segment the coordinator owns (idempotent)."""
+        for buffer in self._graph_seed_buffers:
+            buffer.release()
+        self._graph_seed_buffers = []
+        if self._ring is not None:
+            self._ring.release()
+            self._ring = None
+        self._label_table = None
+        if self._shared_memory:
+            for handle in self._handles:
+                if handle is not None and handle.process.pid is not None:
+                    reclaim_process_segments(handle.process.pid)
+
+    def _build_data_plane(self, vertices) -> None:
+        self._label_table = LabelTable(vertices)
+        self._ring = UpdateRing(hint="ring")
 
     def __enter__(self) -> "ShardCoordinator":
         return self
@@ -738,6 +875,11 @@ class ShardCoordinator:
         if handle.process.is_alive():
             handle.process.terminate()
         handle.process.join(timeout=5.0)
+        if self._shared_memory and handle.process.pid is not None:
+            # A SIGKILLed worker never ran its atexit hooks; any segments it
+            # owned (none today, but cheap to guarantee) are reclaimed here
+            # so /dev/shm cannot leak across recoveries.
+            reclaim_process_segments(handle.process.pid)
 
     def _send(self, shard_id: int, message) -> None:
         handle = self._handles[shard_id]
@@ -873,18 +1015,25 @@ class ShardCoordinator:
                     f"the coordinator's retained replay log (missing batches "
                     f"{missing}); the shard cannot be replayed forward"
                 )
-            self._spawn(
-                shard_id,
-                {
-                    "mode": "resume",
-                    "checkpoint_path": str(sidecar),
-                    "backend": self._backend,
-                    "shard_id": shard_id,
-                    "num_shards": self.num_shards,
-                    "shard_dir": str(self._layout.shard_dir(shard_id)),
-                    "chaos": None,
-                },
-            )
+            replacement = {
+                "mode": "resume",
+                "checkpoint_path": str(sidecar),
+                "backend": self._backend,
+                "shard_id": shard_id,
+                "num_shards": self.num_shards,
+                "shard_dir": str(self._layout.shard_dir(shard_id)),
+                "chaos": None,
+            }
+            if self._shared_memory:
+                # Seed the replacement with the *current* table and ring so
+                # it can serve ring dispatch from the next batch on; the
+                # table already contains any in-flight batch's labels, so
+                # the coming announcement is an idempotent no-op.
+                replacement["shm"] = {
+                    "labels": self._label_table.labels(),
+                    "ring": self._ring.payload(),
+                }
+            self._spawn(shard_id, replacement)
             self._expect(shard_id, "ready")
             # Replay only what the sidecar predates, with the original
             # adoption decisions — the other shards are untouched.

@@ -106,6 +106,11 @@ class DiskBDStore(BDStore):
     use_mmap:
         Map the record area and serve record loads as zero-copy numpy views
         (default).  ``False`` selects the buffered seek/read path.
+    sweep_allocator:
+        Buffered mode only: where :meth:`begin_column_sweep` materialises
+        the per-batch column matrices — ``"heap"`` (default) or ``"shm"``
+        (shared-memory segments, the zero-copy data plane).  Irrelevant in
+        mmap mode, whose columns are always in place.
     directed:
         Orientation of the graph the records will describe.  Persisted as a
         header flag bit; :meth:`open` restores it and the framework refuses
@@ -121,6 +126,7 @@ class DiskBDStore(BDStore):
         sources: Optional[Iterable[Vertex]] = None,
         use_mmap: bool = True,
         directed: bool = False,
+        sweep_allocator: Optional[str] = None,
     ) -> None:
         index = VertexIndex(vertices)
         # Every vertex gets a column slot; only sources get a meaningful
@@ -167,6 +173,7 @@ class DiskBDStore(BDStore):
             owns_file=owns_file,
             use_mmap=use_mmap,
             directed=directed,
+            sweep_allocator=sweep_allocator,
         )
         self._format_file()
         self._setup_maps()
@@ -238,6 +245,7 @@ class DiskBDStore(BDStore):
         owns_file: bool,
         use_mmap: bool,
         directed: bool = False,
+        sweep_allocator: Optional[str] = None,
     ) -> None:
         """Initialise instance state shared by ``__init__`` and ``open``."""
         self._path = path
@@ -256,6 +264,10 @@ class DiskBDStore(BDStore):
         self._dirty = False
         self._record_bytes = record_size(capacity)
         self._data_end = HEADER_SIZE + capacity * self._record_bytes
+        self._sweep_allocator = sweep_allocator
+        self._sweep_buffers: Optional[list] = None
+        self._sweep_views: Optional[tuple] = None
+        self._sweep_dirty_slots: Set[int] = set()
 
     # ------------------------------------------------------------------ #
     # Properties and statistics
@@ -272,8 +284,14 @@ class DiskBDStore(BDStore):
 
     @property
     def columns_in_place(self) -> bool:
-        """Whether writable column views alias the store (mmap mode only)."""
-        return self._mm is not None
+        """Whether writable column views alias the store.
+
+        Always true in mmap mode; true in buffered mode while a
+        :meth:`begin_column_sweep` window is open (the views then alias the
+        materialised sweep buffers, written back at
+        :meth:`end_column_sweep`).
+        """
+        return self._mm is not None or self._sweep_views is not None
 
     @property
     def capacity(self) -> int:
@@ -343,6 +361,12 @@ class DiskBDStore(BDStore):
             self._dist_view[slot] = distance
             self._sigma_view[slot] = sigma
             self._delta_view[slot] = delta
+        elif self._sweep_views is not None:
+            dist_buf, sigma_buf, delta_buf = self._sweep_views
+            dist_buf[slot] = distance
+            sigma_buf[slot] = sigma
+            delta_buf[slot] = delta
+            self._sweep_dirty_slots.add(slot)
         else:
             self._file.seek(self._record_offset(slot))
             self._file.write(
@@ -384,6 +408,10 @@ class DiskBDStore(BDStore):
         if self._mm is not None:
             self._mark_dirty()
             return columns
+        if self._sweep_views is not None:
+            self._mark_dirty()
+            self._sweep_dirty_slots.add(slot)
+            return columns
         distance, sigma, delta = columns
         return distance.copy(), sigma.copy(), delta.copy()
 
@@ -416,6 +444,12 @@ class DiskBDStore(BDStore):
             self._dist_view[slot, :k] = distance
             self._sigma_view[slot, :k] = sigma
             self._delta_view[slot, :k] = delta
+        elif self._sweep_views is not None:
+            dist_buf, sigma_buf, delta_buf = self._sweep_views
+            dist_buf[slot, :k] = distance
+            sigma_buf[slot, :k] = sigma
+            delta_buf[slot, :k] = delta
+            self._sweep_dirty_slots.add(slot)
         else:
             distance_offset, sigma_offset, delta_offset = column_offsets(
                 self._capacity
@@ -443,18 +477,26 @@ class DiskBDStore(BDStore):
         gather and write back whole slabs of records with fancy row
         indexing — the same bulk protocol
         :meth:`repro.storage.arrays.ArrayBDStore.column_matrices` serves
-        in RAM.  Mmap mode only: the buffered path has no live matrices
-        (and reports ``columns_in_place = False``, which is the capability
-        bit the kernel checks first).  The views are replaced whenever the
-        file is rebuilt for growth — callers must re-fetch per sweep.
+        in RAM.  In buffered mode the matrices exist only inside a
+        :meth:`begin_column_sweep` window (outside one the store reports
+        ``columns_in_place = False``, which is the capability bit the
+        kernel checks first).  The views are replaced whenever the file is
+        rebuilt for growth — callers must re-fetch per sweep.
         """
         self._ensure_open()
-        if self._mm is None:
-            raise ConfigurationError(
-                "column matrices require the mmap record area "
-                "(open the store with use_mmap=True)"
+        if self._mm is not None:
+            return self._dist_view, self._sigma_view, self._delta_view
+        if self._sweep_views is not None:
+            # The kernel writes whole record rows back through these
+            # matrices; every source row may be touched by the sweep.
+            self._sweep_dirty_slots.update(
+                self._index.slot(s) for s in self._source_set
             )
-        return self._dist_view, self._sigma_view, self._delta_view
+            return self._sweep_views
+        raise ConfigurationError(
+            "column matrices require the mmap record area or an open "
+            "begin_column_sweep() window (buffered mode)"
+        )
 
     def row_of_source_slot(self, slot: int) -> int:
         """Matrix row of the source with vertex slot ``slot``.
@@ -481,11 +523,16 @@ class DiskBDStore(BDStore):
         endpoint), and the block is gathered from that span.
         """
         self._ensure_open()
-        if self._mm is not None:
+        if self._mm is not None or self._sweep_views is not None:
+            dist = (
+                self._dist_view
+                if self._mm is not None
+                else self._sweep_views[0]
+            )
             self._bytes_read += (
                 len(source_slots) * len(vertex_slots) * DISTANCE_DTYPE.itemsize
             )
-            return self._dist_view[np.ix_(source_slots, vertex_slots)]
+            return dist[np.ix_(source_slots, vertex_slots)]
         src = np.asarray(source_slots, dtype=np.int64)
         cols = np.asarray(vertex_slots, dtype=np.int64)
         block = np.empty((src.size, cols.size), dtype=DISTANCE_DTYPE)
@@ -517,6 +564,8 @@ class DiskBDStore(BDStore):
             self._bytes_read += DISTANCE_DTYPE.itemsize
             if self._mm is not None:
                 value = int(self._dist_view[source_slot, vertex_slot])
+            elif self._sweep_views is not None:
+                value = int(self._sweep_views[0][source_slot, vertex_slot])
             else:
                 offset = (
                     self._record_offset(source_slot)
@@ -567,6 +616,92 @@ class DiskBDStore(BDStore):
         return source in self._source_set
 
     # ------------------------------------------------------------------ #
+    # Buffered cohort-sweep window
+    # ------------------------------------------------------------------ #
+    def begin_column_sweep(self) -> bool:
+        """Open a materialised-columns window over the record area.
+
+        Buffered mode only: the whole record area is read once into three
+        ``(capacity, capacity)`` column matrices (allocated heap or
+        shared-memory per ``sweep_allocator``), record access is served
+        from them, and :meth:`end_column_sweep` writes the touched rows
+        back in one pass — which is what lets the kernel's cohort repair
+        (:attr:`columns_in_place` + :meth:`column_matrices`) run over a
+        store that otherwise has no live matrices.  Returns ``True`` when a
+        window opened; ``False`` in mmap mode (columns are always in
+        place) or when a window is already open.
+        """
+        self._ensure_open()
+        if self._mm is not None or self._sweep_views is not None:
+            return False
+        from repro.storage.buffers import get_allocator
+
+        allocator = get_allocator(self._sweep_allocator, hint="sweep")
+        capacity = self._capacity
+        area = capacity * self._record_bytes
+        self._file.seek(HEADER_SIZE)
+        raw = self._file.read(area)
+        if len(raw) != area:
+            raise StoreCorruptedError(
+                f"short read of the record area: got {len(raw)} of {area} "
+                "bytes"
+            )
+        distance_offset, sigma_offset, delta_offset = column_offsets(capacity)
+        strides = lambda dtype: (self._record_bytes, dtype.itemsize)  # noqa: E731
+        buffers = []
+        views = []
+        for offset, dtype in (
+            (distance_offset, DISTANCE_DTYPE),
+            (sigma_offset, SIGMA_DTYPE),
+            (delta_offset, DELTA_DTYPE),
+        ):
+            source = np.ndarray(
+                (capacity, capacity),
+                dtype,
+                buffer=raw,
+                offset=offset,
+                strides=strides(dtype),
+            )
+            buffer = allocator.empty((capacity, capacity), dtype)
+            buffer.array[:] = source
+            buffers.append(buffer)
+            views.append(buffer.array)
+        self._bytes_read += area
+        self._sweep_buffers = buffers
+        self._sweep_views = tuple(views)
+        self._sweep_dirty_slots = set()
+        return True
+
+    def end_column_sweep(self) -> None:
+        """Write the window's touched rows back and release its buffers.
+
+        One seek + one contiguous record write per dirty slot — the
+        "write back once per batch" half of the buffered cohort sweep.
+        No-op when no window is open.
+        """
+        if self._sweep_views is None:
+            return
+        dist_buf, sigma_buf, delta_buf = self._sweep_views
+        try:
+            if not self._closed:
+                for slot in sorted(self._sweep_dirty_slots):
+                    self._file.seek(self._record_offset(slot))
+                    self._file.write(
+                        dist_buf[slot].tobytes()
+                        + sigma_buf[slot].tobytes()
+                        + delta_buf[slot].tobytes()
+                    )
+                    self._bytes_written += self._record_bytes
+                self._file.flush()
+        finally:
+            buffers = self._sweep_buffers or []
+            self._sweep_views = None
+            self._sweep_buffers = None
+            self._sweep_dirty_slots = set()
+            for buffer in buffers:
+                buffer.release()
+
+    # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
     def flush(self) -> None:
@@ -581,6 +716,16 @@ class DiskBDStore(BDStore):
         if self._closed:
             return
         self._closed = True
+        if self._sweep_views is not None:
+            # Closing mid-window (error paths) discards the sweep: the file
+            # still holds the last committed batch, which is the consistent
+            # state to leave behind.
+            buffers = self._sweep_buffers or []
+            self._sweep_views = None
+            self._sweep_buffers = None
+            self._sweep_dirty_slots = set()
+            for buffer in buffers:
+                buffer.release()
         self._teardown_maps()
         self._file.flush()
         self._file.close()
@@ -725,6 +870,12 @@ class DiskBDStore(BDStore):
             self._dist_view[slot, slot] = 0
             self._sigma_view[slot, slot] = 1
             self._delta_view[slot, slot] = 0.0
+        elif self._sweep_views is not None:
+            dist_buf, sigma_buf, delta_buf = self._sweep_views
+            dist_buf[slot, slot] = 0
+            sigma_buf[slot, slot] = 1
+            delta_buf[slot, slot] = 0.0
+            self._sweep_dirty_slots.add(slot)
         else:
             distance_offset, sigma_offset, delta_offset = column_offsets(
                 self._capacity
@@ -759,6 +910,11 @@ class DiskBDStore(BDStore):
         atomically replaces the old file, so growth uses O(record) memory
         instead of materialising every decoded record at once.
         """
+        if self._sweep_views is not None:
+            raise ConfigurationError(
+                "the store cannot grow inside an open column-sweep window; "
+                "register the batch's new vertices before begin_column_sweep"
+            )
         old_vertex_count = len(self._index)
         self._index.add(new_vertex)
         new_capacity = max(
@@ -816,6 +972,9 @@ class DiskBDStore(BDStore):
         """Raw columns of ``slot`` under the *current* layout (no accounting)."""
         if self._mm is not None:
             return self._dist_view[slot], self._sigma_view[slot], self._delta_view[slot]
+        if self._sweep_views is not None:
+            dist_buf, sigma_buf, delta_buf = self._sweep_views
+            return dist_buf[slot], sigma_buf[slot], delta_buf[slot]
         self._file.seek(self._record_offset(slot))
         payload = self._file.read(self._record_bytes)
         if len(payload) != self._record_bytes:

@@ -9,6 +9,22 @@ from __future__ import annotations
 import pytest
 
 from repro.graph import Graph
+from repro.storage.buffers import active_segments
+
+
+@pytest.fixture(autouse=True)
+def shm_leak_guard():
+    """Suite-wide guard: no test may leak a ``repro_*`` /dev/shm segment.
+
+    Every shared-memory segment the data plane creates carries the
+    ``repro_`` prefix, so a post-test scan catching a new name means an
+    owner forgot to release (or a crash-reclaim path failed).  Segments
+    that predate the test (e.g. owned by an outer process) are tolerated.
+    """
+    before = set(active_segments())
+    yield
+    leaked = sorted(set(active_segments()) - before)
+    assert not leaked, f"leaked shared-memory segments: {leaked}"
 
 
 @pytest.fixture

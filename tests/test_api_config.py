@@ -207,6 +207,113 @@ class TestShardConfig:
             )
 
 
+class TestRecvTimeoutConfig:
+    """The per-reply worker timeout surfaced as a first-class config field."""
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5, 0.0, True, "fast"])
+    def test_non_positive_or_non_numeric_rejected(self, value):
+        with pytest.raises(ConfigurationError, match="recv_timeout"):
+            BetweennessConfig(
+                executor="process", workers=2, recv_timeout=value
+            )
+
+    def test_only_for_process_and_shard(self):
+        with pytest.raises(ConfigurationError, match="recv_timeout"):
+            BetweennessConfig(recv_timeout=5.0)
+        with pytest.raises(ConfigurationError, match="recv_timeout"):
+            BetweennessConfig(
+                executor="mapreduce", workers=2, recv_timeout=5.0
+            )
+        assert BetweennessConfig(
+            executor="process", workers=2, recv_timeout=5.0
+        ).recv_timeout == 5.0
+        assert BetweennessConfig(
+            executor="shard", workers=2, store="shard:///var/bc?shards=2",
+            recv_timeout=0.25,
+        ).recv_timeout == 0.25
+
+    def test_round_trips(self):
+        config = BetweennessConfig(
+            executor="process", workers=2, recv_timeout=1.5
+        )
+        assert BetweennessConfig.from_dict(config.to_dict()) == config
+        assert BetweennessConfig.from_json(config.to_json()) == config
+
+
+class TestSharedMemoryConfig:
+    """The zero-copy data plane's config surface: field, URI param, refusals."""
+
+    def test_field_and_uri_param_both_enable(self):
+        config = BetweennessConfig(
+            executor="process", workers=2, store="arrays://",
+            shared_memory=True,
+        )
+        assert config.effective_shared_memory
+        config = BetweennessConfig(
+            executor="process", workers=2, store="arrays://?shm=1"
+        )
+        assert not config.shared_memory
+        assert config.effective_shared_memory
+        assert not BetweennessConfig().effective_shared_memory
+
+    def test_shard_uri_takes_the_param_too(self):
+        config = BetweennessConfig(
+            executor="shard", workers=2, store="shard:///var/bc?shards=2&shm=1"
+        )
+        assert config.effective_shared_memory
+
+    def test_contradiction_refused(self):
+        with pytest.raises(ConfigurationError, match="contradicts"):
+            BetweennessConfig(
+                executor="process", workers=2, store="arrays://?shm=0",
+                shared_memory=True,
+            )
+
+    def test_non_boolean_values_refused(self):
+        with pytest.raises(ConfigurationError, match="shared_memory"):
+            BetweennessConfig(shared_memory="yes")
+        with pytest.raises(ConfigurationError, match="shm"):
+            BetweennessConfig(
+                executor="process", workers=2, store="arrays://?shm=maybe"
+            )
+
+    def test_mapreduce_refused(self):
+        with pytest.raises(ConfigurationError, match="mapreduce"):
+            BetweennessConfig(
+                executor="mapreduce", workers=2, shared_memory=True,
+                store="arrays://",
+            )
+
+    def test_serial_needs_a_columnar_store(self):
+        with pytest.raises(ConfigurationError, match="columnar"):
+            BetweennessConfig(shared_memory=True)  # memory:// + dicts
+        assert BetweennessConfig(
+            shared_memory=True, backend="arrays"
+        ).effective_shared_memory
+        assert BetweennessConfig(
+            shared_memory=True, store="arrays://"
+        ).effective_shared_memory
+
+    def test_serial_disk_needs_buffered_mode(self):
+        with pytest.raises(ConfigurationError, match="mmap"):
+            BetweennessConfig(shared_memory=True, store="disk://")
+        config = BetweennessConfig(
+            shared_memory=True, store="disk://?mmap=false", backend="arrays"
+        )
+        assert config.effective_shared_memory
+
+    def test_round_trips(self):
+        config = BetweennessConfig(
+            executor="process", workers=2, store="arrays://?shm=1"
+        )
+        assert BetweennessConfig.from_dict(config.to_dict()) == config
+        config = BetweennessConfig(
+            executor="shard", workers=2, store="shard:///var/bc?shards=2",
+            shared_memory=True, recv_timeout=2.0,
+        )
+        assert BetweennessConfig.from_json(config.to_json()) == config
+
+
 class TestStoreURIs:
     def test_valid_uris_parse(self):
         assert parse_store_uri("memory://").scheme == "memory"

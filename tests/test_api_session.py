@@ -21,6 +21,7 @@ from repro.core import EdgeUpdate, IncrementalBetweenness
 from repro.exceptions import ConfigurationError
 from repro.graph import Graph
 from repro.storage import InMemoryBDStore
+from repro.storage.buffers import active_segments, shm_available
 
 from tests.helpers import assert_scores_equal, random_connected_graph
 
@@ -171,6 +172,104 @@ class TestEquivalenceMatrix:
             assert_scores_equal(
                 session.vertex_betweenness(), reference.vertex_scores, 1e-8
             )
+
+
+@pytest.mark.skipif(not shm_available(), reason="shared memory unavailable")
+class TestSharedMemoryMatrix:
+    """{process, shard} × {directed, undirected} × {shm on, off}.
+
+    The zero-copy data plane is a *wire-format* change only: with
+    ``shared_memory=True`` the same executor must produce scores ``==``
+    its own pickled-dispatch run — not merely close — and must leave
+    ``/dev/shm`` empty afterwards.
+    """
+
+    def _config(self, executor, directed, shared_memory, tmp_path):
+        if executor == "process":
+            return BetweennessConfig(
+                backend="arrays",
+                store="arrays://",
+                batch_size=2,
+                directed=directed,
+                executor="process",
+                workers=2,
+                shared_memory=shared_memory,
+            )
+        root = tmp_path / f"root-{'shm' if shared_memory else 'heap'}"
+        return BetweennessConfig(
+            directed=directed,
+            batch_size=2,
+            executor="shard",
+            workers=2,
+            store=f"shard://{root}?shards=2",
+            shared_memory=shared_memory,
+        )
+
+    def _run(self, graph, config):
+        with BetweennessSession(graph, config) as session:
+            for _ in session.stream(update_stream(graph)):
+                pass
+            return session.vertex_betweenness(), session.edge_betweenness()
+
+    @pytest.mark.parametrize(
+        "directed", [False, True], ids=["undirected", "directed"]
+    )
+    @pytest.mark.parametrize("executor", ["process", "shard"])
+    def test_shm_run_equals_heap_run_bit_identically(
+        self, tmp_path, executor, directed, references
+    ):
+        graph = build_graph(directed)
+        heap = self._run(graph, self._config(executor, directed, False, tmp_path))
+        shm = self._run(graph, self._config(executor, directed, True, tmp_path))
+        assert shm[0] == heap[0]
+        assert shm[1] == heap[1]
+        assert active_segments() == []
+        # And both agree with the serial reference within merge tolerance.
+        expected_vertex, expected_edge = references[(directed, 2)]
+        assert_scores_equal(shm[0], expected_vertex, MERGE_TOLERANCE, "vertex")
+        assert_scores_equal(shm[1], expected_edge, MERGE_TOLERANCE, "edge")
+
+    def test_uri_param_is_the_same_switch(self, tmp_path):
+        graph = build_graph(False)
+        flagged = self._run(graph, self._config("process", False, True, tmp_path))
+        via_uri = self._run(
+            graph,
+            BetweennessConfig(
+                backend="arrays",
+                store="arrays://?shm=1",
+                batch_size=2,
+                executor="process",
+                workers=2,
+            ),
+        )
+        assert via_uri == flagged
+        assert active_segments() == []
+
+
+class TestRecvTimeoutThreading:
+    """config.recv_timeout must reach the executor that enforces it."""
+
+    def test_reaches_process_executor(self, path5):
+        config = BetweennessConfig(
+            executor="process", workers=2, recv_timeout=30.0
+        )
+        with BetweennessSession(path5, config) as session:
+            assert session._cluster._recv_timeout == 30.0
+
+    def test_reaches_shard_coordinator(self, path5, tmp_path):
+        config = BetweennessConfig(
+            executor="shard",
+            workers=2,
+            store=f"shard://{tmp_path / 'root'}?shards=2",
+            recv_timeout=45.0,
+        )
+        with BetweennessSession(path5, config) as session:
+            assert session._cluster._recv_timeout == 45.0
+
+    def test_defaults_to_wait_forever(self, path5):
+        config = BetweennessConfig(executor="process", workers=2)
+        with BetweennessSession(path5, config) as session:
+            assert session._cluster._recv_timeout is None
 
 
 class RecordingSubscriber(SessionSubscriber):

@@ -37,6 +37,7 @@ from repro.core import EdgeUpdate, IncrementalBetweenness
 from repro.core import jit
 from repro.graph import Graph
 from repro.storage import DiskBDStore
+from repro.storage.buffers import active_segments, shm_available
 
 settings.register_profile(
     "repro-repair-vectorized",
@@ -244,6 +245,82 @@ class TestHypothesisStreams:
         directed = data.draw(st.booleans())
         graph, batches = data.draw(batched_stream(directed))
         run_differential(graph, batches, store_kind)
+
+
+@pytest.mark.parametrize("sweep_allocator", ["heap", "shm"])
+@pytest.mark.parametrize("directed", [False, True], ids=["undirected", "directed"])
+@pytest.mark.parametrize("case", sorted(ADVERSARIAL_CASES))
+class TestBufferedCohortSweep:
+    """The buffered (non-mmap) disk path's per-batch column-sweep window.
+
+    Without mmap there are no zero-copy column views, so the framework
+    opens a *sweep window* per batch: the record area is materialized once
+    into allocator buffers (heap or shared-memory), the cohort sweep runs
+    in place against them, and dirty slots are written back as whole
+    records when the window closes.  Scores and records must stay ``==``
+    the mmap path's, and shm windows must release every segment.
+    """
+
+    def test_buffered_window_equals_mmap(
+        self, case, directed, sweep_allocator, tmp_path
+    ):
+        if sweep_allocator == "shm" and not shm_available():
+            pytest.skip("shared memory unavailable")
+        n, edges, batches = ADVERSARIAL_CASES[case]
+        mmap_fw = IncrementalBetweenness(
+            build_graph(n, edges, directed),
+            store=DiskBDStore(
+                list(range(n)),
+                path=tmp_path / "mmap.bin",
+                use_mmap=True,
+                directed=directed,
+            ),
+            backend="arrays",
+        )
+        buffered_store = DiskBDStore(
+            list(range(n)),
+            path=tmp_path / "buffered.bin",
+            use_mmap=False,
+            directed=directed,
+            sweep_allocator=sweep_allocator,
+        )
+        buffered = IncrementalBetweenness(
+            build_graph(n, edges, directed), store=buffered_store, backend="arrays"
+        )
+        # Witness that the window really opens (and closes) every batch —
+        # without it the buffered leg silently degrades to per-record I/O.
+        windows = {"opened": 0}
+        original = buffered_store.begin_column_sweep
+
+        def spy():
+            opened = original()
+            windows["opened"] += int(opened)
+            return opened
+
+        buffered_store.begin_column_sweep = spy
+        try:
+            for i, batch in enumerate(batches):
+                mmap_fw.apply_updates(list(batch))
+                buffered.apply_updates(list(batch))
+                context = f"{case} batch {i}"
+                assert (
+                    buffered.vertex_betweenness() == mmap_fw.vertex_betweenness()
+                ), context
+                assert (
+                    buffered.edge_betweenness() == mmap_fw.edge_betweenness()
+                ), context
+                for source in mmap_fw.store.sources():
+                    ours = buffered_store.get(source)
+                    theirs = mmap_fw.store.get(source)
+                    assert ours.distance == theirs.distance, context
+                    assert ours.sigma == theirs.sigma, context
+                    assert ours.delta == theirs.delta, context
+            assert windows["opened"] == len(batches)
+        finally:
+            buffered_store.close()
+            mmap_fw.store.close()
+        if sweep_allocator == "shm":
+            assert active_segments() == []
 
 
 class TestScalarVectorDifferential:

@@ -34,6 +34,7 @@ from repro.core.updates import UpdateKind, validate_batch
 from repro.graph import Graph
 from repro.parallel import ShardCoordinator
 from repro.parallel.mapreduce import merge_partial_scores
+from repro.storage.buffers import active_segments, shm_available
 from repro.storage.partition import partition_sources
 from repro.storage.shard import ShardLayout, pick_shard
 
@@ -104,7 +105,7 @@ def update_stream(graph: Graph, length: int = STREAM_LENGTH, seed: int = 32):
     return updates
 
 
-def shard_run(graph, root, updates, chaos=None, events=None):
+def shard_run(graph, root, updates, chaos=None, events=None, shared_memory=False):
     """One full coordinator run (batch size 1); returns both score dicts."""
     layout = ShardLayout(
         root=root, num_shards=NUM_SHARDS, checkpoint_every=CHECKPOINT_EVERY
@@ -112,7 +113,9 @@ def shard_run(graph, root, updates, chaos=None, events=None):
     notify = None
     if events is not None:
         notify = lambda kind, **fields: events.append((kind, fields))
-    with ShardCoordinator(graph, layout, notify=notify, chaos=chaos) as coordinator:
+    with ShardCoordinator(
+        graph, layout, notify=notify, chaos=chaos, shared_memory=shared_memory
+    ) as coordinator:
         for update in updates:
             coordinator.apply_batch([update])
         return coordinator.betweenness()
@@ -257,6 +260,104 @@ class TestHarderKillSchedules:
         assert chaotic[1] == clean[1]
         recovered = sorted(f["shard"] for kind, f in events if kind == "shard_recovered")
         assert recovered == [1, 2]
+
+
+@pytest.mark.skipif(not shm_available(), reason="shared memory unavailable")
+class TestShmChaos:
+    """The zero-copy data plane under fire: workers die *while attached* to
+    the driver's shared segments (graph seed, update ring); recovery must
+    stay bit-identical and the namespace must come back empty."""
+
+    def test_clean_shm_run_matches_heap_run_exactly(self, tmp_path):
+        graph = build_graph(directed=False)
+        updates = update_stream(graph)
+        heap = shard_run(graph, tmp_path / "heap", updates)
+        shm = shard_run(graph, tmp_path / "shm", updates, shared_memory=True)
+        assert shm[0] == heap[0]
+        assert shm[1] == heap[1]
+        assert active_segments() == []
+
+    @pytest.mark.parametrize("when", ["before", "after"])
+    def test_kill_while_attached_is_bit_identical(self, tmp_path, when):
+        """Chaos-kill a worker mid-batch with shared memory on: the dead
+        worker's mappings die with it, the replacement re-attaches to the
+        live ring/label state, and scores still ``==`` the heap run's."""
+        graph = build_graph(directed=False)
+        updates = update_stream(graph)
+        rng = random.Random(KILL_SEED)
+        kill_cursor = rng.randrange(len(updates))
+        kill_shard = rng.randrange(NUM_SHARDS)
+
+        clean = shard_run(graph, tmp_path / "clean", updates)
+        events = []
+        chaotic = shard_run(
+            graph,
+            tmp_path / "chaos",
+            updates,
+            chaos={kill_shard: {"cursor": kill_cursor, "when": when}},
+            events=events,
+            shared_memory=True,
+        )
+        assert chaotic[0] == clean[0]
+        assert chaotic[1] == clean[1]
+        recovered = [f["shard"] for kind, f in events if kind == "shard_recovered"]
+        assert recovered == [kill_shard]
+        # No segment survives the run — neither the driver's (released at
+        # close) nor any the dead worker held mappings into.
+        assert active_segments() == []
+
+    def test_external_sigkill_while_attached_reclaims_segments(self, tmp_path):
+        """SIGKILL from outside (no chaos cooperation) while the worker is
+        attached; the coordinator must reclaim whatever the dead process
+        owned and finish with exact scores."""
+        graph = build_graph(directed=False)
+        updates = update_stream(graph)
+        clean = shard_run(graph, tmp_path / "clean", updates)
+
+        layout = ShardLayout(
+            root=tmp_path / "shm",
+            num_shards=NUM_SHARDS,
+            checkpoint_every=CHECKPOINT_EVERY,
+        )
+        with ShardCoordinator(graph, layout, shared_memory=True) as coordinator:
+            for update in updates[:3]:
+                coordinator.apply_batch([update])
+            victim = coordinator._handles[2]
+            os.kill(victim.process.pid, signal.SIGKILL)
+            victim.process.join(timeout=10.0)
+            for update in updates[3:]:
+                coordinator.apply_batch([update])
+            chaotic = coordinator.betweenness()
+        assert chaotic[0] == clean[0]
+        assert chaotic[1] == clean[1]
+        assert active_segments() == []
+
+    def test_resume_with_shared_memory(self, tmp_path):
+        """A heap-written root resumes onto the shm data plane (and the
+        other way round): the wire format is a session choice, not a
+        property of the durable state."""
+        graph = build_graph(directed=False)
+        updates = update_stream(graph)
+        root = tmp_path / "shards"
+        layout = ShardLayout(
+            root=root, num_shards=NUM_SHARDS, checkpoint_every=CHECKPOINT_EVERY
+        )
+        with ShardCoordinator(graph, layout) as coordinator:
+            for update in updates[:5]:
+                coordinator.apply_batch([update])
+
+        resumed = ShardCoordinator.resume(root, shared_memory=True)
+        try:
+            assert resumed.shared_memory
+            for update in updates[5:]:
+                resumed.apply_batch([update])
+            vertex, edge = resumed.betweenness()
+        finally:
+            resumed.close()
+        ref_vertex, ref_edge = per_shard_serial_reference(graph, updates)
+        assert vertex == ref_vertex
+        assert edge == ref_edge
+        assert active_segments() == []
 
 
 class TestSessionLevelFaults:

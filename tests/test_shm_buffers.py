@@ -1,0 +1,380 @@
+"""Unit tests for the zero-copy data plane's lowest layers.
+
+Covers the buffer seam (:mod:`repro.storage.buffers`), the dispatch plane
+(:mod:`repro.parallel.dataplane`) and the shared-memory export/attach
+surface of :class:`~repro.storage.arrays.ArrayBDStore`:
+
+* descriptor round-trips and size accounting,
+* ownership (creators unlink, attachers only close),
+* generation stamps refusing stale descriptor bundles,
+* growth republishing a new segment generation,
+* the crash-reclaim sweep for segments owned by a SIGKILLed process,
+* ring append/rotate/read and label-table replication.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms.brandes import SourceData
+from repro.core import EdgeUpdate
+from repro.exceptions import ConfigurationError, StorageError
+from repro.parallel.dataplane import (
+    DEFAULT_RING_CAPACITY,
+    LabelTable,
+    RingReader,
+    UpdateRing,
+    decode_rows,
+    encode_batch,
+)
+from repro.storage.arrays import ArrayBDStore
+from repro.storage.buffers import (
+    GenerationStamp,
+    HeapAllocator,
+    ShmAllocator,
+    ShmDescriptor,
+    active_segments,
+    attach,
+    attach_bundle,
+    get_allocator,
+    owned_segment_names,
+    reclaim_process_segments,
+    shm_available,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+
+class TestShmDescriptor:
+    def test_payload_round_trip(self):
+        descriptor = ShmDescriptor(
+            name="repro_test", dtype="<f8", shape=(3, 4), generation=7
+        )
+        rebuilt = ShmDescriptor.from_payload(descriptor.to_payload())
+        assert rebuilt == descriptor
+
+    def test_nbytes_matches_numpy(self):
+        descriptor = ShmDescriptor(name="x", dtype="<i8", shape=(5, 3))
+        assert descriptor.nbytes == np.empty((5, 3), dtype="<i8").nbytes
+
+    def test_payload_is_plain_data(self):
+        payload = ShmDescriptor(name="x", dtype="<i4", shape=(2,)).to_payload()
+        assert payload == {
+            "name": "x", "dtype": "<i4", "shape": [2], "generation": 0
+        }
+
+
+class TestHeapAllocator:
+    def test_not_shared_and_no_descriptor(self):
+        buffer = HeapAllocator().zeros((4,), np.int64)
+        assert not buffer.shared
+        assert buffer.segment_name is None
+        with pytest.raises(StorageError):
+            buffer.descriptor()
+        buffer.release()  # no-op, must not raise
+        buffer.release()  # idempotent
+
+    def test_get_allocator_defaults_to_heap(self):
+        assert get_allocator(None).kind == "heap"
+        assert get_allocator("heap").kind == "heap"
+        with pytest.raises(ConfigurationError):
+            get_allocator("mystery")
+
+
+class TestShmOwnership:
+    def test_attacher_sees_owner_writes(self):
+        owner = ShmAllocator(hint="t").zeros((8,), np.float64)
+        try:
+            owner.array[:] = np.arange(8.0)
+            attached = attach(owner.descriptor())
+            assert np.array_equal(attached.array, np.arange(8.0))
+            attached.release()
+        finally:
+            owner.release()
+
+    def test_attach_is_read_only_by_default(self):
+        owner = ShmAllocator(hint="t").zeros((4,), np.int64)
+        try:
+            attached = attach(owner.descriptor())
+            with pytest.raises((ValueError, RuntimeError)):
+                attached.array[0] = 1
+            attached.release()
+            writable = attach(owner.descriptor(), writable=True)
+            writable.array[0] = 99
+            writable.release()
+            assert owner.array[0] == 99
+        finally:
+            owner.release()
+
+    def test_attacher_release_does_not_unlink(self):
+        owner = ShmAllocator(hint="t").zeros((4,), np.int64)
+        try:
+            descriptor = owner.descriptor()
+            attach(descriptor).release()
+            # The segment must still be attachable: only the owner unlinks.
+            again = attach(descriptor)
+            again.release()
+        finally:
+            owner.release()
+
+    def test_owner_release_unlinks(self):
+        owner = ShmAllocator(hint="t").zeros((4,), np.int64)
+        descriptor = owner.descriptor()
+        owner.release()
+        with pytest.raises(StorageError):
+            attach(descriptor)
+
+    def test_size_mismatch_refused(self):
+        owner = ShmAllocator(hint="t").zeros((4,), np.int64)
+        try:
+            descriptor = ShmDescriptor(
+                name=owner.segment_name, dtype="<i8", shape=(1 << 20,)
+            )
+            with pytest.raises(StorageError):
+                attach(descriptor)
+        finally:
+            owner.release()
+
+    def test_leak_registry_tracks_ownership(self):
+        buffer = ShmAllocator(hint="t").zeros((4,), np.int64)
+        name = buffer.segment_name
+        assert name in owned_segment_names()
+        assert name in active_segments()
+        buffer.release()
+        assert name not in owned_segment_names()
+        assert name not in active_segments()
+
+
+class TestGenerationStamp:
+    def test_check_passes_then_refuses_after_bump(self):
+        stamp = GenerationStamp.create("t")
+        try:
+            GenerationStamp.check(stamp.name, 0)
+            stamp.bump()
+            assert stamp.value == 1
+            GenerationStamp.check(stamp.name, 1)
+            with pytest.raises(ConfigurationError):
+                GenerationStamp.check(stamp.name, 0)
+        finally:
+            stamp.release()
+
+    def test_check_refuses_when_publisher_gone(self):
+        stamp = GenerationStamp.create("t")
+        name = stamp.name
+        stamp.release()
+        with pytest.raises(ConfigurationError):
+            GenerationStamp.check(name, 0)
+
+
+class TestAttachBundle:
+    def test_mixed_generations_refused(self):
+        descriptors = [
+            ShmDescriptor(name="a", dtype="<i8", shape=(1,), generation=0),
+            ShmDescriptor(name="b", dtype="<i8", shape=(1,), generation=1),
+        ]
+        with pytest.raises(ConfigurationError):
+            attach_bundle(descriptors)
+
+    def test_partial_failure_closes_everything(self):
+        owner = ShmAllocator(hint="t").zeros((4,), np.int64)
+        try:
+            good = owner.descriptor()
+            gone = ShmDescriptor(name="repro_never_existed", dtype="<i8", shape=(1,))
+            with pytest.raises(StorageError):
+                attach_bundle([good, gone])
+        finally:
+            owner.release()
+
+
+class TestArrayStoreExport:
+    def _store(self):
+        return ArrayBDStore(["a", "b", "c"], capacity=4, allocator="shm")
+
+    def test_heap_store_refuses_export(self):
+        store = ArrayBDStore(["a", "b"], capacity=2)
+        with pytest.raises(ConfigurationError):
+            store.export_column_descriptors()
+        store.close()
+
+    def test_attach_round_trip(self):
+        store = self._store()
+        try:
+            store.put(SourceData(
+                source="a",
+                distance={"a": 0, "b": 1, "c": 2},
+                sigma={"a": 1, "b": 1, "c": 1},
+                delta={"a": 0.0, "b": 0.5, "c": 0.0},
+            ))
+            attached = ArrayBDStore.attach(store.export_column_descriptors())
+            try:
+                theirs, ours = attached.get("a"), store.get("a")
+                assert theirs.distance == ours.distance
+                assert theirs.sigma == ours.sigma
+                assert theirs.delta == ours.delta
+            finally:
+                attached.close()
+        finally:
+            store.close()
+
+    def test_growth_republishes_and_refuses_stale(self):
+        store = self._store()
+        try:
+            before = store.generation
+            stale = store.export_column_descriptors()
+            # Register enough vertices to outgrow capacity=4 and force a
+            # re-allocation (hence a generation bump + stamp bump).
+            for extra in "defgh":
+                store.register_vertex(extra)
+            assert store.generation > before
+            with pytest.raises(ConfigurationError):
+                ArrayBDStore.attach(stale)
+            fresh = ArrayBDStore.attach(store.export_column_descriptors())
+            fresh.close()
+        finally:
+            store.close()
+
+
+class TestCrashReclaim:
+    def test_sigkilled_owner_segments_are_reclaimed(self):
+        """A worker SIGKILLed while owning segments cannot clean up; the
+        supervisor's pid-marker sweep must."""
+        # Spawn the resource tracker *before* forking: a child that lazily
+        # spawns its own tracker leaves an orphan process holding inherited
+        # pipe fds after the SIGKILL (which can wedge the test harness),
+        # and that private tracker would race this test's reclaim sweep.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+        context = multiprocessing.get_context("fork")
+        # Plain pipe + sleep, NOT a multiprocessing.Event: SIGKILLing a
+        # process that sleeps inside Event.wait leaves the condition's
+        # shared semaphores unacknowledged and deadlocks the parent's
+        # eventual set() — exactly the lock-free design constraint the
+        # production data plane obeys (workers never hold driver locks).
+        parent_end, child_end = context.Pipe(duplex=False)
+
+        def child(conn):
+            buffer = ShmAllocator(hint="orphan").zeros((16,), np.int64)
+            conn.send(buffer.segment_name)
+            conn.close()
+            time.sleep(60.0)
+            buffer.release()  # never reached: parent SIGKILLs us
+
+        process = context.Process(target=child, args=(child_end,))
+        process.start()
+        child_end.close()
+        try:
+            assert parent_end.poll(10.0), "child never created its segment"
+            created = parent_end.recv()
+            marker = f"-p{process.pid:x}-"
+            orphans = [n for n in active_segments() if marker in n]
+            assert created in orphans
+            os.kill(process.pid, signal.SIGKILL)
+            process.join(10.0)
+            # SIGKILL skips atexit: the segments are orphaned...
+            assert [n for n in active_segments() if marker in n] == orphans
+            # ...until the supervisor sweeps the namespace for the pid.
+            reclaimed = reclaim_process_segments(process.pid)
+            assert sorted(reclaimed) == sorted(orphans)
+            assert [n for n in active_segments() if marker in n] == []
+        finally:
+            if process.is_alive():  # pragma: no cover - only on assert failure
+                process.kill()
+                process.join(5.0)
+            parent_end.close()
+
+
+class TestLabelTable:
+    def test_intern_and_extend_replicate(self):
+        driver = LabelTable(["a", "b"])
+        worker = LabelTable(["a", "b"])
+        assert driver.intern("c") == (2, True)
+        assert driver.intern("a") == (0, False)
+        worker.extend(["c"])
+        assert worker.labels() == driver.labels()
+        assert worker.id_of("c") == 2
+
+    def test_extend_is_idempotent(self):
+        """A replacement worker seeded with the current table receives the
+        in-flight batch's label announcement again; ids must not shift."""
+        table = LabelTable(["a", "b", "c"])
+        table.extend(["b", "c", "d"])
+        assert table.labels() == ["a", "b", "c", "d"]
+        table.extend(["b", "c", "d"])
+        assert table.labels() == ["a", "b", "c", "d"]
+
+
+class TestUpdateRing:
+    def _batch(self):
+        return [
+            EdgeUpdate.addition("a", "b"),
+            EdgeUpdate.removal("b", "c"),
+            EdgeUpdate.addition("c", "d"),
+        ]
+
+    def test_encode_decode_round_trip(self):
+        driver = LabelTable(["a", "b", "c"])
+        worker = LabelTable(["a", "b", "c"])
+        rows, new_labels = encode_batch(driver, self._batch())
+        assert new_labels == ["d"]
+        worker.extend(new_labels)
+        assert decode_rows(rows, worker) == self._batch()
+
+    def test_dispatch_through_ring(self):
+        table = LabelTable(["a", "b", "c", "d"])
+        ring = UpdateRing(capacity=16)
+        try:
+            reader = RingReader(ring.payload())
+            rows, _ = encode_batch(table, self._batch())
+            start, length, rotated = ring.append(rows)
+            assert (start, length, rotated) == (0, 3, None)
+            assert decode_rows(reader.read(start, length), table) == self._batch()
+            reader.release()
+        finally:
+            ring.release()
+
+    def test_rotation_doubles_and_reattaches(self):
+        table = LabelTable(["a", "b"])
+        ring = UpdateRing(capacity=16)
+        try:
+            reader = RingReader(ring.payload())
+            rows = np.tile(
+                encode_batch(table, [EdgeUpdate.addition("a", "b")])[0], (10, 1)
+            )
+            ring.append(rows)
+            start, length, rotated = ring.append(rows)  # 20 > 16: rotate
+            assert rotated is not None
+            assert ring.generation == 1
+            assert ring.capacity >= 32
+            assert start == 0 and length == 10
+            reader.reattach(rotated)
+            assert np.array_equal(reader.read(start, length), rows)
+            reader.release()
+        finally:
+            ring.release()
+
+    def test_reattach_same_generation_is_noop(self):
+        ring = UpdateRing(capacity=16)
+        try:
+            reader = RingReader(ring.payload())
+            mapping = reader._buffer
+            reader.reattach(ring.payload())
+            assert reader._buffer is mapping
+            reader.release()
+        finally:
+            ring.release()
+
+    def test_default_capacity(self):
+        ring = UpdateRing()
+        try:
+            assert ring.capacity == DEFAULT_RING_CAPACITY
+        finally:
+            ring.release()
