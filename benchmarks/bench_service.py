@@ -1,0 +1,340 @@
+"""Service front end under load: ingest throughput, read latency, SSE fan-out.
+
+A raw-asyncio load generator against a real :class:`ServiceServer` on a
+loopback socket (the dependency-free transport — no HTTP library in the
+measurement path), reporting:
+
+* **sustained updates/sec** — concurrent writer clients posting edge-update
+  batches to one session; the single-writer worker serializes them, so this
+  is the end-to-end ingest rate including HTTP framing, validation and the
+  checkpoint cadence;
+* **read latency** — top-k requests from concurrent reader clients while a
+  writer streams updates, reported as p50/p99 (batch-boundary reads racing
+  the writer, the service's locking contract under fire);
+* **SSE fan-out** — N subscribers on one session's event stream while
+  batches land; every subscriber must see every batch frame, in order,
+  with no ``lagged`` markers at this rate.
+
+Results are printed and written to ``BENCH_service.json`` at the repository
+root.  Run directly (``PYTHONPATH=src python benchmarks/bench_service.py``)
+for the full configuration, or with ``--smoke`` (CI) for a small one with
+hard floors asserted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import math
+import platform
+import random
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.service import ServiceClient, ServiceServer, ServiceSettings
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUTPUT_PATH = REPO_ROOT / "BENCH_service.json"
+
+FULL = {
+    "vertices": 200,
+    "writers": 4,
+    "batches_per_writer": 30,
+    "batch_size": 4,
+    "checkpoint_every": 8,
+    "readers": 4,
+    "reads_per_reader": 50,
+    "subscribers": 16,
+    "fanout_batches": 30,
+}
+SMOKE = {
+    "vertices": 80,
+    "writers": 2,
+    "batches_per_writer": 10,
+    "batch_size": 3,
+    "checkpoint_every": 5,
+    "readers": 2,
+    "reads_per_reader": 15,
+    "subscribers": 8,
+    "fanout_batches": 10,
+}
+
+#: Smoke floors — deliberately far below any healthy run (CI machines are
+#: noisy); a breach means the service path regressed catastrophically.
+SMOKE_FLOOR_UPDATES_PER_SECOND = 5.0
+SMOKE_CEILING_READ_P99_SECONDS = 2.0
+
+
+def base_edges(num_vertices: int, seed: int = 11):
+    """Random connected graph: spanning tree plus two extra edges per
+    vertex.  (Deliberately not a ring/path — those are the incremental
+    kernel's worst case and would measure repair cost, not service
+    overhead.)"""
+    rng = random.Random(seed)
+    edges = {(rng.randrange(v), v) for v in range(1, num_vertices)}
+    added = 0
+    while added < 2 * num_vertices:
+        u, v = rng.sample(range(num_vertices), 2)
+        key = (u, v) if u < v else (v, u)
+        if key not in edges:
+            edges.add(key)
+            added += 1
+    return [list(edge) for edge in sorted(edges)]
+
+
+def fresh_edge_batches(writer: int, count: int, size: int, num_vertices: int):
+    """Unique vertex-birth additions per writer — no batch can conflict."""
+    base = 100_000 * (writer + 1)
+    return [
+        [
+            ("add", (batch * size + i) % num_vertices, base + batch * size + i)
+            for i in range(size)
+        ]
+        for batch in range(count)
+    ]
+
+
+def percentile(latencies, fraction: float) -> float:
+    ranked = sorted(latencies)
+    index = max(0, math.ceil(fraction * len(ranked)) - 1)
+    return ranked[index]
+
+
+async def bench_ingest(port: int, config: dict) -> dict:
+    async with ServiceClient("127.0.0.1", port) as admin:
+        await admin.create_session(
+            "ingest",
+            edges=base_edges(config["vertices"]),
+            config={"backend": "arrays"},
+            checkpoint_every=config["checkpoint_every"],
+        )
+
+        async def writer(index: int) -> int:
+            applied = 0
+            batches = fresh_edge_batches(
+                index,
+                config["batches_per_writer"],
+                config["batch_size"],
+                config["vertices"],
+            )
+            async with ServiceClient("127.0.0.1", port) as client:
+                for batch in batches:
+                    summary = await client.post_updates("ingest", batch)
+                    applied += summary["applied"]
+            return applied
+
+        start = time.perf_counter()
+        applied = await asyncio.gather(
+            *(writer(i) for i in range(config["writers"]))
+        )
+        elapsed = time.perf_counter() - start
+        final = await admin.expect("GET", "/sessions/ingest")
+        await admin.delete_session("ingest", purge=True)
+    total_updates = sum(applied)
+    total_batches = config["writers"] * config["batches_per_writer"]
+    assert final["batches_applied"] == total_batches
+    report = {
+        "writers": config["writers"],
+        "batches": total_batches,
+        "updates": total_updates,
+        "elapsed_seconds": elapsed,
+        "updates_per_second": total_updates / elapsed,
+        "batches_per_second": total_batches / elapsed,
+    }
+    print(
+        f"ingest: {total_updates} updates / {total_batches} batches from "
+        f"{config['writers']} writers in {elapsed:6.2f}s "
+        f"→ {report['updates_per_second']:8.1f} updates/s"
+    )
+    return report
+
+
+async def bench_read_latency(port: int, config: dict) -> dict:
+    async with ServiceClient("127.0.0.1", port) as admin:
+        await admin.create_session(
+            "reads",
+            edges=base_edges(config["vertices"]),
+            config={"backend": "arrays"},
+            checkpoint_every=config["checkpoint_every"],
+        )
+        stop = asyncio.Event()
+
+        async def background_writer() -> None:
+            batches = fresh_edge_batches(
+                0, 10_000, config["batch_size"], config["vertices"]
+            )
+            async with ServiceClient("127.0.0.1", port) as client:
+                for batch in batches:
+                    if stop.is_set():
+                        return
+                    await client.post_updates("reads", batch)
+
+        async def reader() -> list:
+            latencies = []
+            async with ServiceClient("127.0.0.1", port) as client:
+                for _ in range(config["reads_per_reader"]):
+                    begin = time.perf_counter()
+                    payload = await client.top_k("reads", k=10)
+                    latencies.append(time.perf_counter() - begin)
+                    assert len(payload["top"]) == 10
+            return latencies
+
+        writer_task = asyncio.create_task(background_writer())
+        per_reader = await asyncio.gather(
+            *(reader() for _ in range(config["readers"]))
+        )
+        stop.set()
+        await writer_task
+        await admin.delete_session("reads", purge=True)
+    latencies = [latency for chunk in per_reader for latency in chunk]
+    report = {
+        "readers": config["readers"],
+        "reads": len(latencies),
+        "p50_seconds": percentile(latencies, 0.50),
+        "p99_seconds": percentile(latencies, 0.99),
+        "max_seconds": max(latencies),
+    }
+    print(
+        f"reads:  {report['reads']} top-k reads under a live writer "
+        f"→ p50 {report['p50_seconds'] * 1e3:6.1f}ms  "
+        f"p99 {report['p99_seconds'] * 1e3:6.1f}ms"
+    )
+    return report
+
+
+async def bench_sse_fanout(port: int, config: dict) -> dict:
+    async with ServiceClient("127.0.0.1", port) as admin:
+        await admin.create_session(
+            "events",
+            edges=base_edges(config["vertices"]),
+            config={"backend": "arrays"},
+            # Far beyond the batch count: only batch_applied frames flow,
+            # so every subscriber expects exactly fanout_batches frames.
+            checkpoint_every=10 ** 6,
+        )
+        expected = config["fanout_batches"]
+
+        async def subscriber() -> dict:
+            frames = []
+            client = ServiceClient("127.0.0.1", port)
+            try:
+                async for frame in client.events("events", max_frames=expected):
+                    frames.append(frame)
+            finally:
+                await client.close()
+            indexes = [
+                f["batch_index"]
+                for f in frames
+                if f["type"] == "batch_applied"
+            ]
+            return {
+                "frames": len(frames),
+                "in_order": indexes == sorted(indexes),
+                "lagged": sum(1 for f in frames if f["type"] == "lagged"),
+            }
+
+        subscriber_tasks = [
+            asyncio.create_task(subscriber())
+            for _ in range(config["subscribers"])
+        ]
+        await asyncio.sleep(0.2)  # let every stream attach
+
+        start = time.perf_counter()
+        async with ServiceClient("127.0.0.1", port) as writer:
+            for batch in fresh_edge_batches(
+                7, expected, config["batch_size"], config["vertices"]
+            ):
+                await writer.post_updates("events", batch)
+        outcomes = await asyncio.wait_for(
+            asyncio.gather(*subscriber_tasks), timeout=60
+        )
+        elapsed = time.perf_counter() - start
+        await admin.delete_session("events", purge=True)
+    delivered = sum(o["frames"] for o in outcomes)
+    report = {
+        "subscribers": config["subscribers"],
+        "batches": expected,
+        "frames_delivered": delivered,
+        "complete": all(o["frames"] == expected for o in outcomes),
+        "in_order": all(o["in_order"] for o in outcomes),
+        "lagged_frames": sum(o["lagged"] for o in outcomes),
+        "elapsed_seconds": elapsed,
+        "frames_per_second": delivered / elapsed,
+    }
+    print(
+        f"sse:    {delivered} frames to {config['subscribers']} subscribers "
+        f"in {elapsed:6.2f}s → {report['frames_per_second']:8.1f} frames/s "
+        f"(complete: {report['complete']}, in order: {report['in_order']})"
+    )
+    return report
+
+
+async def run(config: dict) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        server = ServiceServer(ServiceSettings(root=Path(tmp)))
+        port = await server.start(host="127.0.0.1", port=0)
+        try:
+            ingest = await bench_ingest(port, config)
+            reads = await bench_read_latency(port, config)
+            fanout = await bench_sse_fanout(port, config)
+        finally:
+            await server.stop()
+    return {
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "config": config,
+        "ingest": ingest,
+        "read_latency": reads,
+        "sse_fanout": fanout,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="small CI configuration"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=OUTPUT_PATH,
+        help=f"where to write the JSON report (default: {OUTPUT_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    report = asyncio.run(run(SMOKE if args.smoke else FULL))
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+
+    fanout = report["sse_fanout"]
+    assert fanout["complete"], "a subscriber missed batch frames"
+    assert fanout["in_order"], "a subscriber saw out-of-order batch frames"
+    assert fanout["lagged_frames"] == 0, (
+        f"{fanout['lagged_frames']} lagged frames at benchmark rate"
+    )
+    if args.smoke:
+        ups = report["ingest"]["updates_per_second"]
+        p99 = report["read_latency"]["p99_seconds"]
+        assert ups >= SMOKE_FLOOR_UPDATES_PER_SECOND, (
+            f"ingest floor breached: {ups:.1f} < "
+            f"{SMOKE_FLOOR_UPDATES_PER_SECOND} updates/s"
+        )
+        assert p99 <= SMOKE_CEILING_READ_P99_SECONDS, (
+            f"read p99 ceiling breached: {p99:.3f}s > "
+            f"{SMOKE_CEILING_READ_P99_SECONDS}s"
+        )
+        print(
+            f"OK: {ups:.1f} updates/s (floor {SMOKE_FLOOR_UPDATES_PER_SECOND}), "
+            f"read p99 {p99 * 1e3:.1f}ms "
+            f"(ceiling {SMOKE_CEILING_READ_P99_SECONDS * 1e3:.0f}ms)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ Typical use::
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
@@ -51,7 +52,7 @@ from repro.api.events import (
 from repro.core.checkpoint import load_checkpoint
 from repro.core.framework import IncrementalBetweenness
 from repro.core.updates import EdgeUpdate, batches
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, StorageError, SubscriberError
 from repro.graph.graph import Graph
 from repro.parallel.executor import ProcessParallelBetweenness
 from repro.parallel.mapreduce import MapReduceBetweenness
@@ -100,6 +101,20 @@ class BetweennessSession:
         :class:`~repro.storage.base.BDStore` (the deprecation shims and
         some tests); overrides the config's store URI.  Serial executor
         only.
+
+    **Thread-safety contract.**  Every state transition (``apply``,
+    ``apply_batch``, ``checkpoint``, ``close``) and every read
+    (``vertex_betweenness``, ``edge_betweenness``, ``top_k``,
+    ``snapshot``) runs under one internal re-entrant lock.  Readers in
+    other threads therefore always observe a *batch-boundary* view: the
+    scores either from before or from after any concurrently applied
+    batch, never a half-repaired intermediate.  Writes are still expected
+    to come from one writer at a time (the service layer funnels them
+    through a single worker per session); the lock makes concurrent
+    *readers* safe against that writer, and makes ``close`` safe to call
+    from any thread — including concurrently with a pending checkpoint,
+    which it waits out.  The lock is re-entrant so subscribers may query
+    or checkpoint the session from inside an event handler.
     """
 
     def __init__(
@@ -125,6 +140,7 @@ class BetweennessSession:
         self._batch_index = 0
         self._batches_since_checkpoint = 0
         self._closed = False
+        self._state_lock = threading.RLock()
         self._framework: Optional[IncrementalBetweenness] = None
         self._cluster = None
         # Registered before the bootstrap runs, so constructor-passed
@@ -222,6 +238,7 @@ class BetweennessSession:
         self._batch_index = 0
         self._batches_since_checkpoint = 0
         self._closed = False
+        self._state_lock = threading.RLock()
         self._framework = framework
         self._cluster = None
         for subscriber in subscribers:
@@ -249,6 +266,7 @@ class BetweennessSession:
         self._batch_index = coordinator.batch_cursor
         self._batches_since_checkpoint = 0
         self._closed = False
+        self._state_lock = threading.RLock()
         self._framework = None
         self._cluster = coordinator
         for subscriber in subscribers:
@@ -290,6 +308,17 @@ class BetweennessSession:
         """Whatever engine the config selected (framework or cluster)."""
         return self._engine()
 
+    @property
+    def batches_applied(self) -> int:
+        """Batches applied through this session (shard resumes include the
+        restored ensemble's batch cursor, so the count is lifetime-wide)."""
+        return self._batch_index
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
     # ------------------------------------------------------------------ #
     # Subscriptions
     # ------------------------------------------------------------------ #
@@ -321,14 +350,31 @@ class BetweennessSession:
             pass
 
     def _emit(self, event_type, **fields) -> SessionEvent:
+        """Publish one event to every subscriber, then surface any failures.
+
+        Dispatch is *fault-isolated*: an exception raised by one subscriber
+        neither skips the remaining subscribers nor interrupts the engine
+        operation that produced the event (which has already committed by
+        the time dispatch starts).  All failures are collected and
+        re-raised together as :class:`~repro.exceptions.SubscriberError`
+        once every subscriber has been notified — so untrusted subscribers
+        (e.g. the service layer's per-client event bridges) cannot corrupt
+        session state or starve their peers.
+        """
         event = event_type(sequence=self._sequence, **fields)
         self._sequence += 1
+        failures = []
         for subscriber in list(self._subscribers):
             handler = getattr(subscriber, "on_event", None)
-            if handler is not None:
-                handler(event)
-            else:
-                subscriber(event)
+            try:
+                if handler is not None:
+                    handler(event)
+                else:
+                    subscriber(event)
+            except Exception as exc:  # noqa: BLE001 - isolation is the point
+                failures.append((subscriber, exc))
+        if failures:
+            raise SubscriberError(event, failures) from failures[0][1]
         return event
 
     # ------------------------------------------------------------------ #
@@ -344,10 +390,11 @@ class BetweennessSession:
 
     def apply(self, update: EdgeUpdate):
         """Apply a single update; returns the engine's result object."""
-        self._ensure_open()
-        result = self._engine().apply(update)
-        self._emit(UpdateApplied, update=update, result=result)
-        return result
+        with self._state_lock:
+            self._ensure_open()
+            result = self._engine().apply(update)
+            self._emit(UpdateApplied, update=update, result=result)
+            return result
 
     def apply_batch(self, updates: Iterable[EdgeUpdate]):
         """Apply one batch in a single source sweep; emits :class:`BatchApplied`.
@@ -369,24 +416,25 @@ class BetweennessSession:
         mutable "last event" state) because subscribers may emit further
         events — e.g. a checkpoint — while handling this one.
         """
-        self._ensure_open()
-        if self._framework is not None:
-            result = self._framework.apply_updates(batch)
-        elif isinstance(
-            self._cluster, (ProcessParallelBetweenness, ShardCoordinator)
-        ):
-            result = self._cluster.apply_batch(batch)
-        else:
-            result = tuple(self._cluster.apply(update) for update in batch)
-        batch_index = self._batch_index
-        self._batch_index += 1
-        event = self._emit(
-            BatchApplied,
-            updates=tuple(batch),
-            result=result,
-            batch_index=batch_index,
-        )
-        return result, event
+        with self._state_lock:
+            self._ensure_open()
+            if self._framework is not None:
+                result = self._framework.apply_updates(batch)
+            elif isinstance(
+                self._cluster, (ProcessParallelBetweenness, ShardCoordinator)
+            ):
+                result = self._cluster.apply_batch(batch)
+            else:
+                result = tuple(self._cluster.apply(update) for update in batch)
+            batch_index = self._batch_index
+            self._batch_index += 1
+            event = self._emit(
+                BatchApplied,
+                updates=tuple(batch),
+                result=result,
+                batch_index=batch_index,
+            )
+            return result, event
 
     def stream(
         self,
@@ -425,12 +473,14 @@ class BetweennessSession:
     # Queries
     # ------------------------------------------------------------------ #
     def vertex_betweenness(self) -> VertexScores:
-        """Current (merged) vertex betweenness scores."""
-        return self._engine().vertex_betweenness()
+        """Current (merged) vertex betweenness scores (batch-boundary view)."""
+        with self._state_lock:
+            return self._engine().vertex_betweenness()
 
     def edge_betweenness(self) -> EdgeScores:
-        """Current (merged) edge betweenness scores."""
-        return self._engine().edge_betweenness()
+        """Current (merged) edge betweenness scores (batch-boundary view)."""
+        with self._state_lock:
+            return self._engine().edge_betweenness()
 
     def top_k(
         self, k: int = 10, edges: bool = False
@@ -438,19 +488,28 @@ class BetweennessSession:
         """The ``k`` most central vertices (or edges) as ``(item, score)``."""
         if k < 1:
             raise ConfigurationError(f"k must be >= 1, got {k}")
-        scores = self.edge_betweenness() if edges else self.vertex_betweenness()
+        with self._state_lock:
+            scores = (
+                self.edge_betweenness() if edges else self.vertex_betweenness()
+            )
         return tuple(top_k_items(scores.items(), k))
 
     def snapshot(self) -> SessionSnapshot:
-        """An immutable copy of graph size and both score dictionaries."""
-        graph = self._engine().graph
-        return SessionSnapshot(
-            sequence=self._sequence,
-            num_vertices=graph.num_vertices,
-            num_edges=graph.num_edges,
-            vertex_scores=self.vertex_betweenness(),
-            edge_scores=self.edge_betweenness(),
-        )
+        """An immutable copy of graph size and both score dictionaries.
+
+        Atomic with respect to concurrent batches: the graph counters and
+        both score dictionaries are captured under one lock acquisition, so
+        they always describe the same batch boundary.
+        """
+        with self._state_lock:
+            graph = self._engine().graph
+            return SessionSnapshot(
+                sequence=self._sequence,
+                num_vertices=graph.num_vertices,
+                num_edges=graph.num_edges,
+                vertex_scores=self.vertex_betweenness(),
+                edge_scores=self.edge_betweenness(),
+            )
 
     # ------------------------------------------------------------------ #
     # Checkpoint / resume
@@ -468,48 +527,63 @@ class BetweennessSession:
         be ``None`` — a sharded session's location is its store URI).  The
         other parallel executors have no durable state to checkpoint.
         """
-        self._ensure_open()
-        if isinstance(self._cluster, ShardCoordinator):
-            if path is not None:
+        with self._state_lock:
+            self._ensure_open()
+            if isinstance(self._cluster, ShardCoordinator):
+                if path is not None:
+                    raise ConfigurationError(
+                        "a sharded session checkpoints into its shard root "
+                        f"({self._cluster.layout.root}); drop the path argument"
+                    )
+                # The coordinator's notify hook emits CheckpointWritten.
+                return self._cluster.checkpoint()
+            if self._framework is None:
                 raise ConfigurationError(
-                    "a sharded session checkpoints into its shard root "
-                    f"({self._cluster.layout.root}); drop the path argument"
+                    "checkpoint() requires the serial or shard executor; "
+                    "collect scores with snapshot() instead, or run "
+                    "serial/shard sessions for durable state"
                 )
-            # The coordinator's notify hook emits CheckpointWritten.
-            return self._cluster.checkpoint()
-        if self._framework is None:
-            raise ConfigurationError(
-                "checkpoint() requires the serial or shard executor; collect "
-                "scores with snapshot() instead, or run serial/shard "
-                "sessions for durable state"
+            if path is None:
+                path = self._config.checkpoint_path
+            if path is None:
+                raise ConfigurationError(
+                    "no checkpoint path: pass one explicitly or set "
+                    "BetweennessConfig.checkpoint_path"
+                )
+            written = self._framework.checkpoint(
+                path, config=self._config.to_dict()
             )
-        if path is None:
-            path = self._config.checkpoint_path
-        if path is None:
-            raise ConfigurationError(
-                "no checkpoint path: pass one explicitly or set "
-                "BetweennessConfig.checkpoint_path"
-            )
-        written = self._framework.checkpoint(path, config=self._config.to_dict())
-        self._emit(CheckpointWritten, path=str(written))
-        return written
+            self._emit(CheckpointWritten, path=str(written))
+            return written
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Release the engine (stores, worker processes); idempotent."""
-        if self._closed:
-            return
-        self._closed = True
-        if self._framework is not None:
-            self._framework.store.close()
-        elif isinstance(self._cluster, (ProcessParallelBetweenness, ShardCoordinator)):
-            self._cluster.close()
-        elif self._cluster is not None:
-            for mapper in self._cluster.mappers:
-                mapper.store.close()
-        self._emit(SessionClosed)
+        """Release the engine (stores, worker processes); idempotent.
+
+        Safe to call from any thread, any number of times, including
+        concurrently with a pending :meth:`checkpoint` or batch: the state
+        lock serializes them, so a close issued mid-checkpoint waits for
+        the checkpoint to finish rather than yanking the store out from
+        under it.  Exactly one caller performs the teardown (and observes
+        the :class:`SessionClosed` event); every other call returns
+        immediately.
+        """
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._framework is not None:
+                self._framework.store.close()
+            elif isinstance(
+                self._cluster, (ProcessParallelBetweenness, ShardCoordinator)
+            ):
+                self._cluster.close()
+            elif self._cluster is not None:
+                for mapper in self._cluster.mappers:
+                    mapper.store.close()
+            self._emit(SessionClosed)
 
     def __enter__(self) -> "BetweennessSession":
         return self
@@ -612,7 +686,7 @@ def resume_session(
     """
     if store is None and ShardLayout.is_shard_root(checkpoint_path):
         return _resume_shard_session(checkpoint_path, config, overrides)
-    ckpt = load_checkpoint(checkpoint_path)
+    ckpt = _load_checkpoint_for_resume(checkpoint_path)
     if config is None:
         if ckpt.config is not None:
             config = BetweennessConfig.from_dict(ckpt.config)
@@ -639,6 +713,35 @@ def resume_session(
     return BetweennessSession.from_framework(framework, config=config)
 
 
+def _load_checkpoint_for_resume(path: PathLike):
+    """Load a sidecar for :func:`resume_session`, with a clean error surface.
+
+    The storage layer raises typed low-level errors (``FileNotFoundError``,
+    :class:`~repro.exceptions.StoreCorruptedError`, ...) that make sense
+    when you are holding a store — but ``resume_session`` is handed a bare
+    *path*, often from a config file or an HTTP request, so a missing or
+    mangled checkpoint is a configuration problem.  Mapping everything to
+    :class:`~repro.exceptions.ConfigurationError` (with the path in the
+    message) lets callers like the service layer translate it to a clean
+    404/409 instead of leaking a stack trace.
+    """
+    try:
+        return load_checkpoint(path)
+    except FileNotFoundError as exc:
+        raise ConfigurationError(
+            f"cannot resume: checkpoint {path} does not exist"
+        ) from exc
+    except StorageError as exc:
+        raise ConfigurationError(
+            f"cannot resume: checkpoint {path} is not a readable checkpoint "
+            f"sidecar ({exc})"
+        ) from exc
+    except OSError as exc:
+        raise ConfigurationError(
+            f"cannot resume: checkpoint {path} cannot be read ({exc})"
+        ) from exc
+
+
 def _resume_shard_session(
     root: PathLike,
     config: Optional[BetweennessConfig],
@@ -648,7 +751,13 @@ def _resume_shard_session(
     root = Path(root)
     if root.name == "manifest.bin":
         root = root.parent
-    manifest = load_manifest(root)
+    try:
+        manifest = load_manifest(root)
+    except StorageError as exc:
+        raise ConfigurationError(
+            f"cannot resume: shard root {root} has an unreadable manifest "
+            f"({exc})"
+        ) from exc
     if config is None:
         if manifest.config is not None:
             config = BetweennessConfig.from_dict(manifest.config)

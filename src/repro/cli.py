@@ -257,6 +257,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_dataset_arguments(proxies_parser)
     proxies_parser.add_argument("--top-k", type=int, default=10)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve named betweenness sessions over HTTP/SSE",
+        description=(
+            "Betweenness-as-a-service: multi-tenant, checkpoint-backed "
+            "sessions under --root, exposed over HTTP with live SSE event "
+            "streams. Uses FastAPI + uvicorn when the repro[service] extra "
+            "is installed, otherwise the built-in asyncio server."
+        ),
+    )
+    serve_parser.add_argument(
+        "--root", type=Path, default=Path("service-root"), metavar="DIR",
+        help="service state directory; sessions found here are restored "
+             "from their checkpoints at startup (default: ./service-root)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8750)
+    serve_parser.add_argument(
+        "--api-key", default=None, metavar="KEY",
+        help="require this key (X-API-Key or Bearer) on every request; "
+             "falls back to $REPRO_SERVICE_API_KEY; unset serves openly",
+    )
+    serve_parser.add_argument(
+        "--impl", choices=("auto", "fastapi", "asyncio"), default="auto",
+        help="transport: 'fastapi' needs the repro[service] extra, "
+             "'asyncio' is the dependency-free built-in, 'auto' picks "
+             "fastapi when importable (default: auto)",
+    )
+    serve_parser.add_argument(
+        "--max-sessions", type=int, default=64,
+        help="refuse new sessions beyond this many live ones (default 64)",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="default checkpoint cadence for new sessions: persist after "
+             "every N applied batches (default 1 = every batch durable)",
+    )
     return parser
 
 
@@ -341,6 +379,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(_run_communities(args))
     elif command == "proxies":
         print(_run_proxies(args))
+    elif command == "serve":
+        return _run_serve(args)
     else:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {command!r}")
     return 0
@@ -706,6 +746,47 @@ def _run_proxies(args) -> str:
     return format_table(
         ["proxy", "spearman", "kendall tau", f"top-{args.top_k} overlap"], rows
     )
+
+
+def _run_serve(args) -> int:
+    import asyncio
+    import os
+
+    from repro.service import HAVE_FASTAPI, ServiceServer, ServiceSettings
+    from repro.service.app import create_app, require_fastapi
+
+    api_key = args.api_key or os.environ.get("REPRO_SERVICE_API_KEY") or None
+    settings = ServiceSettings(
+        root=args.root,
+        api_key=api_key,
+        max_sessions=args.max_sessions,
+        default_checkpoint_every=args.checkpoint_every,
+    )
+    impl = args.impl
+    if impl == "auto":
+        impl = "fastapi" if HAVE_FASTAPI and _have_uvicorn() else "asyncio"
+    if impl == "fastapi":
+        require_fastapi()
+        import uvicorn
+
+        uvicorn.run(create_app(settings), host=args.host, port=args.port)
+        return 0
+    server = ServiceServer(settings)
+    print(
+        f"serving {settings.root} on http://{args.host}:{args.port} "
+        f"(asyncio transport, auth {'on' if api_key else 'off'})"
+    )
+    try:
+        asyncio.run(server.serve(args.host, args.port))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _have_uvicorn() -> bool:
+    import importlib.util
+
+    return importlib.util.find_spec("uvicorn") is not None
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -98,3 +98,24 @@ class WorkerFailedError(ReproError, RuntimeError):
 
 class ConfigurationError(ReproError, ValueError):
     """Invalid configuration of an experiment or framework component."""
+
+
+class SubscriberError(ReproError, RuntimeError):
+    """One or more event subscribers raised while handling a session event.
+
+    The session notifies *every* subscriber before raising, and the engine
+    state the event describes was already committed when dispatch started —
+    so a failing subscriber can neither starve its peers of the event nor
+    leave scores half-applied.  ``failures`` holds the ``(subscriber,
+    exception)`` pairs in notification order; the first underlying
+    exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, event: object, failures: list) -> None:
+        kinds = ", ".join(type(sub).__name__ for sub, _ in failures)
+        super().__init__(
+            f"{len(failures)} subscriber(s) raised while handling "
+            f"{type(event).__name__}: {kinds}"
+        )
+        self.event = event
+        self.failures = list(failures)

@@ -1,0 +1,68 @@
+"""Betweenness-as-a-service: the async HTTP/SSE front end.
+
+The serving subsystem ROADMAP item 2 asked for: multi-tenant, named,
+checkpoint-backed :class:`~repro.api.session.BetweennessSession`\\ s behind
+an HTTP API with live server-sent-event streams of centrality changes.
+
+Layers (each importable on a bare install; FastAPI is optional):
+
+* :mod:`repro.service.registry` — the transport-neutral core: session
+  directories under a service root, per-session single-writer workers,
+  restart recovery;
+* :mod:`repro.service.routes` — handlers + the one routing table;
+* :mod:`repro.service.events` — session events → bounded per-client SSE
+  queues (drop-oldest + ``lagged`` markers);
+* :mod:`repro.service.app` — FastAPI/ASGI transport
+  (``pip install repro-online-betweenness[service]``);
+* :mod:`repro.service.server` — dependency-free asyncio HTTP transport;
+* :mod:`repro.service.client` — dependency-free asyncio client (used by
+  the test suite and ``benchmarks/bench_service.py``).
+
+Start serving with ``repro serve --root /var/lib/repro`` (picks FastAPI +
+uvicorn when installed, the built-in server otherwise).
+"""
+
+from repro.service.app import HAVE_FASTAPI, create_app, require_fastapi
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.errors import (
+    AuthenticationFailed,
+    InvalidJSONBody,
+    ServiceError,
+    SessionClosed,
+    SessionExists,
+    SessionNotFound,
+    SessionUnavailable,
+    UpdateRejected,
+    ValidationFailed,
+)
+from repro.service.events import ClientStream, EventBridge, encode_event
+from repro.service.registry import (
+    ManagedSession,
+    ServiceSettings,
+    SessionRegistry,
+)
+from repro.service.server import ServiceServer
+
+__all__ = [
+    "AuthenticationFailed",
+    "ClientStream",
+    "EventBridge",
+    "HAVE_FASTAPI",
+    "InvalidJSONBody",
+    "ManagedSession",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
+    "ServiceServer",
+    "ServiceSettings",
+    "SessionClosed",
+    "SessionExists",
+    "SessionNotFound",
+    "SessionRegistry",
+    "SessionUnavailable",
+    "UpdateRejected",
+    "ValidationFailed",
+    "create_app",
+    "encode_event",
+    "require_fastapi",
+]

@@ -1,0 +1,167 @@
+"""FastAPI/ASGI front end over the service core (``repro[service]`` extra).
+
+This is the production transport: an ASGI app factory you can hand to any
+ASGI server (``uvicorn repro.service.app:create_default_app``) or run via
+``repro serve``.  It installs the exact same transport-neutral routing
+table as the fallback server in :mod:`repro.service.server` — FastAPI
+contributes the ASGI plumbing, the OpenAPI docs page and the streaming
+machinery, while request validation, auth and error envelopes live in the
+shared core, so a client cannot tell the two transports apart.
+
+FastAPI is an *optional* dependency: importing this module is always safe
+(the core package must work on a bare install); calling :func:`create_app`
+without ``fastapi`` installed raises a clear
+:class:`~repro.exceptions.ConfigurationError` telling you what to install.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.service.errors import InvalidJSONBody, ServiceError
+from repro.service.events import sse_frame
+from repro.service.registry import ServiceSettings, SessionRegistry
+from repro.service.routes import (
+    ROUTES,
+    EventStreamResult,
+    JSONResult,
+    Route,
+    ServiceRequest,
+    check_auth,
+)
+
+try:  # pragma: no cover - exercised only with the extra installed
+    import fastapi as _fastapi
+except ImportError:  # pragma: no cover
+    _fastapi = None
+
+#: Whether the optional FastAPI transport is importable.
+HAVE_FASTAPI = _fastapi is not None
+
+
+def require_fastapi() -> None:
+    """Raise a clear error when the ``service`` extra is not installed."""
+    if not HAVE_FASTAPI:
+        raise ConfigurationError(
+            "the FastAPI transport needs the optional service extra: "
+            "pip install 'repro-online-betweenness[service]' "
+            "(or use the dependency-free fallback: repro serve --impl asyncio)"
+        )
+
+
+def create_app(
+    settings: ServiceSettings, registry: Optional[SessionRegistry] = None
+):
+    """Build the ASGI application serving ``settings.root``.
+
+    The registry restores every on-disk session at ASGI startup and closes
+    them all — final checkpoints included — at shutdown, so an orderly
+    restart loses nothing and a SIGKILL loses at most the batches since
+    the last checkpoint cadence.
+    """
+    require_fastapi()
+    from contextlib import asynccontextmanager
+
+    from fastapi import FastAPI, Request
+    from fastapi.responses import JSONResponse, StreamingResponse
+
+    registry = registry or SessionRegistry(settings)
+
+    @asynccontextmanager
+    async def lifespan(_app):
+        await registry.startup()
+        try:
+            yield
+        finally:
+            await registry.close_all()
+
+    app = FastAPI(
+        title="repro betweenness service",
+        description=(
+            "Online betweenness centrality as a service: named, "
+            "checkpoint-backed sessions with live SSE score-change events."
+        ),
+        lifespan=lifespan,
+    )
+    app.state.registry = registry
+
+    async def _to_request(route: Route, request: Request) -> ServiceRequest:
+        body: Any = None
+        if request.method in ("POST", "PUT", "PATCH"):
+            raw = await request.body()
+            if raw:
+                try:
+                    body = await request.json()
+                except Exception:
+                    raise InvalidJSONBody() from None
+        return ServiceRequest(
+            method=request.method,
+            path=request.url.path,
+            path_params={k: str(v) for k, v in request.path_params.items()},
+            query={k: v for k, v in request.query_params.items()},
+            body=body,
+            headers={k.lower(): v for k, v in request.headers.items()},
+        )
+
+    def _make_endpoint(route: Route):
+        async def endpoint(request: Request):
+            service_request = await _to_request(route, request)
+            if route.auth:
+                check_auth(registry, service_request)
+            result = await route.handler(registry, service_request)
+            if isinstance(result, EventStreamResult):
+                async def frames():
+                    try:
+                        yield b": connected\n\n"
+                        async for frame in result.stream.frames(
+                            keepalive=result.keepalive
+                        ):
+                            yield sse_frame(frame)
+                    finally:
+                        result.release()
+
+                return StreamingResponse(
+                    frames(),
+                    media_type="text/event-stream",
+                    headers={"cache-control": "no-cache"},
+                )
+            assert isinstance(result, JSONResult)
+            return JSONResponse(
+                status_code=result.status, content=result.payload
+            )
+
+        endpoint.__name__ = route.handler.__name__
+        endpoint.__doc__ = route.handler.__doc__
+        return endpoint
+
+    for route in ROUTES:
+        app.add_api_route(
+            route.pattern,
+            _make_endpoint(route),
+            methods=[route.method],
+            name=route.handler.__name__,
+        )
+
+    @app.exception_handler(ServiceError)
+    async def service_error_handler(_request, exc: ServiceError):
+        return JSONResponse(
+            status_code=exc.status_code, content=exc.payload()
+        )
+
+    return app
+
+
+def create_default_app():
+    """App factory for ``uvicorn repro.service.app:create_default_app``.
+
+    Reads ``REPRO_SERVICE_ROOT`` (default ``./service-root``) and
+    ``REPRO_SERVICE_API_KEY`` from the environment — the factory form
+    exists so plain ``uvicorn --factory`` deployments need no Python glue.
+    """
+    settings = ServiceSettings(
+        root=os.environ.get("REPRO_SERVICE_ROOT", "service-root"),
+        api_key=os.environ.get("REPRO_SERVICE_API_KEY"),
+    )
+    return create_app(settings)

@@ -1,0 +1,141 @@
+"""FastAPI transport leg — runs only with the ``repro[service]`` extra.
+
+The transport-neutral behaviour (validation, auth, error envelopes, SSE
+framing) is covered socket-free in test_service_registry.py and over the
+stdlib server in test_service_http.py; this module proves the *FastAPI*
+adapter wires the same ROUTES table to the same wire behaviour.  Skipped
+cleanly when fastapi (or httpx, which TestClient needs) is absent.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+fastapi = pytest.importorskip("fastapi")
+pytest.importorskip("httpx")
+
+from fastapi.testclient import TestClient  # noqa: E402
+
+from repro.algorithms import brandes_betweenness  # noqa: E402
+from repro.graph import Graph  # noqa: E402
+from repro.service import ServiceSettings, create_app  # noqa: E402
+
+AUTH = {"X-API-Key": "secret"}
+PATH_EDGES = [[0, 1], [1, 2], [2, 3], [3, 4]]
+
+
+@pytest.fixture()
+def client(tmp_path):
+    settings = ServiceSettings(
+        root=tmp_path / "svc", api_key="secret", keepalive_seconds=0.2
+    )
+    app = create_app(settings)
+    with TestClient(app) as test_client:
+        yield test_client
+
+
+def _create(client, name="demo", **kwargs):
+    payload = {
+        "name": name,
+        "graph": {"edges": PATH_EDGES},
+        "config": kwargs.pop("config", {}),
+    }
+    payload.update(kwargs)
+    response = client.post("/sessions", json=payload, headers=AUTH)
+    assert response.status_code == 201, response.text
+    return response.json()
+
+
+class TestParityWithCore:
+    def test_healthz_open_sessions_authenticated(self, client):
+        assert client.get("/healthz").status_code == 200
+        response = client.get("/sessions")
+        assert response.status_code == 401
+        assert response.json()["error"]["code"] == "authentication_failed"
+        assert client.get("/sessions", headers=AUTH).status_code == 200
+
+    def test_lifecycle_and_exact_scores(self, client):
+        info = _create(client)
+        assert info["num_edges"] == 4
+        response = client.post(
+            "/sessions/demo/updates",
+            json={"updates": [["add", 0, 4], ["add", 1, 3]]},
+            headers=AUTH,
+        )
+        assert response.status_code == 200
+        assert response.json()["applied"] == 2
+
+        oracle = Graph()
+        for u, v in PATH_EDGES + [[0, 4], [1, 3]]:
+            oracle.add_edge(u, v)
+        expected = brandes_betweenness(oracle).vertex_scores
+        scores = client.get("/sessions/demo/scores", headers=AUTH).json()
+        assert dict(map(tuple, scores["scores"])) == expected
+
+        response = client.delete("/sessions/demo?purge=true", headers=AUTH)
+        assert response.status_code == 200
+        assert (
+            client.get("/sessions/demo", headers=AUTH).status_code == 404
+        )
+
+    def test_structured_validation_errors(self, client):
+        response = client.post(
+            "/sessions",
+            json={"name": "../evil", "graph": {}},
+            headers=AUTH,
+        )
+        assert response.status_code == 422
+        assert response.json()["error"]["code"] == "validation_failed"
+
+        response = client.post(
+            "/sessions",
+            content=b"{not json",
+            headers={**AUTH, "content-type": "application/json"},
+        )
+        assert response.status_code == 400
+        assert response.json()["error"]["code"] == "invalid_json"
+
+    def test_update_conflict_is_a_409(self, client):
+        _create(client)
+        response = client.post(
+            "/sessions/demo/updates",
+            json={"updates": [["add", 0, 1]]},  # duplicate edge
+            headers=AUTH,
+        )
+        assert response.status_code == 409
+        assert response.json()["error"]["code"] == "update_rejected"
+
+    def test_sse_stream_delivers_batch_frames(self, client):
+        _create(client)
+
+        def post_later():
+            time.sleep(0.3)
+            client.post(
+                "/sessions/demo/updates",
+                json={"updates": [["add", 0, 4]]},
+                headers=AUTH,
+            )
+
+        poster = threading.Thread(target=post_later)
+        poster.start()
+        frames = []
+        with client.stream(
+            "GET", "/sessions/demo/events", headers=AUTH
+        ) as response:
+            assert response.status_code == 200
+            assert response.headers["content-type"].startswith(
+                "text/event-stream"
+            )
+            for line in response.iter_lines():
+                if line.startswith("data:"):
+                    frames.append(json.loads(line[5:]))
+                    if len(frames) >= 2:
+                        break
+        poster.join()
+        assert [f["type"] for f in frames] == [
+            "batch_applied",
+            "checkpoint_written",
+        ]
+        assert frames[0]["updates"] == [{"kind": "add", "u": 0, "v": 4}]

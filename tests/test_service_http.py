@@ -1,0 +1,449 @@
+"""End-to-end HTTP/SSE tests over the dependency-free asyncio transport.
+
+Each test boots a real :class:`ServiceServer` on an ephemeral port and
+drives it with the stdlib :class:`ServiceClient` — the exact wire a
+FastAPI deployment serves, minus the ASGI layer (the routing table,
+validation, auth and SSE framing are shared; see test_service_fastapi.py
+for the transport-specific leg).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.algorithms import brandes_betweenness
+from repro.graph import Graph
+from repro.service import (
+    ServiceClient,
+    ServiceClientError,
+    ServiceServer,
+    ServiceSettings,
+)
+
+PATH_EDGES = [[0, 1], [1, 2], [2, 3], [3, 4]]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _boot(tmp_path, **overrides):
+    overrides.setdefault("api_key", "secret")
+    server = ServiceServer(ServiceSettings(root=tmp_path / "svc", **overrides))
+    port = await server.start(port=0)
+    client = ServiceClient("127.0.0.1", port, api_key=overrides["api_key"])
+    return server, client, port
+
+
+def oracle_scores(extra_edges=()):
+    graph = Graph()
+    for u, v in PATH_EDGES:
+        graph.add_edge(u, v)
+    for u, v in extra_edges:
+        graph.add_edge(u, v)
+    return brandes_betweenness(graph).vertex_scores
+
+
+class TestAuth:
+    def test_healthz_is_open_everything_else_is_not(self, tmp_path):
+        async def scenario():
+            server, client, port = await _boot(tmp_path)
+            try:
+                async with ServiceClient("127.0.0.1", port) as anon:
+                    status, payload = await anon.get("/healthz")
+                    assert status == 200 and payload["status"] == "ok"
+                    status, payload = await anon.get("/sessions")
+                    assert status == 401
+                    assert payload["error"]["code"] == "authentication_failed"
+                async with ServiceClient(
+                    "127.0.0.1", port, api_key="wrong"
+                ) as bad:
+                    status, _ = await bad.get("/sessions")
+                    assert status == 401
+                status, _ = await client.get("/sessions")
+                assert status == 200
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(scenario())
+
+    def test_bearer_token_accepted(self, tmp_path):
+        async def scenario():
+            server, client, port = await _boot(tmp_path)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                writer.write(
+                    b"GET /sessions HTTP/1.1\r\n"
+                    b"host: t\r\n"
+                    b"authorization: Bearer secret\r\n"
+                    b"content-length: 0\r\n\r\n"
+                )
+                await writer.drain()
+                status_line = await reader.readline()
+                writer.close()
+                await writer.wait_closed()
+                assert b" 200 " in status_line
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(scenario())
+
+    def test_no_key_configured_serves_openly(self, tmp_path):
+        async def scenario():
+            server = ServiceServer(
+                ServiceSettings(root=tmp_path / "svc", api_key=None)
+            )
+            port = await server.start(port=0)
+            try:
+                async with ServiceClient("127.0.0.1", port) as anon:
+                    status, _ = await anon.get("/sessions")
+                    assert status == 200
+            finally:
+                await server.stop()
+
+        run(scenario())
+
+
+class TestErrorSurface:
+    def test_structured_4xx_never_a_stack_trace(self, tmp_path):
+        async def scenario():
+            server, client, _ = await _boot(tmp_path)
+            try:
+                cases = [
+                    ("GET", "/sessions/ghost", None, 404, "session_not_found"),
+                    ("GET", "/nope", None, 404, "not_found"),
+                    (
+                        "POST",
+                        "/sessions",
+                        {"name": "../evil", "graph": {}},
+                        422,
+                        "validation_failed",
+                    ),
+                    (
+                        "POST",
+                        "/sessions",
+                        {"name": "x", "graph": {"edges": [[0]]}},
+                        422,
+                        "validation_failed",
+                    ),
+                    (
+                        "POST",
+                        "/sessions",
+                        {
+                            "name": "x",
+                            "graph": {},
+                            "config": {"store": "disk:///etc/passwd"},
+                        },
+                        422,
+                        "validation_failed",
+                    ),
+                ]
+                for method, path, body, want_status, want_code in cases:
+                    status, payload = await client.request(
+                        method, path, body=body
+                    )
+                    assert status == want_status, (path, payload)
+                    assert payload["error"]["code"] == want_code
+                    assert "message" in payload["error"]
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(scenario())
+
+    def test_invalid_json_body_is_a_400(self, tmp_path):
+        async def scenario():
+            server, client, port = await _boot(tmp_path)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                body = b"{not json"
+                writer.write(
+                    b"POST /sessions HTTP/1.1\r\n"
+                    b"host: t\r\nx-api-key: secret\r\n"
+                    b"content-type: application/json\r\n"
+                    + f"content-length: {len(body)}\r\n\r\n".encode()
+                    + body
+                )
+                await writer.drain()
+                status_line = await reader.readline()
+                assert b" 400 " in status_line
+                headers = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b""):
+                        break
+                    k, _, v = line.decode().partition(":")
+                    headers[k.strip().lower()] = v.strip()
+                raw = await reader.readexactly(
+                    int(headers["content-length"])
+                )
+                assert json.loads(raw)["error"]["code"] == "invalid_json"
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(scenario())
+
+    def test_duplicate_session_is_a_409(self, tmp_path):
+        async def scenario():
+            server, client, _ = await _boot(tmp_path)
+            try:
+                await client.create_session("demo", edges=PATH_EDGES)
+                with pytest.raises(ServiceClientError) as excinfo:
+                    await client.create_session("demo", edges=PATH_EDGES)
+                assert excinfo.value.status == 409
+                assert excinfo.value.code == "session_exists"
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(scenario())
+
+    def test_rejected_update_is_a_409_and_atomic(self, tmp_path):
+        async def scenario():
+            server, client, _ = await _boot(tmp_path)
+            try:
+                await client.create_session("demo", edges=PATH_EDGES)
+                with pytest.raises(ServiceClientError) as excinfo:
+                    await client.post_updates(
+                        "demo", [("add", 0, 4), ("add", 0, 1)]
+                    )
+                assert excinfo.value.status == 409
+                assert excinfo.value.code == "update_rejected"
+                payload = await client.scores("demo")
+                assert dict(
+                    (k, v) for k, v in payload["scores"]
+                ) == oracle_scores()
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(scenario())
+
+
+class TestLifecycle:
+    def test_full_crud_with_exact_scores(self, tmp_path):
+        async def scenario():
+            server, client, _ = await _boot(tmp_path)
+            try:
+                info = await client.create_session(
+                    "demo",
+                    edges=PATH_EDGES,
+                    config={"backend": "arrays"},
+                )
+                assert info["name"] == "demo"
+                assert info["num_edges"] == 4
+
+                summary = await client.post_updates(
+                    "demo", [("add", 0, 4), ("add", 1, 3)]
+                )
+                assert summary["applied"] == 2
+                assert summary["durable"] is True
+
+                expected = oracle_scores([(0, 4), (1, 3)])
+                payload = await client.scores("demo")
+                assert dict(payload["scores"]) == expected
+
+                top = await client.top_k("demo", k=2)
+                ranked = sorted(
+                    expected.items(), key=lambda kv: (-kv[1], repr(kv[0]))
+                )[:2]
+                assert [
+                    (t["item"], t["score"]) for t in top["top"]
+                ] == ranked
+
+                listing = await client.expect("GET", "/sessions")
+                assert [s["name"] for s in listing["sessions"]] == ["demo"]
+
+                result = await client.delete_session("demo", purge=True)
+                assert result["purged"] is True
+                status, _ = await client.get("/sessions/demo")
+                assert status == 404
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(scenario())
+
+    def test_scores_vertex_filter_and_edge_scores(self, tmp_path):
+        async def scenario():
+            server, client, _ = await _boot(tmp_path)
+            try:
+                await client.create_session("demo", edges=[["a", "b"], ["b", "c"]])
+                payload = await client.expect(
+                    "GET",
+                    "/sessions/demo/scores",
+                    query={"vertices": "b"},
+                )
+                assert dict(payload["scores"]) == {"b": 2.0}
+                status, body = await client.get(
+                    "/sessions/demo/scores", query={"vertices": "b,z"}
+                )
+                assert status == 422  # unknown vertices are an error, not a skip
+                assert body["error"]["details"] == {"unknown": ["z"]}
+                payload = await client.scores("demo", edges=True)
+                assert len(payload["scores"]) == 2
+                assert payload["edges"] is True
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(scenario())
+
+    def test_two_tenants_do_not_interfere(self, tmp_path):
+        async def scenario():
+            server, client, port = await _boot(tmp_path)
+            try:
+                await client.create_session("a", edges=PATH_EDGES)
+                await client.create_session(
+                    "b", edges=[[0, 1], [1, 2], [2, 0]]
+                )
+
+                async def hammer(name, updates):
+                    async with ServiceClient(
+                        "127.0.0.1", port, api_key="secret"
+                    ) as worker:
+                        for batch in updates:
+                            await worker.post_updates(name, [batch])
+
+                await asyncio.gather(
+                    hammer("a", [("add", 0, 4), ("add", 1, 3)]),
+                    hammer("b", [("add", 0, 3), ("add", 3, 1)]),
+                )
+                a = await client.scores("a")
+                assert dict(a["scores"]) == oracle_scores([(0, 4), (1, 3)])
+                b_graph = Graph()
+                for u, v in [(0, 1), (1, 2), (2, 0), (0, 3), (3, 1)]:
+                    b_graph.add_edge(u, v)
+                b = await client.scores("b")
+                assert (
+                    dict(b["scores"])
+                    == brandes_betweenness(b_graph).vertex_scores
+                )
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(scenario())
+
+
+class TestEventStream:
+    def test_sse_frames_for_updates_and_checkpoints(self, tmp_path):
+        async def scenario():
+            server, client, port = await _boot(tmp_path)
+            try:
+                await client.create_session("demo", edges=PATH_EDGES)
+                subscriber = ServiceClient(
+                    "127.0.0.1", port, api_key="secret"
+                )
+                frames = []
+
+                async def consume():
+                    async for frame in subscriber.events(
+                        "demo", max_frames=4
+                    ):
+                        frames.append(frame)
+
+                task = asyncio.create_task(consume())
+                await asyncio.sleep(0.05)
+                await client.post_updates("demo", [("add", 0, 4)])
+                await client.post_updates("demo", [("add", 1, 3)])
+                await asyncio.wait_for(task, 10)
+                await subscriber.close()
+                assert [f["type"] for f in frames] == [
+                    "batch_applied",
+                    "checkpoint_written",
+                    "batch_applied",
+                    "checkpoint_written",
+                ]
+                assert frames[0]["updates"] == [
+                    {"kind": "add", "u": 0, "v": 4}
+                ]
+                assert frames[0]["batch_index"] == 0
+                assert frames[2]["batch_index"] == 1
+                assert frames[1]["path"].endswith("checkpoint.bin")
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(scenario())
+
+    def test_sse_for_missing_session_is_a_404(self, tmp_path):
+        async def scenario():
+            server, client, port = await _boot(tmp_path)
+            try:
+                subscriber = ServiceClient(
+                    "127.0.0.1", port, api_key="secret"
+                )
+                with pytest.raises(ServiceClientError) as excinfo:
+                    async for _ in subscriber.events("ghost"):
+                        pass
+                assert excinfo.value.status == 404
+                await subscriber.close()
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(scenario())
+
+    def test_open_stream_ends_with_session_closed_frame(self, tmp_path):
+        async def scenario():
+            server, client, port = await _boot(tmp_path)
+            try:
+                await client.create_session("demo", edges=PATH_EDGES)
+                subscriber = ServiceClient(
+                    "127.0.0.1", port, api_key="secret"
+                )
+                frames = []
+
+                async def consume():
+                    async for frame in subscriber.events("demo"):
+                        frames.append(frame)
+
+                task = asyncio.create_task(consume())
+                await asyncio.sleep(0.05)
+                await client.delete_session("demo")
+                await asyncio.wait_for(task, 10)
+                await subscriber.close()
+                assert frames[-1]["type"] == "session_closed"
+                # The final close checkpoint precedes it.
+                assert "checkpoint_written" in [f["type"] for f in frames]
+            finally:
+                await client.close()
+                await server.stop()
+
+        run(scenario())
+
+
+class TestRestartOverHTTP:
+    def test_orderly_restart_restores_scores_exactly(self, tmp_path):
+        async def first_life():
+            server, client, _ = await _boot(tmp_path)
+            await client.create_session(
+                "demo", edges=PATH_EDGES, config={"store": "disk://"}
+            )
+            await client.post_updates("demo", [("add", 0, 4)])
+            payload = await client.scores("demo")
+            await client.close()
+            await server.stop()
+            return dict(payload["scores"])
+
+        async def second_life():
+            server, client, _ = await _boot(tmp_path)
+            payload = await client.scores("demo")
+            await client.close()
+            await server.stop()
+            return dict(payload["scores"])
+
+        before = run(first_life())
+        after = run(second_life())
+        assert after == before == oracle_scores([(0, 4)])
